@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure and prints the same
+rows/series the paper reports.  The experiment scale is controlled by the
+``REPRO_SCALE`` environment variable:
+
+* ``quick`` (default) — reduced workload sizes and FL rounds so the whole
+  harness completes in a few minutes;
+* ``paper`` — the paper's sizes (1000-query workloads, 20 clients, 50 FL
+  rounds); expect a substantially longer run.
+
+The FL training (system bundle) is built once per session and shared by every
+benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import cached_system_bundle, resolve_scale
+
+DEFAULT_BENCH_SCALE = os.environ.get("REPRO_SCALE", "quick")
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """The resolved experiment scale used across the benchmark session."""
+    return resolve_scale(DEFAULT_BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def bundle(bench_scale):
+    """FL-trained encoders + datasets shared by all benchmarks."""
+    return cached_system_bundle(bench_scale, seed=0, train_albert=True)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a benchmark's regenerated table/series to the captured output."""
+    bar = "=" * 78
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,32 @@
+"""Benchmark: Table I (contextual queries) and Figures 8/9.
+
+Regenerates the contextual-query experiment: a cache populated with standalone
+queries and their follow-ups (with context chains), probed with duplicate
+standalone, duplicate contextual and context-trap queries.  MeanCache's
+context-chain verification must cut false hits dramatically relative to the
+context-oblivious baseline.
+"""
+
+from conftest import emit
+
+from repro.experiments.contextual import run_contextual
+
+
+def test_table1_contextual(benchmark, bundle, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_contextual(bench_scale, seed=0, bundle=bundle),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Table I (contextual) + Figures 8-9", result.format())
+
+    gpt = result.systems["GPTCache"]
+    mc = result.systems["MeanCache"]
+    # Paper shape: MeanCache has far fewer false hits on context traps
+    # (3 vs 54 in the paper) and higher precision / F-score.
+    assert mc.trap_false_hits < gpt.trap_false_hits
+    assert mc.metrics["precision"] > gpt.metrics["precision"]
+    assert mc.metrics["f_score"] > gpt.metrics["f_score"]
+    # The ablation shows the win comes from the context check itself.
+    no_ctx = result.systems["MeanCache (no context check)"]
+    assert mc.trap_false_hits <= no_ctx.trap_false_hits

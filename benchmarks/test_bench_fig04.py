@@ -1,0 +1,15 @@
+"""Benchmark: Figure 4 — prevalence of duplicate queries per participant."""
+
+from conftest import emit
+
+from repro.experiments.fig04_userstudy import run_fig04
+
+
+def test_fig04_user_study(benchmark):
+    result = benchmark.pedantic(lambda: run_fig04(), rounds=1, iterations=1)
+    emit("Figure 4 (user study)", result.format())
+
+    assert len(result.totals) == 20
+    # Paper: ~31% of queries repeat an earlier query, on average.
+    assert 0.28 <= result.mean_rate <= 0.34
+    assert (result.duplicates <= result.totals).all()

@@ -1,0 +1,45 @@
+"""Benchmark: Figures 5 and 6 — per-query response time and hit/miss decisions.
+
+LLM latency is simulated (calibrated to Llama-2 7B magnitudes); cache lookup
+overhead is measured wall-clock.  The paper's qualitative claims: the cache
+adds negligible overhead on unique queries and answers duplicates orders of
+magnitude faster, while MeanCache makes far fewer false-hit decisions than
+GPTCache.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments.fig05_latency import run_fig05
+
+
+def test_fig05_response_times_and_fig06_decisions(benchmark, bundle, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_fig05(bench_scale, seed=0, bundle=bundle),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 5 (response times)", result.format())
+
+    base = result.traces["Llama 2"]
+    mc = result.traces["Llama 2 + MeanCache"]
+    gpt = result.traces["Llama 2 + GPTCache"]
+
+    # Duplicate queries are served far faster on average from the local cache
+    # (the mean still includes the duplicates the cache conservatively missed,
+    # which pay the full LLM latency).
+    assert result.speedup_on_duplicates("Llama 2 + MeanCache") > 2.0
+    # Adding the cache does not meaningfully slow down the overall stream.
+    assert mc.mean_latency_s <= base.mean_latency_s * 1.1
+
+    # Figure 6: decision quality on the same probe stream.
+    mc_metrics = result.decision_metrics("Llama 2 + MeanCache")
+    gpt_metrics = result.decision_metrics("Llama 2 + GPTCache")
+    emit(
+        "Figure 6 (hit/miss decisions)",
+        f"MeanCache decisions: {mc_metrics}\nGPTCache decisions:  {gpt_metrics}",
+    )
+    # On this (small) probe subset the decision quality of MeanCache must not
+    # fall behind the baseline; the full Table I benchmark asserts the strict
+    # false-hit ordering on the complete workload.
+    assert mc_metrics["f_score"] >= gpt_metrics["f_score"] - 0.1

@@ -1,0 +1,31 @@
+"""Benchmark: Figure 15 — per-query embedding compute time and storage.
+
+Measures the wall-clock time to embed a single query with each zoo encoder and
+reports per-query embedding storage.  Paper shape: the Llama-2-class embedder
+is far slower and needs >5x the storage of the 768-d models.
+"""
+
+from conftest import emit
+
+from repro.experiments.fig15_model_cost import run_fig15
+
+
+def test_fig15_embedding_cost(benchmark, bench_scale):
+    n_queries = 50 if bench_scale.name == "quick" else 200
+    result = benchmark.pedantic(
+        lambda: run_fig15(n_queries=n_queries, repeats=2),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 15 (embedding cost)", result.format())
+
+    llama = result.row("llama2-sim")
+    mpnet = result.row("mpnet-sim")
+    albert = result.row("albert-sim")
+    # Storage matches the paper exactly (32 KB vs 6 KB per query).
+    assert llama.embedding_storage_kb == 32.0
+    assert mpnet.embedding_storage_kb == 6.0
+    assert albert.embedding_storage_kb == 6.0
+    # Compute ordering: Llama-class embedding is the most expensive.
+    assert llama.mean_embed_time_s > mpnet.mean_embed_time_s
+    assert llama.mean_embed_time_s > albert.mean_embed_time_s

@@ -1,0 +1,24 @@
+"""Benchmark: Figure 16 — Llama-2-class embeddings are weak for semantic matching.
+
+Threshold sweep with the llama2-sim encoder; even at its optimal threshold its
+F1 must stay well below the fine-tuned small encoders (paper: 0.75 vs 0.88+).
+"""
+
+from conftest import emit
+
+from repro.experiments.fig13_14_threshold import run_fig13_14
+from repro.experiments.fig16_llama_threshold import run_fig16
+
+
+def test_fig16_llama_threshold_sweep(benchmark, bundle, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_fig16(bench_scale, seed=0, bundle=bundle),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 16 (Llama-2 threshold sweep)", result.format())
+
+    assert 0.0 <= result.optimal_metrics["threshold"] <= 1.0
+    # Compare against the fine-tuned MPNet sweep: llama must be clearly worse.
+    mpnet = run_fig13_14(bench_scale, seed=0, bundle=bundle, include_albert=False).mpnet
+    assert result.max_f1 < mpnet.optimal_metrics["f1"]

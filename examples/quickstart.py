@@ -1,0 +1,58 @@
+"""Quickstart: a user-side MeanCache in front of a (simulated) LLM web service.
+
+Run with::
+
+    python examples/quickstart.py
+
+It builds a MeanCache backed by the pretrained ALBERT-class encoder, wires it
+to the simulated LLM service, sends a handful of queries (including
+paraphrases of earlier ones), and prints which were answered from the local
+cache together with the latency and cost savings.
+"""
+
+from __future__ import annotations
+
+from repro import MeanCache, MeanCacheConfig, MeanCacheClient, SimulatedLLMService, load_encoder
+
+
+def main() -> None:
+    # 1. Load the local embedding model (the "pretrained checkpoint" of the
+    #    ALBERT-class encoder; federated fine-tuning would sharpen it further,
+    #    see examples/federated_training.py).
+    encoder = load_encoder("albert-sim")
+
+    # 2. Create the local semantic cache with an adaptive cosine threshold.
+    cache = MeanCache(
+        encoder,
+        MeanCacheConfig(similarity_threshold=0.78, verify_context=True),
+    )
+
+    # 3. Wire the cache to the LLM web service through a client session.
+    service = SimulatedLLMService()
+    client = MeanCacheClient(cache, service, client_id="alice")
+
+    queries = [
+        "How can I sort a list in Python?",
+        "How do I extend the battery life of my smartphone?",
+        "What is the best way to order a Python list?",          # paraphrase -> hit
+        "Tips for extending the duration of my phone's power source",  # paraphrase -> hit
+        "How do I bake chocolate chip cookies?",                 # new topic  -> miss
+    ]
+
+    print("query".ljust(62), "source".ljust(8), "latency")
+    print("-" * 92)
+    for query in queries:
+        result = client.query(query)
+        source = "cache" if result.from_cache else "LLM"
+        print(query.ljust(62), source.ljust(8), f"{result.total_latency_s * 1000:8.1f} ms")
+
+    print()
+    print(f"cache hit rate          : {client.hit_rate:.0%}")
+    print(f"queries sent to the LLM : {service.stats.n_requests}")
+    print(f"simulated spend         : ${client.total_cost_usd:.5f}")
+    print(f"entries in local cache  : {len(cache)}")
+    print(f"local cache storage     : {cache.total_storage_bytes() / 1024:.1f} KiB")
+
+
+if __name__ == "__main__":
+    main()

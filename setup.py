@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline evaluation environment has no network access and no ``wheel``
+package, so PEP 517/660 editable installs (which build an editable wheel)
+cannot run.  Keeping a classic ``setup.py`` alongside ``pyproject.toml`` lets
+``pip install -e .`` fall back to the legacy development install, which works
+fully offline.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,200 @@
+"""GPTCache-style server-side semantic cache (the paper's baseline).
+
+GPTCache (Bang, 2023) keeps a *central* cache of all users' queries and
+responses on the server.  A probe is embedded (ALBERT in the paper's
+"optimal configuration"), compared against every cached embedding, and served
+from the cache when the best cosine similarity reaches a fixed threshold of
+0.7.  Relative to MeanCache the baseline therefore:
+
+* uses a fixed, not learned, similarity threshold;
+* uses a pretrained, never fine-tuned encoder;
+* performs no context-chain verification (contextual probes that merely look
+  similar produce false hits);
+* stores everything centrally, so even a cache hit costs a network round trip
+  and the query leaves the user's device.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.storage import object_nbytes
+from repro.embeddings.model import SiameseEncoder
+from repro.embeddings.similarity import SearchHit, semantic_search
+from repro.embeddings.zoo import load_encoder
+
+
+@dataclass(frozen=True)
+class GPTCacheConfig:
+    """Baseline configuration (paper §IV-A: ALBERT encoder, τ = 0.7)."""
+
+    similarity_threshold: float = 0.7
+    top_k: int = 1
+    encoder_name: str = "albert-sim"
+    network_rtt_s: float = 0.03
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.similarity_threshold <= 1.0:
+            raise ValueError("similarity_threshold must be in [0, 1]")
+        if self.top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        if self.network_rtt_s < 0:
+            raise ValueError("network_rtt_s must be >= 0")
+
+
+@dataclass
+class GPTCacheDecision:
+    """Outcome of one baseline lookup."""
+
+    hit: bool
+    query: str
+    response: Optional[str] = None
+    matched_query: Optional[str] = None
+    similarity: float = 0.0
+    candidates: List[SearchHit] = field(default_factory=list)
+    embed_time_s: float = 0.0
+    search_time_s: float = 0.0
+    network_time_s: float = 0.0
+
+    @property
+    def total_overhead_s(self) -> float:
+        """Measured lookup overhead plus the modelled network round trip."""
+        return self.embed_time_s + self.search_time_s + self.network_time_s
+
+
+@dataclass
+class _StoredEntry:
+    query: str
+    response: str
+    embedding: np.ndarray
+    user_id: str
+
+    def nbytes(self) -> int:
+        return (
+            object_nbytes(self.query)
+            + object_nbytes(self.response)
+            + int(self.embedding.nbytes)
+            + object_nbytes(self.user_id)
+        )
+
+
+class GPTCache:
+    """Server-side semantic cache with a fixed cosine threshold."""
+
+    def __init__(
+        self,
+        encoder: Optional[SiameseEncoder] = None,
+        config: Optional[GPTCacheConfig] = None,
+    ) -> None:
+        self.config = config or GPTCacheConfig()
+        self.encoder = encoder or load_encoder(self.config.encoder_name)
+        self._entries: List[_StoredEntry] = []
+        self._embeddings: Optional[np.ndarray] = None
+        self.lookups = 0
+        self.hits = 0
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> List[_StoredEntry]:
+        """All cached entries across every user (central cache)."""
+        return list(self._entries)
+
+    def users(self) -> List[str]:
+        """Distinct user ids whose queries are stored centrally."""
+        return sorted({e.user_id for e in self._entries})
+
+    def embedding_storage_bytes(self) -> int:
+        """Bytes used by cached embeddings."""
+        return int(self._embeddings.nbytes) if self._embeddings is not None else 0
+
+    def total_storage_bytes(self) -> int:
+        """Bytes used by the whole central cache."""
+        return sum(e.nbytes() for e in self._entries)
+
+    # ------------------------------------------------------------------ #
+    def embed(self, text: str) -> tuple[np.ndarray, float]:
+        """Embed a query with the baseline's (frozen) encoder."""
+        start = time.perf_counter()
+        emb = self.encoder.encode(text)
+        return np.asarray(emb, dtype=np.float64), time.perf_counter() - start
+
+    def insert(
+        self,
+        query: str,
+        response: str,
+        user_id: str = "default",
+        embedding: Optional[np.ndarray] = None,
+    ) -> None:
+        """Store a (query, response) pair in the central cache."""
+        if not isinstance(query, str) or not query.strip():
+            raise ValueError("query must be a non-empty string")
+        if embedding is None:
+            embedding, _ = self.embed(query)
+        embedding = np.asarray(embedding, dtype=np.float64).reshape(-1)
+        self._entries.append(
+            _StoredEntry(query=query, response=response, embedding=embedding, user_id=user_id)
+        )
+        if self._embeddings is None:
+            self._embeddings = embedding.reshape(1, -1).copy()
+        else:
+            self._embeddings = np.vstack([self._embeddings, embedding.reshape(1, -1)])
+
+    def populate(
+        self, queries: Sequence[str], responses: Optional[Sequence[str]] = None, user_id: str = "default"
+    ) -> None:
+        """Bulk-insert queries (pre-loading experiment caches)."""
+        if responses is not None and len(responses) != len(queries):
+            raise ValueError("responses must align with queries")
+        for i, query in enumerate(queries):
+            response = responses[i] if responses is not None else f"cached response for: {query}"
+            self.insert(query, response, user_id=user_id)
+
+    def lookup(self, query: str, context: Sequence[str] = (), user_id: str = "default") -> GPTCacheDecision:
+        """Hit/miss decision; ``context`` is accepted but ignored (no context handling)."""
+        if not isinstance(query, str) or not query.strip():
+            raise ValueError("query must be a non-empty string")
+        self.lookups += 1
+        embedding, embed_time = self.embed(query)
+        if not self._entries:
+            return GPTCacheDecision(
+                hit=False,
+                query=query,
+                embed_time_s=embed_time,
+                network_time_s=self.config.network_rtt_s,
+            )
+        start = time.perf_counter()
+        hits = semantic_search(
+            embedding, self._embeddings, top_k=min(self.config.top_k, len(self._entries))
+        )[0]
+        search_time = time.perf_counter() - start
+        best = hits[0] if hits else None
+        if best is not None and best.score >= self.config.similarity_threshold:
+            entry = self._entries[best.index]
+            self.hits += 1
+            return GPTCacheDecision(
+                hit=True,
+                query=query,
+                response=entry.response,
+                matched_query=entry.query,
+                similarity=best.score,
+                candidates=hits,
+                embed_time_s=embed_time,
+                search_time_s=search_time,
+                network_time_s=self.config.network_rtt_s,
+            )
+        return GPTCacheDecision(
+            hit=False,
+            query=query,
+            similarity=best.score if best else 0.0,
+            candidates=hits,
+            embed_time_s=embed_time,
+            search_time_s=search_time,
+            network_time_s=self.config.network_rtt_s,
+        )

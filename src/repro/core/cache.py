@@ -1,0 +1,422 @@
+"""MeanCache: the user-side semantic cache (paper Algorithm 1 + Figure 1).
+
+A :class:`MeanCache` instance lives on the user's device.  Each cached entry
+holds the query text, its response, its (optionally PCA-compressed) embedding
+and its context chain.  On a lookup the cache:
+
+1. embeds the query with the (FL-fine-tuned) local encoder,
+2. retrieves the top-k most similar cached queries by cosine similarity,
+3. keeps candidates scoring at least the adaptive threshold τ,
+4. verifies each surviving candidate's context chain against the probe's
+   conversational history,
+5. returns the best matching entry's response (hit) or reports a miss so the
+   caller forwards the query to the LLM service and enrols the new
+   (query, response) pair.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.context import ContextChain, context_matches
+from repro.core.policy import EvictionPolicy, make_policy
+from repro.core.storage import BaseStore, object_nbytes
+from repro.embeddings.model import SiameseEncoder
+from repro.embeddings.similarity import SearchHit, semantic_search
+
+
+@dataclass(frozen=True)
+class MeanCacheConfig:
+    """MeanCache behaviour knobs.
+
+    Attributes
+    ----------
+    similarity_threshold:
+        The adaptive cosine threshold τ (learned via FL; 0.7 is GPTCache's
+        fixed default and serves as the cold-start value).
+    context_threshold:
+        Cosine threshold used when comparing context-chain embeddings.
+    top_k:
+        Number of similar cached queries retrieved per lookup (Algorithm 1
+        examines each candidate's context chain).
+    verify_context:
+        Toggle for the context-chain check (the ablation switch; GPTCache
+        corresponds to ``False``).
+    max_entries:
+        Cache capacity; inserting beyond it evicts per ``eviction_policy``.
+    eviction_policy:
+        ``"lru"``, ``"lfu"`` or ``"fifo"``.
+    compressed:
+        Whether embeddings stored in the cache are PCA-compressed (the
+        encoder must have a PCA head attached).
+    """
+
+    similarity_threshold: float = 0.7
+    context_threshold: float = 0.7
+    top_k: int = 5
+    verify_context: bool = True
+    max_entries: int = 100_000
+    eviction_policy: str = "lru"
+    compressed: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.similarity_threshold <= 1.0:
+            raise ValueError("similarity_threshold must be in [0, 1]")
+        if not 0.0 <= self.context_threshold <= 1.0:
+            raise ValueError("context_threshold must be in [0, 1]")
+        if self.top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        if self.max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+
+
+@dataclass
+class CacheEntry:
+    """One cached (query, response) pair with its embedding and context."""
+
+    query: str
+    response: str
+    embedding: np.ndarray
+    context: ContextChain
+    entry_id: int
+    created_at: float = 0.0
+    last_accessed: float = 0.0
+    hit_count: int = 0
+
+    def nbytes(self) -> int:
+        """Approximate storage footprint of the entry."""
+        return (
+            object_nbytes(self.query)
+            + object_nbytes(self.response)
+            + int(self.embedding.nbytes)
+            + (int(self.context.embedding.nbytes) if self.context.embedding is not None else 0)
+            + sum(object_nbytes(t) for t in self.context.texts)
+        )
+
+
+@dataclass
+class CacheDecision:
+    """The outcome of one lookup."""
+
+    hit: bool
+    query: str
+    response: Optional[str] = None
+    matched_query: Optional[str] = None
+    entry_id: Optional[int] = None
+    similarity: float = 0.0
+    candidates: List[SearchHit] = field(default_factory=list)
+    context_verified: bool = False
+    embed_time_s: float = 0.0
+    search_time_s: float = 0.0
+
+    @property
+    def total_overhead_s(self) -> float:
+        """Embedding plus search wall-clock overhead of the lookup."""
+        return self.embed_time_s + self.search_time_s
+
+
+@dataclass
+class CacheStats:
+    """Running counters of cache activity."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class MeanCache:
+    """The user-centric semantic cache."""
+
+    def __init__(
+        self,
+        encoder: SiameseEncoder,
+        config: Optional[MeanCacheConfig] = None,
+        store: Optional[BaseStore] = None,
+    ) -> None:
+        self.encoder = encoder
+        self.config = config or MeanCacheConfig()
+        if self.config.compressed and encoder.pca is None:
+            raise ValueError(
+                "config.compressed=True requires an encoder with a PCA head attached"
+            )
+        self.store = store
+        self._entries: List[CacheEntry] = []
+        self._embeddings: Optional[np.ndarray] = None  # (n, d) row per entry
+        self._policy: EvictionPolicy = make_policy(self.config.eviction_policy)
+        self._next_id = 0
+        self._id_to_row: Dict[int, int] = {}
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> List[CacheEntry]:
+        """The live cache entries (row order)."""
+        return list(self._entries)
+
+    @property
+    def embedding_dim(self) -> int:
+        """Dimensionality of stored embeddings."""
+        return self.encoder.embedding_dim
+
+    def embedding_storage_bytes(self) -> int:
+        """Bytes used by cached query embeddings (the Fig. 10a quantity)."""
+        if self._embeddings is None:
+            return 0
+        return int(self._embeddings.nbytes) + sum(
+            int(e.context.embedding.nbytes)
+            for e in self._entries
+            if e.context.embedding is not None
+        )
+
+    def total_storage_bytes(self) -> int:
+        """Bytes used by the whole cache (texts + responses + embeddings)."""
+        return sum(entry.nbytes() for entry in self._entries)
+
+    # ------------------------------------------------------------------ #
+    # Embedding helpers
+    # ------------------------------------------------------------------ #
+    def embed(self, text: str) -> Tuple[np.ndarray, float]:
+        """Embed a query, returning (embedding, wall-clock seconds)."""
+        start = time.perf_counter()
+        emb = self.encoder.encode(text, compress=self.config.compressed)
+        elapsed = time.perf_counter() - start
+        return np.asarray(emb, dtype=np.float64), elapsed
+
+    def _embed_context(self, context: Sequence[str]) -> ContextChain:
+        if not context:
+            return ContextChain.empty()
+        return ContextChain.from_texts(context, encoder=_ContextEncoderProxy(self))
+
+    # ------------------------------------------------------------------ #
+    # Lookup (Algorithm 1, lines 1-7)
+    # ------------------------------------------------------------------ #
+    def lookup(self, query: str, context: Sequence[str] = ()) -> CacheDecision:
+        """Decide hit/miss for ``query`` under conversational ``context``."""
+        if not isinstance(query, str) or not query.strip():
+            raise ValueError("query must be a non-empty string")
+        self.stats.lookups += 1
+        embedding, embed_time = self.embed(query)
+
+        if not self._entries:
+            self.stats.misses += 1
+            return CacheDecision(hit=False, query=query, embed_time_s=embed_time)
+
+        start = time.perf_counter()
+        hits = semantic_search(
+            embedding,
+            self._embeddings,
+            top_k=min(self.config.top_k, len(self._entries)),
+        )[0]
+        search_time = time.perf_counter() - start
+
+        query_context = self._embed_context(context)
+        best: Optional[Tuple[SearchHit, CacheEntry]] = None
+        context_checked = False
+        for hit in hits:
+            if hit.score < self.config.similarity_threshold:
+                continue
+            entry = self._entries[hit.index]
+            if self.config.verify_context:
+                context_checked = True
+                if not context_matches(query_context, entry.context, self.config.context_threshold):
+                    continue
+            best = (hit, entry)
+            break
+
+        if best is None:
+            self.stats.misses += 1
+            return CacheDecision(
+                hit=False,
+                query=query,
+                candidates=hits,
+                similarity=hits[0].score if hits else 0.0,
+                context_verified=context_checked,
+                embed_time_s=embed_time,
+                search_time_s=search_time,
+            )
+
+        hit_obj, entry = best
+        entry.hit_count += 1
+        entry.last_accessed = time.time()
+        self._policy.record_access(entry.entry_id)
+        self.stats.hits += 1
+        return CacheDecision(
+            hit=True,
+            query=query,
+            response=entry.response,
+            matched_query=entry.query,
+            entry_id=entry.entry_id,
+            similarity=hit_obj.score,
+            candidates=hits,
+            context_verified=context_checked,
+            embed_time_s=embed_time,
+            search_time_s=search_time,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Insertion (Algorithm 1, line 9) and eviction
+    # ------------------------------------------------------------------ #
+    def insert(
+        self,
+        query: str,
+        response: str,
+        context: Sequence[str] = (),
+        embedding: Optional[np.ndarray] = None,
+    ) -> int:
+        """Enrol a (query, response) pair; returns the new entry id."""
+        if not isinstance(query, str) or not query.strip():
+            raise ValueError("query must be a non-empty string")
+        if embedding is None:
+            embedding, _ = self.embed(query)
+        embedding = np.asarray(embedding, dtype=np.float64).reshape(-1)
+        if self._embeddings is not None and embedding.shape[0] != self._embeddings.shape[1]:
+            raise ValueError(
+                f"embedding dim {embedding.shape[0]} does not match cache dim "
+                f"{self._embeddings.shape[1]}"
+            )
+
+        while len(self._entries) >= self.config.max_entries:
+            self._evict_one()
+
+        entry = CacheEntry(
+            query=query,
+            response=response,
+            embedding=embedding,
+            context=self._embed_context(context),
+            entry_id=self._next_id,
+            created_at=time.time(),
+            last_accessed=time.time(),
+        )
+        self._next_id += 1
+        self._entries.append(entry)
+        row = len(self._entries) - 1
+        self._id_to_row[entry.entry_id] = row
+        if self._embeddings is None:
+            self._embeddings = embedding.reshape(1, -1).copy()
+        else:
+            self._embeddings = np.vstack([self._embeddings, embedding.reshape(1, -1)])
+        self._policy.record_insert(entry.entry_id)
+        self.stats.insertions += 1
+        if self.store is not None:
+            self.store.set(
+                f"entry:{entry.entry_id}",
+                {
+                    "query": query,
+                    "response": response,
+                    "embedding": embedding,
+                    "context": list(entry.context.texts),
+                },
+            )
+        return entry.entry_id
+
+    def _evict_one(self) -> None:
+        victim_id = self._policy.select_victim()
+        self.remove(victim_id)
+        self.stats.evictions += 1
+
+    def remove(self, entry_id: int) -> None:
+        """Remove a cache entry by id."""
+        row = self._id_to_row.get(entry_id)
+        if row is None:
+            raise KeyError(f"no cache entry with id {entry_id}")
+        del self._entries[row]
+        self._embeddings = np.delete(self._embeddings, row, axis=0)
+        if self._embeddings.shape[0] == 0:
+            self._embeddings = None
+        self._policy.record_remove(entry_id)
+        del self._id_to_row[entry_id]
+        # Re-index the rows that shifted down.
+        for i in range(row, len(self._entries)):
+            self._id_to_row[self._entries[i].entry_id] = i
+        if self.store is not None and f"entry:{entry_id}" in self.store:
+            self.store.delete(f"entry:{entry_id}")
+
+    def clear(self) -> None:
+        """Drop all entries."""
+        self._entries.clear()
+        self._embeddings = None
+        self._id_to_row.clear()
+        self._policy = make_policy(self.config.eviction_policy)
+        if self.store is not None:
+            self.store.clear()
+
+    # ------------------------------------------------------------------ #
+    # Bulk / maintenance operations
+    # ------------------------------------------------------------------ #
+    def populate(
+        self,
+        queries: Sequence[str],
+        responses: Optional[Sequence[str]] = None,
+        contexts: Optional[Sequence[Sequence[str]]] = None,
+    ) -> List[int]:
+        """Insert many queries at once (used to pre-load experiment caches)."""
+        if responses is not None and len(responses) != len(queries):
+            raise ValueError("responses must align with queries")
+        if contexts is not None and len(contexts) != len(queries):
+            raise ValueError("contexts must align with queries")
+        ids: List[int] = []
+        for i, query in enumerate(queries):
+            response = responses[i] if responses is not None else f"cached response for: {query}"
+            context = contexts[i] if contexts is not None else ()
+            ids.append(self.insert(query, response, context=context))
+        return ids
+
+    def rebuild_embeddings(self) -> None:
+        """Re-embed every cached query with the current encoder state.
+
+        Called after the encoder is fine-tuned by FL or after a PCA head is
+        attached/detached, so stored embeddings stay consistent with the
+        encoder used for probes.
+        """
+        if not self._entries:
+            self._embeddings = None
+            return
+        texts = [e.query for e in self._entries]
+        embs = self.encoder.encode(texts, compress=self.config.compressed)
+        embs = np.atleast_2d(np.asarray(embs, dtype=np.float64))
+        self._embeddings = embs
+        for i, entry in enumerate(self._entries):
+            entry.embedding = embs[i]
+            if not entry.context.is_empty:
+                entry.context = self._embed_context(list(entry.context.texts))
+
+    def set_threshold(self, threshold: float) -> None:
+        """Update the adaptive similarity threshold τ."""
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        # MeanCacheConfig is frozen; replace it wholesale.
+        self.config = MeanCacheConfig(
+            similarity_threshold=threshold,
+            context_threshold=self.config.context_threshold,
+            top_k=self.config.top_k,
+            verify_context=self.config.verify_context,
+            max_entries=self.config.max_entries,
+            eviction_policy=self.config.eviction_policy,
+            compressed=self.config.compressed,
+        )
+
+
+class _ContextEncoderProxy:
+    """Adapter exposing ``encode`` honouring the cache's compression setting."""
+
+    def __init__(self, cache: MeanCache) -> None:
+        self._cache = cache
+
+    def encode(self, texts):
+        return self._cache.encoder.encode(texts, compress=self._cache.config.compressed)

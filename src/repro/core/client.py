@@ -1,0 +1,162 @@
+"""The end-user client session (Figure 1's full workflow).
+
+:class:`MeanCacheClient` wires a local :class:`~repro.core.cache.MeanCache` to
+an LLM web service: every user query is first looked up in the local cache;
+on a miss the query (plus conversational context) is forwarded to the service
+and the new (query, response) pair is enrolled in the cache.  The client also
+tracks conversational state so follow-up queries automatically carry their
+context chain, and keeps latency/cost accounting used by the Figure 5
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.cache import CacheDecision, MeanCache
+from repro.llm.service import SimulatedLLMService
+
+
+@dataclass
+class ClientQueryResult:
+    """What the user gets back for one query."""
+
+    query: str
+    response: str
+    from_cache: bool
+    decision: CacheDecision
+    llm_latency_s: float = 0.0
+    cache_overhead_s: float = 0.0
+    cost_usd: float = 0.0
+
+    @property
+    def total_latency_s(self) -> float:
+        """End-to-end simulated latency experienced by the user.
+
+        Cache overhead (embedding + search) is measured wall-clock; the LLM
+        round trip is the simulated latency from the latency model (zero on a
+        cache hit).
+        """
+        return self.llm_latency_s + self.cache_overhead_s
+
+
+@dataclass
+class ConversationState:
+    """Rolling conversational history used to build context chains."""
+
+    turns: List[str] = field(default_factory=list)
+    max_depth: int = 3
+
+    def context_for_next_query(self) -> List[str]:
+        """The parent queries (most recent last) for the next follow-up."""
+        return self.turns[-self.max_depth :]
+
+    def add_turn(self, query: str) -> None:
+        """Record that ``query`` was asked."""
+        self.turns.append(query)
+
+    def reset(self) -> None:
+        """Start a fresh conversation."""
+        self.turns.clear()
+
+
+class MeanCacheClient:
+    """A user device running MeanCache in front of an LLM web service."""
+
+    def __init__(
+        self,
+        cache: MeanCache,
+        service: SimulatedLLMService,
+        client_id: str = "user-0",
+        max_context_depth: int = 3,
+    ) -> None:
+        self.cache = cache
+        self.service = service
+        self.client_id = client_id
+        self.conversation = ConversationState(max_depth=max_context_depth)
+        self.results: List[ClientQueryResult] = []
+
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        text: str,
+        context: Optional[Sequence[str]] = None,
+        is_followup: bool = False,
+        enroll_on_miss: bool = True,
+    ) -> ClientQueryResult:
+        """Answer a user query via the cache, falling back to the LLM service.
+
+        Parameters
+        ----------
+        text:
+            The user's query.
+        context:
+            Explicit conversational context (parent queries).  When ``None``,
+            the client supplies the running conversation history if
+            ``is_followup`` is True, else treats the query as standalone.
+        is_followup:
+            Whether the query continues the current conversation.
+        enroll_on_miss:
+            Whether to insert the LLM's response into the cache on a miss.
+        """
+        if context is None:
+            context = self.conversation.context_for_next_query() if is_followup else []
+        context = list(context)
+
+        decision = self.cache.lookup(text, context=context)
+        if decision.hit:
+            result = ClientQueryResult(
+                query=text,
+                response=decision.response or "",
+                from_cache=True,
+                decision=decision,
+                llm_latency_s=0.0,
+                cache_overhead_s=decision.total_overhead_s,
+                cost_usd=0.0,
+            )
+        else:
+            llm_response = self.service.query(text, client_id=self.client_id, context=context)
+            if enroll_on_miss:
+                self.cache.insert(text, llm_response.text, context=context)
+            result = ClientQueryResult(
+                query=text,
+                response=llm_response.text,
+                from_cache=False,
+                decision=decision,
+                llm_latency_s=llm_response.latency_s,
+                cache_overhead_s=decision.total_overhead_s,
+                cost_usd=llm_response.cost_usd,
+            )
+
+        if is_followup or context:
+            self.conversation.add_turn(text)
+        else:
+            self.conversation.reset()
+            self.conversation.add_turn(text)
+        self.results.append(result)
+        return result
+
+    # ------------------------------------------------------------------ #
+    def new_conversation(self) -> None:
+        """Explicitly start a fresh conversation (clears the context chain)."""
+        self.conversation.reset()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of this client's queries served from the local cache."""
+        if not self.results:
+            return 0.0
+        return sum(r.from_cache for r in self.results) / len(self.results)
+
+    @property
+    def total_cost_usd(self) -> float:
+        """Total simulated spend on the LLM service."""
+        return float(sum(r.cost_usd for r in self.results))
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean end-to-end latency across all queries."""
+        if not self.results:
+            return 0.0
+        return float(sum(r.total_latency_s for r in self.results) / len(self.results))

@@ -1,0 +1,143 @@
+"""Cache eviction policies.
+
+Figure 1 of the paper shows an eviction-policy column (LRU) in the local
+cache.  Three standard policies are provided; they operate on opaque entry
+ids so the cache can map them to row indices however it likes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+
+class EvictionPolicy:
+    """Tracks entry liveness and picks victims when the cache is full."""
+
+    def record_insert(self, entry_id: int) -> None:
+        """Register a newly-inserted entry."""
+        raise NotImplementedError
+
+    def record_access(self, entry_id: int) -> None:
+        """Register a read hit on an entry."""
+        raise NotImplementedError
+
+    def record_remove(self, entry_id: int) -> None:
+        """Forget an entry that was removed externally."""
+        raise NotImplementedError
+
+    def select_victim(self) -> int:
+        """Return the entry id to evict next.
+
+        Raises
+        ------
+        LookupError
+            If the policy is tracking no entries.
+        """
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class LRUPolicy(EvictionPolicy):
+    """Least-recently-used eviction (the paper's default)."""
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[int, None]" = OrderedDict()
+
+    def record_insert(self, entry_id: int) -> None:
+        self._order.pop(entry_id, None)
+        self._order[entry_id] = None
+
+    def record_access(self, entry_id: int) -> None:
+        if entry_id in self._order:
+            self._order.move_to_end(entry_id)
+
+    def record_remove(self, entry_id: int) -> None:
+        self._order.pop(entry_id, None)
+
+    def select_victim(self) -> int:
+        if not self._order:
+            raise LookupError("no entries to evict")
+        return next(iter(self._order))
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class LFUPolicy(EvictionPolicy):
+    """Least-frequently-used eviction with LRU tie-breaking."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+        self._recency: "OrderedDict[int, None]" = OrderedDict()
+
+    def record_insert(self, entry_id: int) -> None:
+        self._counts[entry_id] = 0
+        self._recency.pop(entry_id, None)
+        self._recency[entry_id] = None
+
+    def record_access(self, entry_id: int) -> None:
+        if entry_id in self._counts:
+            self._counts[entry_id] += 1
+            self._recency.move_to_end(entry_id)
+
+    def record_remove(self, entry_id: int) -> None:
+        self._counts.pop(entry_id, None)
+        self._recency.pop(entry_id, None)
+
+    def select_victim(self) -> int:
+        if not self._counts:
+            raise LookupError("no entries to evict")
+        min_count = min(self._counts.values())
+        # Oldest (least recently used) among the least-frequently used.
+        for entry_id in self._recency:
+            if self._counts[entry_id] == min_count:
+                return entry_id
+        return next(iter(self._recency))  # pragma: no cover - unreachable
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+class FIFOPolicy(EvictionPolicy):
+    """First-in-first-out eviction (insertion order, accesses ignored)."""
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[int, None]" = OrderedDict()
+
+    def record_insert(self, entry_id: int) -> None:
+        self._order.pop(entry_id, None)
+        self._order[entry_id] = None
+
+    def record_access(self, entry_id: int) -> None:
+        # FIFO ignores accesses by definition.
+        return None
+
+    def record_remove(self, entry_id: int) -> None:
+        self._order.pop(entry_id, None)
+
+    def select_victim(self) -> int:
+        if not self._order:
+            raise LookupError("no entries to evict")
+        return next(iter(self._order))
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+_POLICIES = {
+    "lru": LRUPolicy,
+    "lfu": LFUPolicy,
+    "fifo": FIFOPolicy,
+}
+
+
+def make_policy(name: str) -> EvictionPolicy:
+    """Instantiate a policy by name (``"lru"``, ``"lfu"`` or ``"fifo"``)."""
+    try:
+        return _POLICIES[name.lower()]()
+    except KeyError:
+        known = ", ".join(sorted(_POLICIES))
+        raise ValueError(f"unknown eviction policy {name!r}; known policies: {known}") from None

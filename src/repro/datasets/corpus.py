@@ -1,0 +1,233 @@
+"""Topic banks, query intents and template realisation.
+
+A *query intent* is a (domain, action, object) triple, e.g.
+``("programming", "sort", "a list in python")``.  Each intent can be realised
+as many surface forms through templates and synonym substitution; two
+realisations of the same intent are *duplicates* (semantically similar), while
+realisations of different intents are *non-duplicates*.  Intents sharing a
+domain and action but differing in object (or vice versa) are *hard
+negatives*: lexically close yet semantically different, which is exactly the
+regime where keyword caches and fixed-threshold semantic caches produce false
+hits.
+
+The word banks themselves live in :mod:`repro.datasets.banks`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.banks import ACTION_SYNONYMS, OBJECT_SYNONYMS
+
+# Question templates.  ``{action}`` and ``{object}`` are substituted; the
+# paraphraser forces different realisations of the same intent onto different
+# templates so duplicates are never exact string matches.
+TEMPLATES: List[str] = [
+    "How can I {action} {object}?",
+    "How do I {action} {object}?",
+    "What is the best way to {action} {object}?",
+    "What's a good way to {action} {object}?",
+    "Can you explain how to {action} {object}?",
+    "Tips for how to {action} {object}",
+    "I need help to {action} {object}",
+    "Please show me how to {action} {object}",
+    "Could you tell me how to {action} {object}?",
+    "Steps to {action} {object}",
+    "Best approach to {action} {object}",
+    "Walk me through how to {action} {object}",
+]
+
+FILLERS: List[str] = [
+    "",
+    "please",
+    "thanks",
+    "if possible",
+    "quickly",
+    "step by step",
+    "in simple terms",
+    "with an example",
+]
+
+
+@dataclass(frozen=True)
+class QueryIntent:
+    """A canonical meaning: realisations of the same intent are duplicates."""
+
+    domain: str
+    action: str
+    obj: str
+
+    @property
+    def key(self) -> str:
+        """Stable string identifier of the intent."""
+        return f"{self.domain}|{self.action}|{self.obj}"
+
+    @property
+    def object_key(self) -> str:
+        """Stable identifier of the intent's (domain, object) pair."""
+        return f"{self.domain}|{self.obj}"
+
+
+class Corpus:
+    """Enumeration of all intents plus deterministic realisation utilities.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the corpus-level RNG used when sampling intents,
+        realisations and negatives.
+    domains:
+        Optional subset of domain names to restrict the corpus to.  Used to
+        build the "public pretraining" corpus for the encoder zoo
+        (pretraining domains) versus the users' query distribution (all
+        domains), which is what gives federated fine-tuning something real to
+        learn.
+    """
+
+    def __init__(self, seed: int = 0, domains: "Sequence[str] | None" = None) -> None:
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        if domains is not None:
+            unknown = set(domains) - set(ACTION_SYNONYMS)
+            if unknown:
+                raise ValueError(f"unknown domains: {sorted(unknown)}")
+            allowed = set(domains)
+        else:
+            allowed = set(ACTION_SYNONYMS)
+        self._allowed_domains = allowed
+        self._intents: List[QueryIntent] = []
+        for domain, actions in ACTION_SYNONYMS.items():
+            if domain not in allowed:
+                continue
+            objects = OBJECT_SYNONYMS.get(domain, [])
+            for action in actions:
+                for obj, _syns in objects:
+                    self._intents.append(QueryIntent(domain, action, obj))
+        if not self._intents:
+            raise ValueError("corpus has no intents (empty domain selection)")
+        self._intent_index = {intent.key: i for i, intent in enumerate(self._intents)}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def intents(self) -> List[QueryIntent]:
+        """All intents in a stable order."""
+        return list(self._intents)
+
+    @property
+    def domains(self) -> List[str]:
+        """Domain names present in this corpus."""
+        return sorted(self._allowed_domains)
+
+    @staticmethod
+    def all_domains() -> List[str]:
+        """All domain names known to the word banks."""
+        return sorted(ACTION_SYNONYMS)
+
+    def __len__(self) -> int:
+        return len(self._intents)
+
+    def intents_for_domain(self, domain: str) -> List[QueryIntent]:
+        """All intents belonging to ``domain``."""
+        return [i for i in self._intents if i.domain == domain]
+
+    def object_keys(self) -> List[str]:
+        """All distinct (domain, object) keys in a stable order."""
+        seen: Dict[str, None] = {}
+        for intent in self._intents:
+            seen.setdefault(intent.object_key, None)
+        return list(seen)
+
+    def intents_for_object_keys(self, object_keys: Sequence[str]) -> List[QueryIntent]:
+        """All intents whose (domain, object) key is in ``object_keys``."""
+        allowed = set(object_keys)
+        return [i for i in self._intents if i.object_key in allowed]
+
+    # ------------------------------------------------------------------ #
+    def action_synonyms(self, intent: QueryIntent) -> List[str]:
+        """Synonyms (including canonical form) for the intent's action."""
+        return list(ACTION_SYNONYMS[intent.domain][intent.action])
+
+    def object_synonyms(self, intent: QueryIntent) -> List[str]:
+        """Synonyms (including canonical form) for the intent's object."""
+        for obj, syns in OBJECT_SYNONYMS[intent.domain]:
+            if obj == intent.obj:
+                return [obj, *syns]
+        raise KeyError(f"object {intent.obj!r} not found in domain {intent.domain!r}")
+
+    def realize(
+        self,
+        intent: QueryIntent,
+        rng: np.random.Generator | None = None,
+        template_index: int | None = None,
+        action_index: int | None = None,
+        object_index: int | None = None,
+        filler_index: int | None = None,
+    ) -> str:
+        """Render one surface form of ``intent``.
+
+        Any of the index arguments may be pinned for deterministic phrasing;
+        unset ones are sampled from ``rng`` (or the corpus RNG).
+        """
+        rng = rng or self._rng
+        actions = self.action_synonyms(intent)
+        objects = self.object_synonyms(intent)
+        t_i = int(rng.integers(len(TEMPLATES))) if template_index is None else template_index % len(TEMPLATES)
+        a_i = int(rng.integers(len(actions))) if action_index is None else action_index % len(actions)
+        if object_index is None:
+            # Users tend to repeat the distinctive noun phrase of a question
+            # even when they rephrase the rest, so bias realisations toward
+            # the canonical object wording (duplicates then frequently share
+            # it, as in real duplicate-question corpora).
+            if rng.random() < 0.45 or len(objects) == 1:
+                o_i = 0
+            else:
+                o_i = 1 + int(rng.integers(len(objects) - 1))
+        else:
+            o_i = object_index % len(objects)
+        f_i = int(rng.integers(len(FILLERS))) if filler_index is None else filler_index % len(FILLERS)
+        text = TEMPLATES[t_i].format(action=actions[a_i], object=objects[o_i])
+        filler = FILLERS[f_i]
+        if filler:
+            if text.endswith("?"):
+                text = text[:-1].rstrip() + ", " + filler + "?"
+            else:
+                text = text + ", " + filler
+        return text
+
+    # ------------------------------------------------------------------ #
+    def sample_intents(self, n: int, rng: np.random.Generator | None = None) -> List[QueryIntent]:
+        """Sample ``n`` distinct intents (without replacement when possible)."""
+        rng = rng or self._rng
+        replace = n > len(self._intents)
+        idx = rng.choice(len(self._intents), size=n, replace=replace)
+        return [self._intents[int(i)] for i in idx]
+
+    def hard_negative(self, intent: QueryIntent, rng: np.random.Generator | None = None) -> QueryIntent:
+        """An intent in the same domain differing in action or object."""
+        rng = rng or self._rng
+        candidates = [
+            other
+            for other in self.intents_for_domain(intent.domain)
+            if other != intent and (other.action == intent.action or other.obj == intent.obj)
+        ]
+        if not candidates:
+            candidates = [o for o in self.intents_for_domain(intent.domain) if o != intent]
+        if not candidates:
+            return self.easy_negative(intent, rng)
+        return candidates[int(rng.integers(len(candidates)))]
+
+    def easy_negative(self, intent: QueryIntent, rng: np.random.Generator | None = None) -> QueryIntent:
+        """An intent from a different domain."""
+        rng = rng or self._rng
+        for _ in range(64):
+            other = self._intents[int(rng.integers(len(self._intents)))]
+            if other.domain != intent.domain:
+                return other
+        # Degenerate corpora (single domain): fall back to any other intent.
+        others = [o for o in self._intents if o != intent]
+        if not others:
+            raise ValueError("corpus has a single intent; cannot form a negative")
+        return others[int(rng.integers(len(others)))]

@@ -1,0 +1,344 @@
+"""Labelled duplicate / non-duplicate query pair datasets and cache workloads.
+
+Two dataset shapes are produced:
+
+* :class:`QueryPairDataset` — (query_a, query_b, label) pairs, the shape used
+  for training the embedding model and for the threshold sweeps
+  (paper Figures 13, 14, 16).  Mirrors the GPTCache benchmark dataset, which
+  consists of Quora-style duplicate question pairs.
+* :class:`CacheWorkload` — a population set of cached queries plus a probe
+  stream in which a configurable fraction are paraphrases of cached queries
+  (should HIT) and the rest are queries whose intent is absent from the cache
+  (should MISS).  This is the end-to-end shape used for Table I and
+  Figures 5–7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.corpus import Corpus, QueryIntent
+from repro.datasets.paraphrase import Paraphraser
+
+
+@dataclass(frozen=True)
+class QueryPair:
+    """A labelled pair of queries (label 1 = duplicates, 0 = non-duplicates)."""
+
+    query_a: str
+    query_b: str
+    label: int
+    intent_a: str
+    intent_b: str
+    hard_negative: bool = False
+
+    def as_tuple(self) -> Tuple[str, str, int]:
+        """The ``(a, b, label)`` form consumed by encoder training."""
+        return (self.query_a, self.query_b, self.label)
+
+
+@dataclass
+class QueryPairDataset:
+    """A collection of labelled pairs with train/validation/test splits."""
+
+    pairs: List[QueryPair]
+    seed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Label vector aligned with :attr:`pairs`."""
+        return np.array([p.label for p in self.pairs], dtype=np.int64)
+
+    @property
+    def duplicate_fraction(self) -> float:
+        """Fraction of pairs labelled duplicate."""
+        if not self.pairs:
+            return 0.0
+        return float(self.labels.mean())
+
+    def as_tuples(self) -> List[Tuple[str, str, int]]:
+        """All pairs in ``(a, b, label)`` form."""
+        return [p.as_tuple() for p in self.pairs]
+
+    def split(
+        self, train_frac: float = 0.7, val_frac: float = 0.15, seed: Optional[int] = None
+    ) -> Tuple["QueryPairDataset", "QueryPairDataset", "QueryPairDataset"]:
+        """Shuffle and split into train / validation / test datasets."""
+        if not 0.0 < train_frac < 1.0 or not 0.0 <= val_frac < 1.0:
+            raise ValueError("fractions must lie in (0, 1)")
+        if train_frac + val_frac >= 1.0:
+            raise ValueError("train_frac + val_frac must be < 1 so the test split is non-empty")
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        order = rng.permutation(len(self.pairs))
+        n_train = int(round(train_frac * len(self.pairs)))
+        n_val = int(round(val_frac * len(self.pairs)))
+        train_idx = order[:n_train]
+        val_idx = order[n_train : n_train + n_val]
+        test_idx = order[n_train + n_val :]
+        make = lambda idx: QueryPairDataset([self.pairs[i] for i in idx], seed=self.seed)
+        return make(train_idx), make(val_idx), make(test_idx)
+
+    def subsample(self, n: int, seed: Optional[int] = None) -> "QueryPairDataset":
+        """Random subsample of ``n`` pairs (without replacement)."""
+        if n >= len(self.pairs):
+            return QueryPairDataset(list(self.pairs), seed=self.seed)
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        idx = rng.choice(len(self.pairs), size=n, replace=False)
+        return QueryPairDataset([self.pairs[i] for i in idx], seed=self.seed)
+
+    def balanced(self, seed: Optional[int] = None) -> "QueryPairDataset":
+        """Equal numbers of duplicate and non-duplicate pairs (for threshold sweeps)."""
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        pos = [p for p in self.pairs if p.label == 1]
+        neg = [p for p in self.pairs if p.label == 0]
+        n = min(len(pos), len(neg))
+        pos_idx = rng.choice(len(pos), size=n, replace=False)
+        neg_idx = rng.choice(len(neg), size=n, replace=False)
+        pairs = [pos[i] for i in pos_idx] + [neg[i] for i in neg_idx]
+        rng.shuffle(pairs)
+        return QueryPairDataset(pairs, seed=self.seed)
+
+
+def generate_pair_dataset(
+    n_pairs: int = 2000,
+    duplicate_fraction: float = 0.5,
+    hard_negative_fraction: float = 0.5,
+    corpus: Optional[Corpus] = None,
+    seed: int = 0,
+) -> QueryPairDataset:
+    """Generate a labelled pair dataset.
+
+    Parameters
+    ----------
+    n_pairs:
+        Total number of pairs.
+    duplicate_fraction:
+        Fraction of pairs labelled 1 (duplicates / paraphrases).
+    hard_negative_fraction:
+        Among the negative pairs, the fraction drawn from the *same domain*
+        with overlapping action or object (lexically close non-duplicates).
+    corpus, seed:
+        Corpus to realise from and the RNG seed.
+    """
+    if n_pairs < 1:
+        raise ValueError("n_pairs must be >= 1")
+    if not 0.0 <= duplicate_fraction <= 1.0:
+        raise ValueError("duplicate_fraction must be in [0, 1]")
+    if not 0.0 <= hard_negative_fraction <= 1.0:
+        raise ValueError("hard_negative_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    corpus = corpus or Corpus(seed=seed)
+    paraphraser = Paraphraser(corpus, seed=seed + 1)
+
+    n_dup = int(round(n_pairs * duplicate_fraction))
+    n_neg = n_pairs - n_dup
+    pairs: List[QueryPair] = []
+
+    dup_intents = corpus.sample_intents(n_dup, rng) if n_dup else []
+    for intent in dup_intents:
+        q1, q2 = paraphraser.realization_pair(intent, rng)
+        pairs.append(
+            QueryPair(q1, q2, 1, intent.key, intent.key, hard_negative=False)
+        )
+
+    for _ in range(n_neg):
+        intent_a = corpus.sample_intents(1, rng)[0]
+        hard = bool(rng.random() < hard_negative_fraction)
+        intent_b = corpus.hard_negative(intent_a, rng) if hard else corpus.easy_negative(intent_a, rng)
+        q1 = corpus.realize(intent_a, rng=rng)
+        q2 = corpus.realize(intent_b, rng=rng)
+        pairs.append(
+            QueryPair(q1, q2, 0, intent_a.key, intent_b.key, hard_negative=hard)
+        )
+
+    rng.shuffle(pairs)
+    return QueryPairDataset(pairs, seed=seed)
+
+
+# --------------------------------------------------------------------------- #
+# Cache workloads (population + probe stream)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ProbeQuery:
+    """One probe in a cache workload.
+
+    ``should_hit`` is the ground-truth label: True iff a semantically similar
+    query exists in the cache population.  ``matching_cache_index`` points at
+    the population entry it duplicates (or -1 for unique probes).
+    """
+
+    text: str
+    should_hit: bool
+    matching_cache_index: int
+    intent_key: str
+    hard_negative: bool = False
+
+
+@dataclass
+class CacheWorkload:
+    """A cache population plus a labelled probe stream."""
+
+    cached_queries: List[str]
+    cached_intents: List[str]
+    probes: List[ProbeQuery]
+    seed: int = 0
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_cached(self) -> int:
+        """Number of queries pre-loaded into the cache."""
+        return len(self.cached_queries)
+
+    @property
+    def n_probes(self) -> int:
+        """Number of probe queries."""
+        return len(self.probes)
+
+    @property
+    def true_labels(self) -> np.ndarray:
+        """Boolean array: True where the probe should hit the cache."""
+        return np.array([p.should_hit for p in self.probes], dtype=bool)
+
+    @property
+    def duplicate_fraction(self) -> float:
+        """Fraction of probes that should hit."""
+        if not self.probes:
+            return 0.0
+        return float(self.true_labels.mean())
+
+
+def generate_cache_workload(
+    n_cached: int = 1000,
+    n_probes: int = 1000,
+    duplicate_fraction: float = 0.3,
+    hard_negative_fraction: float = 0.35,
+    fresh_object_holdout: float = 0.3,
+    corpus: Optional[Corpus] = None,
+    seed: int = 0,
+) -> CacheWorkload:
+    """Generate the Table I / Figures 5–7 end-to-end workload.
+
+    ``n_cached`` queries form the cache population, drawn from intents whose
+    (domain, object) topic is *not* held out.  ``n_probes`` probe queries
+    follow:
+
+    * ``duplicate_fraction`` of them are fresh paraphrases of cached queries
+      (ground truth: HIT);
+    * of the remaining unique probes, ``hard_negative_fraction`` are *hard
+      negatives* — they share their action or object with a cached query
+      without duplicating any cached intent (these are where fixed-threshold
+      semantic caches produce false hits);
+    * the rest are *fresh-topic* probes about held-out objects the cache has
+      never seen (ground truth: MISS, and comfortably so for a well-behaved
+      encoder).
+
+    ``fresh_object_holdout`` controls what fraction of (domain, object) topics
+    is reserved for fresh-topic probes.
+    """
+    if n_cached < 1 or n_probes < 1:
+        raise ValueError("n_cached and n_probes must be >= 1")
+    if not 0.0 <= duplicate_fraction <= 1.0:
+        raise ValueError("duplicate_fraction must be in [0, 1]")
+    if not 0.0 <= hard_negative_fraction <= 1.0:
+        raise ValueError("hard_negative_fraction must be in [0, 1]")
+    if not 0.0 < fresh_object_holdout < 1.0:
+        raise ValueError("fresh_object_holdout must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    corpus = corpus or Corpus(seed=seed)
+
+    # Hold out a fraction of (domain, object) topics: fresh-topic probes come
+    # only from these, so no cached entry shares their object.
+    object_keys = corpus.object_keys()
+    rng.shuffle(object_keys)
+    n_fresh = max(1, int(round(len(object_keys) * fresh_object_holdout)))
+    if n_fresh >= len(object_keys):
+        n_fresh = len(object_keys) - 1
+    fresh_keys = object_keys[:n_fresh]
+    cacheable_keys = object_keys[n_fresh:]
+    fresh_intents = corpus.intents_for_object_keys(fresh_keys)
+    cacheable_intents = corpus.intents_for_object_keys(cacheable_keys)
+    rng.shuffle(fresh_intents)
+    rng.shuffle(cacheable_intents)
+
+    cached_queries: List[str] = []
+    cached_intent_objs: List[QueryIntent] = []
+    for i in range(n_cached):
+        intent = cacheable_intents[i % len(cacheable_intents)]
+        cached_intent_objs.append(intent)
+        cached_queries.append(corpus.realize(intent, rng=rng))
+    cached_keys = {i.key for i in cached_intent_objs}
+
+    n_dup_probes = int(round(n_probes * duplicate_fraction))
+    n_unique_probes = n_probes - n_dup_probes
+    probes: List[ProbeQuery] = []
+
+    # Duplicate probes: paraphrase a cached query.
+    if n_dup_probes:
+        dup_targets = rng.choice(n_cached, size=n_dup_probes, replace=n_dup_probes > n_cached)
+        for target in dup_targets:
+            intent = cached_intent_objs[int(target)]
+            text = corpus.realize(intent, rng=rng)
+            attempts = 0
+            while text == cached_queries[int(target)] and attempts < 8:
+                text = corpus.realize(intent, rng=rng)
+                attempts += 1
+            probes.append(
+                ProbeQuery(
+                    text=text,
+                    should_hit=True,
+                    matching_cache_index=int(target),
+                    intent_key=intent.key,
+                )
+            )
+
+    # Unique probes: hard negatives of cached intents, or fresh-topic intents.
+    for _ in range(n_unique_probes):
+        hard = bool(rng.random() < hard_negative_fraction)
+        intent = None
+        if hard:
+            base = cached_intent_objs[int(rng.integers(len(cached_intent_objs)))]
+            for _attempt in range(16):
+                candidate = corpus.hard_negative(base, rng)
+                if candidate.key not in cached_keys:
+                    intent = candidate
+                    break
+        if intent is None:
+            hard = False
+            for _attempt in range(64):
+                candidate = fresh_intents[int(rng.integers(len(fresh_intents)))]
+                if candidate.key not in cached_keys:
+                    intent = candidate
+                    break
+        if intent is None:  # pragma: no cover - tiny corpora only
+            intent = fresh_intents[0]
+        probes.append(
+            ProbeQuery(
+                text=corpus.realize(intent, rng=rng),
+                should_hit=False,
+                matching_cache_index=-1,
+                intent_key=intent.key,
+                hard_negative=hard,
+            )
+        )
+
+    rng.shuffle(probes)
+    return CacheWorkload(
+        cached_queries=cached_queries,
+        cached_intents=[i.key for i in cached_intent_objs],
+        probes=probes,
+        seed=seed,
+        metadata={
+            "duplicate_fraction": duplicate_fraction,
+            "hard_negative_fraction": hard_negative_fraction,
+            "fresh_object_holdout": fresh_object_holdout,
+        },
+    )

@@ -1,0 +1,185 @@
+"""User-study log generator (paper §III-C, Figure 4).
+
+The paper reports a privacy-preserving study of 20 ChatGPT users: for each
+participant only the total query count and the duplicate query count were
+shared (individual queries never left the participants' machines).  Figure 4
+plots those two counts per participant; on average ~31% of queries duplicate
+an earlier query by the same user.
+
+This module reproduces the aggregate: the per-participant totals below are the
+values read off Figure 4, and :func:`generate_user_study` synthesises a query
+log per participant that matches those counts exactly (so the duplicate-rate
+analysis and the figure regeneration are faithful), using the synthetic corpus
+for the query texts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.corpus import Corpus
+from repro.datasets.paraphrase import Paraphraser
+
+#: (total queries, duplicate queries) per participant, as reported in Fig. 4.
+FIGURE4_PARTICIPANT_COUNTS: List[Tuple[int, int]] = [
+    (1571, 573),
+    (457, 194),
+    (428, 144),
+    (180, 61),
+    (2530, 798),
+    (1531, 547),
+    (427, 132),
+    (2647, 700),
+    (1480, 404),
+    (119, 54),
+    (3367, 1269),
+    (91, 19),
+    (345, 120),
+    (116, 18),
+    (352, 88),
+    (3710, 1247),
+    (242, 58),
+    (466, 83),
+    (104, 36),
+    (6984, 2850),
+]
+
+#: Professions assigned to participants in the study write-up.
+PARTICIPANT_PROFESSIONS: List[str] = [
+    "professor",
+    "graduate student",
+    "developer",
+    "graduate student",
+    "developer",
+    "developer",
+    "professor",
+    "developer",
+    "graduate student",
+    "professor",
+    "developer",
+    "professor",
+    "graduate student",
+    "professor",
+    "graduate student",
+    "developer",
+    "graduate student",
+    "developer",
+    "professor",
+    "developer",
+]
+
+
+@dataclass
+class UserStudyParticipant:
+    """One participant's (synthetic) query log and aggregate counts."""
+
+    participant_id: int
+    profession: str
+    total_queries: int
+    duplicate_queries: int
+    queries: List[str] = field(default_factory=list)
+    is_duplicate: List[bool] = field(default_factory=list)
+
+    @property
+    def duplicate_rate(self) -> float:
+        """Fraction of this participant's queries that repeat an earlier one."""
+        if self.total_queries == 0:
+            return 0.0
+        return self.duplicate_queries / self.total_queries
+
+
+def figure4_counts() -> List[Tuple[int, int]]:
+    """The per-participant (total, duplicate) counts reported in Figure 4."""
+    return list(FIGURE4_PARTICIPANT_COUNTS)
+
+
+def mean_duplicate_rate(counts: Optional[List[Tuple[int, int]]] = None) -> float:
+    """Unweighted mean per-participant duplicate rate (the paper's ~31%)."""
+    counts = counts if counts is not None else FIGURE4_PARTICIPANT_COUNTS
+    rates = [dup / total for total, dup in counts if total > 0]
+    return float(np.mean(rates)) if rates else 0.0
+
+
+def generate_user_study(
+    counts: Optional[List[Tuple[int, int]]] = None,
+    generate_texts: bool = True,
+    max_log_length: Optional[int] = None,
+    corpus: Optional[Corpus] = None,
+    seed: int = 0,
+) -> List[UserStudyParticipant]:
+    """Synthesize per-participant query logs consistent with Figure 4.
+
+    Parameters
+    ----------
+    counts:
+        Per-participant (total, duplicate) counts; defaults to the paper's.
+    generate_texts:
+        If False only the aggregate counts are filled in (fast path for the
+        figure regeneration, which does not need the texts).
+    max_log_length:
+        Optional cap on generated log length per participant (counts are
+        scaled proportionally), keeping test runtimes bounded.
+    """
+    counts = counts if counts is not None else FIGURE4_PARTICIPANT_COUNTS
+    rng = np.random.default_rng(seed)
+    corpus = corpus or Corpus(seed=seed)
+    paraphraser = Paraphraser(corpus, seed=seed + 1)
+    participants: List[UserStudyParticipant] = []
+
+    for pid, (total, dup) in enumerate(counts):
+        if dup > total:
+            raise ValueError(f"participant {pid}: duplicates ({dup}) exceed total ({total})")
+        profession = PARTICIPANT_PROFESSIONS[pid % len(PARTICIPANT_PROFESSIONS)]
+        log_total, log_dup = total, dup
+        if max_log_length is not None and total > max_log_length:
+            scale = max_log_length / total
+            log_total = max_log_length
+            log_dup = int(round(dup * scale))
+        participant = UserStudyParticipant(
+            participant_id=pid,
+            profession=profession,
+            total_queries=total,
+            duplicate_queries=dup,
+        )
+        if generate_texts:
+            n_unique = log_total - log_dup
+            unique_intents = corpus.sample_intents(max(n_unique, 1), rng)
+            unique_texts = [corpus.realize(i, rng=rng) for i in unique_intents[:n_unique]]
+            # Duplicates paraphrase earlier unique queries.
+            duplicate_texts: List[str] = []
+            for _ in range(log_dup):
+                src = int(rng.integers(max(n_unique, 1)))
+                intent = unique_intents[src % len(unique_intents)]
+                duplicate_texts.append(corpus.realize(intent, rng=rng))
+            # Interleave: uniques first guarantee every duplicate has an
+            # earlier occurrence, then shuffle the tail to look like a log.
+            queries = list(unique_texts)
+            flags = [False] * len(unique_texts)
+            insert_positions = rng.integers(
+                low=1, high=max(len(queries), 1) + 1, size=len(duplicate_texts)
+            )
+            for text, pos in sorted(zip(duplicate_texts, insert_positions), key=lambda x: x[1]):
+                queries.append(text)
+                flags.append(True)
+            participant.queries = queries
+            participant.is_duplicate = flags
+        participants.append(participant)
+    return participants
+
+
+def study_summary(participants: List[UserStudyParticipant]) -> Dict[str, float]:
+    """Aggregate statistics over a set of participants."""
+    totals = np.array([p.total_queries for p in participants], dtype=np.float64)
+    dups = np.array([p.duplicate_queries for p in participants], dtype=np.float64)
+    rates = np.divide(dups, totals, out=np.zeros_like(dups), where=totals > 0)
+    return {
+        "n_participants": float(len(participants)),
+        "total_queries": float(totals.sum()),
+        "total_duplicates": float(dups.sum()),
+        "mean_duplicate_rate": float(rates.mean()) if len(rates) else 0.0,
+        "median_duplicate_rate": float(np.median(rates)) if len(rates) else 0.0,
+        "pooled_duplicate_rate": float(dups.sum() / totals.sum()) if totals.sum() else 0.0,
+    }

@@ -1,0 +1,152 @@
+"""Training objectives for the siamese encoder.
+
+MeanCache's client training uses a multitask objective combining two losses
+(paper §III-A1):
+
+* **Contrastive loss** — pushes non-duplicate query pairs apart and pulls
+  duplicate pairs together in embedding space.
+* **Multiple-negatives ranking (MNR) loss** — given a batch of duplicate
+  (anchor, positive) pairs, treats every other positive in the batch as a
+  negative for the anchor and applies a softmax cross-entropy over the cosine
+  score matrix.
+
+Both functions return the scalar loss and the gradients with respect to the
+(already L2-normalised) embeddings, so they can be chained with
+:meth:`repro.embeddings.model.SiameseEncoder.backward`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def contrastive_loss(
+    emb_a: np.ndarray,
+    emb_b: np.ndarray,
+    labels: np.ndarray,
+    margin: float = 1.3,
+) -> Tuple[float, np.ndarray, np.ndarray]:
+    """Siamese contrastive loss on embedding pairs.
+
+    Parameters
+    ----------
+    emb_a, emb_b:
+        Arrays of shape ``(n, d)``: embeddings of the two sides of each pair.
+    labels:
+        Array of shape ``(n,)`` with 1 for duplicate (positive) pairs and 0
+        for non-duplicate (negative) pairs.
+    margin:
+        Negative pairs closer than ``margin`` (Euclidean) are penalised.
+
+    Returns
+    -------
+    (loss, grad_a, grad_b):
+        Mean loss over the batch and gradients w.r.t. ``emb_a`` / ``emb_b``.
+    """
+    emb_a = np.asarray(emb_a, dtype=np.float64)
+    emb_b = np.asarray(emb_b, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+    if emb_a.shape != emb_b.shape:
+        raise ValueError(f"embedding shapes differ: {emb_a.shape} vs {emb_b.shape}")
+    if emb_a.shape[0] != labels.shape[0]:
+        raise ValueError("labels length must match number of pairs")
+    n = emb_a.shape[0]
+    if n == 0:
+        return 0.0, np.zeros_like(emb_a), np.zeros_like(emb_b)
+
+    diff = emb_a - emb_b
+    dist = np.linalg.norm(diff, axis=1)
+    # Positive pairs: 0.5 * d^2.  Negative pairs: 0.5 * max(0, margin - d)^2.
+    pos_term = 0.5 * dist**2
+    hinge = np.maximum(0.0, margin - dist)
+    neg_term = 0.5 * hinge**2
+    per_pair = labels * pos_term + (1.0 - labels) * neg_term
+    loss = float(per_pair.mean())
+
+    # Gradients.  d(0.5 d^2)/d emb_a = diff;  d(0.5 (m-d)^2)/d emb_a =
+    # -(m-d) * diff / d for active hinge pairs (d > 0), else 0.
+    safe_dist = np.where(dist > 1e-12, dist, 1.0)
+    pos_grad = diff
+    neg_grad = -(hinge / safe_dist)[:, None] * diff
+    neg_grad[dist <= 1e-12] = 0.0
+    grad_a = (labels[:, None] * pos_grad + (1.0 - labels)[:, None] * neg_grad) / n
+    grad_b = -grad_a
+    return loss, grad_a, grad_b
+
+
+def multiple_negatives_ranking_loss(
+    anchors: np.ndarray,
+    positives: np.ndarray,
+    scale: float = 20.0,
+) -> Tuple[float, np.ndarray, np.ndarray]:
+    """Multiple-negatives ranking loss over a batch of positive pairs.
+
+    For a batch of ``n`` (anchor, positive) duplicate pairs, computes the
+    score matrix ``S = scale * anchors @ positives.T`` (cosine similarity,
+    assuming L2-normalised inputs) and the cross-entropy loss with the
+    diagonal as the target class for each row.
+
+    Returns
+    -------
+    (loss, grad_anchors, grad_positives)
+    """
+    anchors = np.asarray(anchors, dtype=np.float64)
+    positives = np.asarray(positives, dtype=np.float64)
+    if anchors.shape != positives.shape:
+        raise ValueError(f"anchor/positive shapes differ: {anchors.shape} vs {positives.shape}")
+    n = anchors.shape[0]
+    if n == 0:
+        return 0.0, np.zeros_like(anchors), np.zeros_like(positives)
+
+    scores = scale * anchors @ positives.T  # (n, n)
+    # Stable softmax per row.
+    scores_shifted = scores - scores.max(axis=1, keepdims=True)
+    exp = np.exp(scores_shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    idx = np.arange(n)
+    # Cross-entropy with diagonal targets.
+    per_row = -np.log(np.clip(probs[idx, idx], 1e-12, None))
+    loss = float(per_row.mean())
+
+    # dL/dscores = (probs - I) / n ; chain through S = scale * A @ P.T
+    dscores = probs.copy()
+    dscores[idx, idx] -= 1.0
+    dscores /= n
+    grad_anchors = scale * dscores @ positives
+    grad_positives = scale * dscores.T @ anchors
+    return loss, grad_anchors, grad_positives
+
+
+def combined_multitask_loss(
+    emb_a: np.ndarray,
+    emb_b: np.ndarray,
+    labels: np.ndarray,
+    margin: float = 1.3,
+    mnr_scale: float = 20.0,
+    contrastive_weight: float = 1.0,
+    mnr_weight: float = 1.0,
+) -> Tuple[float, np.ndarray, np.ndarray]:
+    """MeanCache's multitask objective: contrastive + MNR on the positives.
+
+    The MNR term only uses the duplicate pairs of the batch (its formulation
+    requires positives); the contrastive term uses the full batch.  Gradients
+    are accumulated into full-batch-shaped arrays.
+    """
+    labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+    c_loss, c_grad_a, c_grad_b = contrastive_loss(emb_a, emb_b, labels, margin=margin)
+    total = contrastive_weight * c_loss
+    grad_a = contrastive_weight * c_grad_a
+    grad_b = contrastive_weight * c_grad_b
+
+    pos_mask = labels > 0.5
+    n_pos = int(pos_mask.sum())
+    if mnr_weight > 0.0 and n_pos >= 2:
+        m_loss, m_grad_a, m_grad_b = multiple_negatives_ranking_loss(
+            emb_a[pos_mask], emb_b[pos_mask], scale=mnr_scale
+        )
+        total += mnr_weight * m_loss
+        grad_a[pos_mask] += mnr_weight * m_grad_a
+        grad_b[pos_mask] += mnr_weight * m_grad_b
+    return total, grad_a, grad_b

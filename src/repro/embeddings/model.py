@@ -1,0 +1,425 @@
+"""The trainable siamese sentence encoder.
+
+Architecture (per query)::
+
+    text --tokenize--> tokens --hash--> x  (n_features,)
+    h = tanh(x @ W1 + b1)                 (hidden_dim,)
+    z = h @ W2 + b2                       (output_dim,)
+    e = z / ||z||                         (unit-norm embedding)
+
+The encoder is the NumPy stand-in for the paper's MPNet/ALBERT sentence
+transformers.  It is *siamese*: the same weights encode both sides of a query
+pair, and training minimises the multitask objective of
+:mod:`repro.embeddings.losses`.  Parameters are exposed as a flat list of
+arrays (``get_parameters`` / ``set_parameters``) in a fixed order so the
+federated-learning layer can serialize, average and redistribute them.
+
+An optional PCA compression head (``attach_pca``) projects embeddings to a
+lower dimension at inference time, mirroring MeanCache's Figure 3 design where
+the learned principal components become an extra layer of the deployed model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.embeddings.featurizer import FeaturizerConfig, HashedFeaturizer
+from repro.embeddings.losses import combined_multitask_loss
+from repro.embeddings.optim import Adam, Optimizer
+from repro.embeddings.pca import PCA
+from repro.embeddings.tokenizer import Tokenizer, TokenizerConfig
+
+
+@dataclass(frozen=True)
+class EncoderConfig:
+    """Hyper-parameters of :class:`SiameseEncoder`.
+
+    Attributes
+    ----------
+    n_features:
+        Input width (hashed feature space size).
+    hidden_dim:
+        Width of the single hidden layer.
+    output_dim:
+        Embedding dimensionality (768 for the MPNet/ALBERT analogues,
+        4096 for the Llama-2 analogue).
+    seed:
+        Seed for weight initialisation and the featurizer hash.
+    init_scale:
+        Scale multiplier on the (Xavier-style) random initialisation.  The
+        "pretrained" checkpoints in the model zoo rely on the fact that a
+        random projection of overlapping sparse features already preserves
+        cosine similarity reasonably well.
+    identity_residual:
+        If True, W1 is initialised with a partial identity-like structure
+        (sparse pass-through of input features), which strengthens the
+        untrained ("pretrained") similarity signal.  Disabled for the
+        llama2-sim configuration to reproduce its poor out-of-the-box
+        semantic-matching behaviour.
+    anisotropy:
+        Strength of the common (anisotropic) embedding component.  Pretrained
+        transformer sentence encoders are famously anisotropic: all sentence
+        embeddings share a dominant direction, so cosine similarities
+        concentrate in a narrow high band (duplicates ~0.8+, unrelated texts
+        ~0.6+).  The encoder reproduces this by adding ``anisotropy * u`` (a
+        fixed unit direction) to the normalised projection before the final
+        re-normalisation.  This is what makes a *fixed* 0.7 threshold behave
+        as it does for GPTCache (high recall, many false hits on lexically
+        close non-duplicates).  Set to 0 to disable.
+    text_noise:
+        Standard deviation of a deterministic per-text noise component added
+        at ``encode`` time (keyed on the text itself).  Used only by the
+        ``llama2-sim`` configuration to reproduce the paper's finding that
+        raw LLM embeddings are a weak sentence-similarity signal.
+    dtype:
+        Parameter dtype.  float64 keeps the FL averaging exact in tests.
+    """
+
+    n_features: int = 2048
+    hidden_dim: int = 512
+    output_dim: int = 768
+    seed: int = 0
+    init_scale: float = 1.0
+    identity_residual: bool = True
+    anisotropy: float = 1.3
+    text_noise: float = 0.0
+    dtype: str = "float64"
+
+    def __post_init__(self) -> None:
+        if self.n_features < 2 or self.hidden_dim < 1 or self.output_dim < 1:
+            raise ValueError("n_features, hidden_dim and output_dim must be positive")
+        if self.anisotropy < 0:
+            raise ValueError("anisotropy must be non-negative")
+        if self.text_noise < 0:
+            raise ValueError("text_noise must be non-negative")
+
+
+class SiameseEncoder:
+    """Two-layer MLP sentence encoder with L2-normalised outputs."""
+
+    #: order of arrays returned by :meth:`get_parameters`
+    PARAM_NAMES: Tuple[str, ...] = ("W1", "b1", "W2", "b2")
+
+    def __init__(
+        self,
+        config: EncoderConfig | None = None,
+        featurizer: HashedFeaturizer | None = None,
+    ) -> None:
+        self.config = config or EncoderConfig()
+        if featurizer is None:
+            featurizer = HashedFeaturizer(
+                FeaturizerConfig(n_features=self.config.n_features, seed=self.config.seed),
+                Tokenizer(TokenizerConfig()),
+            )
+        if featurizer.n_features != self.config.n_features:
+            raise ValueError(
+                "featurizer width does not match encoder config "
+                f"({featurizer.n_features} != {self.config.n_features})"
+            )
+        self.featurizer = featurizer
+        self.pca: Optional[PCA] = None
+        self._init_weights()
+
+    # ------------------------------------------------------------------ #
+    # Parameters
+    # ------------------------------------------------------------------ #
+    def _init_weights(self) -> None:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        dtype = np.dtype(cfg.dtype)
+        limit1 = np.sqrt(6.0 / (cfg.n_features + cfg.hidden_dim))
+        limit2 = np.sqrt(6.0 / (cfg.hidden_dim + cfg.output_dim))
+        self.W1 = (cfg.init_scale * rng.uniform(-limit1, limit1, (cfg.n_features, cfg.hidden_dim))).astype(dtype)
+        self.b1 = np.zeros(cfg.hidden_dim, dtype=dtype)
+        self.W2 = (cfg.init_scale * rng.uniform(-limit2, limit2, (cfg.hidden_dim, cfg.output_dim))).astype(dtype)
+        self.b2 = np.zeros(cfg.output_dim, dtype=dtype)
+        if cfg.identity_residual:
+            # Strengthen the untrained similarity signal: make part of the
+            # hidden layer an (overlapping) random sign pass-through of the
+            # input so cosine structure of the hashed features survives the
+            # projection.  This emulates "pretrained" sentence encoders that
+            # are already useful before fine-tuning.
+            cols = np.arange(cfg.hidden_dim)
+            rows = rng.integers(0, cfg.n_features, size=cfg.hidden_dim)
+            signs = rng.choice([-1.0, 1.0], size=cfg.hidden_dim)
+            self.W1[rows, cols] += signs * 1.0
+        # Fixed common direction for the anisotropic component (not trainable;
+        # identical across FL clients because it only depends on the config).
+        aniso_rng = np.random.default_rng(cfg.seed + 90_001)
+        direction = aniso_rng.normal(size=cfg.output_dim)
+        self._aniso_dir = (direction / np.linalg.norm(direction)).astype(dtype)
+
+    def get_parameters(self) -> List[np.ndarray]:
+        """Return copies of the trainable parameters, in a fixed order."""
+        return [self.W1.copy(), self.b1.copy(), self.W2.copy(), self.b2.copy()]
+
+    def set_parameters(self, params: Sequence[np.ndarray]) -> None:
+        """Replace the trainable parameters (shapes must match)."""
+        if len(params) != 4:
+            raise ValueError(f"expected 4 parameter arrays, got {len(params)}")
+        expected = [self.W1.shape, self.b1.shape, self.W2.shape, self.b2.shape]
+        for p, shape in zip(params, expected):
+            if p.shape != shape:
+                raise ValueError(f"parameter shape mismatch: {p.shape} != {shape}")
+        dtype = np.dtype(self.config.dtype)
+        self.W1 = np.array(params[0], dtype=dtype)
+        self.b1 = np.array(params[1], dtype=dtype)
+        self.W2 = np.array(params[2], dtype=dtype)
+        self.b2 = np.array(params[3], dtype=dtype)
+
+    def parameter_count(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(int(np.prod(p.shape)) for p in self.get_parameters())
+
+    # ------------------------------------------------------------------ #
+    # Forward / backward
+    # ------------------------------------------------------------------ #
+    def featurize(self, texts: Sequence[str]) -> np.ndarray:
+        """Hash a batch of texts into the encoder's input space."""
+        return self.featurizer.transform_batch(texts)
+
+    def forward(self, X: np.ndarray, cache: Optional[Dict[str, np.ndarray]] = None) -> np.ndarray:
+        """Forward pass from feature vectors ``X`` to unit-norm embeddings.
+
+        The pipeline is ``x -> tanh(xW1+b1) -> zW2+b2 -> normalise -> add the
+        anisotropic component -> normalise``.  If ``cache`` is supplied,
+        intermediates required by :meth:`backward` are stored in it.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        pre_h = X @ self.W1 + self.b1
+        h = np.tanh(pre_h)
+        z = h @ self.W2 + self.b2
+        z_norms = np.linalg.norm(z, axis=1, keepdims=True)
+        z_norms = np.where(z_norms > 1e-12, z_norms, 1.0)
+        zn = z / z_norms
+        alpha = self.config.anisotropy
+        if alpha > 0.0:
+            v = zn + alpha * self._aniso_dir
+            v_norms = np.linalg.norm(v, axis=1, keepdims=True)
+            v_norms = np.where(v_norms > 1e-12, v_norms, 1.0)
+            e = v / v_norms
+        else:
+            v_norms = np.ones_like(z_norms)
+            e = zn
+        if cache is not None:
+            cache["X"] = X
+            cache["h"] = h
+            cache["zn"] = zn
+            cache["z_norms"] = z_norms
+            cache["v_norms"] = v_norms
+            cache["e"] = e
+        return e
+
+    def backward(self, cache: Dict[str, np.ndarray], grad_e: np.ndarray) -> List[np.ndarray]:
+        """Backpropagate ``dL/dE`` through the network.
+
+        Returns gradients ``[dW1, db1, dW2, db2]`` matching
+        :meth:`get_parameters` order.
+        """
+        X, h = cache["X"], cache["h"]
+        zn, z_norms, v_norms, e = cache["zn"], cache["z_norms"], cache["v_norms"], cache["e"]
+        grad_e = np.asarray(grad_e, dtype=np.float64)
+        alpha = self.config.anisotropy
+        if alpha > 0.0:
+            # e = v / ||v||, v = zn + alpha*u (u constant)
+            dot_e = np.sum(grad_e * e, axis=1, keepdims=True)
+            dv = (grad_e - e * dot_e) / v_norms
+            dzn = dv
+        else:
+            dzn = grad_e
+        # zn = z / ||z||
+        dot_z = np.sum(dzn * zn, axis=1, keepdims=True)
+        dz = (dzn - zn * dot_z) / z_norms
+        dW2 = h.T @ dz
+        db2 = dz.sum(axis=0)
+        dh = dz @ self.W2.T
+        dpre_h = dh * (1.0 - h**2)
+        dW1 = X.T @ dpre_h
+        db1 = dpre_h.sum(axis=0)
+        return [dW1, db1, dW2, db2]
+
+    # ------------------------------------------------------------------ #
+    # Encoding API (inference)
+    # ------------------------------------------------------------------ #
+    def encode(self, texts: Sequence[str] | str, compress: bool = True) -> np.ndarray:
+        """Encode text(s) into embeddings.
+
+        Parameters
+        ----------
+        texts:
+            A single string or a sequence of strings.
+        compress:
+            If a PCA head is attached and ``compress`` is True, return the
+            compressed embeddings (re-normalised to unit norm); otherwise the
+            full ``output_dim`` embeddings.
+
+        Returns
+        -------
+        ``(d,)`` array for a single string, ``(n, d)`` for a sequence.
+        """
+        single = isinstance(texts, str)
+        batch = [texts] if single else list(texts)
+        X = self.featurize(batch)
+        E = self.forward(X)
+        if self.config.text_noise > 0.0:
+            E = self._apply_text_noise(E, batch)
+        if compress and self.pca is not None:
+            E = self.pca.transform(E)
+            norms = np.linalg.norm(E, axis=1, keepdims=True)
+            E = E / np.where(norms > 1e-12, norms, 1.0)
+        return E[0] if single else E
+
+    def _apply_text_noise(self, E: np.ndarray, texts: Sequence[str]) -> np.ndarray:
+        """Mix a deterministic per-text noise vector into each embedding.
+
+        Used by the ``llama2-sim`` configuration: raw LLM hidden states carry
+        a lot of text-specific information that is irrelevant to sentence
+        similarity, which is modelled here as a unit-norm pseudo-random
+        direction keyed on the exact text.  Paraphrases get *different* noise
+        directions, which is precisely what degrades duplicate detection.
+        """
+        from repro.embeddings.featurizer import stable_token_hash
+
+        sigma = self.config.text_noise
+        noisy = np.array(E, dtype=np.float64, copy=True)
+        for i, text in enumerate(texts):
+            rng = np.random.default_rng(stable_token_hash(text, self.config.seed))
+            noise = rng.normal(size=noisy.shape[1])
+            noise /= np.linalg.norm(noise)
+            noisy[i] = noisy[i] + sigma * noise
+            norm = np.linalg.norm(noisy[i])
+            if norm > 1e-12:
+                noisy[i] /= norm
+        return noisy
+
+    @property
+    def embedding_dim(self) -> int:
+        """Dimensionality of embeddings produced by :meth:`encode`."""
+        if self.pca is not None:
+            return self.pca.n_components
+        return self.config.output_dim
+
+    # ------------------------------------------------------------------ #
+    # PCA compression head
+    # ------------------------------------------------------------------ #
+    def attach_pca(self, pca: PCA) -> None:
+        """Attach a fitted PCA head (Figure 3-b: inference-time compression)."""
+        if not pca.is_fitted:
+            raise ValueError("PCA head must be fitted before attaching")
+        if pca.n_features != self.config.output_dim:
+            raise ValueError(
+                f"PCA was fitted on {pca.n_features}-dim embeddings, "
+                f"encoder outputs {self.config.output_dim}"
+            )
+        self.pca = pca
+
+    def detach_pca(self) -> None:
+        """Remove the PCA compression head."""
+        self.pca = None
+
+    def fit_pca(self, texts: Sequence[str], n_components: int = 64) -> PCA:
+        """Learn a PCA head from the (uncompressed) embeddings of ``texts``.
+
+        This implements Figure 3-a: embed the corpus, learn the principal
+        components, and attach them as an additional projection layer.
+        """
+        E = self.encode(list(texts), compress=False)
+        pca = PCA(n_components=n_components)
+        pca.fit(E)
+        self.attach_pca(pca)
+        return pca
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def train_on_pairs(
+        self,
+        pairs: Sequence[Tuple[str, str, int]],
+        epochs: int = 1,
+        batch_size: int = 32,
+        optimizer: Optional[Optimizer] = None,
+        margin: float = 1.3,
+        mnr_scale: float = 20.0,
+        contrastive_weight: float = 1.0,
+        mnr_weight: float = 1.0,
+        shuffle_seed: int = 0,
+    ) -> List[float]:
+        """Fine-tune the encoder on labelled query pairs.
+
+        Parameters
+        ----------
+        pairs:
+            Sequence of ``(query_a, query_b, label)`` with label 1 for
+            duplicates and 0 for non-duplicates.
+        epochs, batch_size:
+            Standard minibatch training loop controls.
+        optimizer:
+            Defaults to :class:`repro.embeddings.optim.Adam` with lr=1e-2.
+
+        Returns
+        -------
+        List of mean epoch losses (length ``epochs``).
+        """
+        if not pairs:
+            return [0.0] * epochs
+        optimizer = optimizer or Adam(lr=1e-2)
+        rng = np.random.default_rng(shuffle_seed)
+        texts_a = [p[0] for p in pairs]
+        texts_b = [p[1] for p in pairs]
+        labels = np.array([p[2] for p in pairs], dtype=np.float64)
+        Xa = self.featurize(texts_a)
+        Xb = self.featurize(texts_b)
+        n = len(pairs)
+        epoch_losses: List[float] = []
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            losses: List[float] = []
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                cache_a: Dict[str, np.ndarray] = {}
+                cache_b: Dict[str, np.ndarray] = {}
+                Ea = self.forward(Xa[idx], cache_a)
+                Eb = self.forward(Xb[idx], cache_b)
+                loss, grad_a, grad_b = combined_multitask_loss(
+                    Ea,
+                    Eb,
+                    labels[idx],
+                    margin=margin,
+                    mnr_scale=mnr_scale,
+                    contrastive_weight=contrastive_weight,
+                    mnr_weight=mnr_weight,
+                )
+                grads_a = self.backward(cache_a, grad_a)
+                grads_b = self.backward(cache_b, grad_b)
+                grads = [ga + gb for ga, gb in zip(grads_a, grads_b)]
+                params = [self.W1, self.b1, self.W2, self.b2]
+                optimizer.step(params, grads)
+                losses.append(loss)
+            epoch_losses.append(float(np.mean(losses)) if losses else 0.0)
+        return epoch_losses
+
+    # ------------------------------------------------------------------ #
+    # Introspection / persistence helpers
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a name -> array mapping of the parameters."""
+        return dict(zip(self.PARAM_NAMES, self.get_parameters()))
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameters from a :meth:`state_dict`-style mapping."""
+        try:
+            params = [state[name] for name in self.PARAM_NAMES]
+        except KeyError as exc:  # pragma: no cover - defensive
+            raise KeyError(f"missing parameter {exc} in state dict") from exc
+        self.set_parameters(params)
+
+    def clone(self) -> "SiameseEncoder":
+        """Return a deep copy sharing no parameter storage with ``self``."""
+        other = SiameseEncoder(self.config, self.featurizer)
+        other.set_parameters(self.get_parameters())
+        if self.pca is not None:
+            other.pca = self.pca.clone()
+        return other

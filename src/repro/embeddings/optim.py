@@ -1,0 +1,114 @@
+"""Gradient-descent optimizers for the NumPy encoder.
+
+Only the two optimizers actually needed by the reproduction are provided:
+plain SGD (with optional momentum) and Adam (used by default for client-side
+fine-tuning, mirroring SBERT's default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+
+class Optimizer:
+    """Base class: holds per-parameter state and applies updates in place."""
+
+    def __init__(self, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def step(self, params: List[np.ndarray], grads: List[np.ndarray]) -> None:
+        """Update ``params`` in place given ``grads`` (same structure)."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear accumulated state (momentum/moment estimates)."""
+        raise NotImplementedError
+
+
+@dataclass
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    lr: float = 0.1
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+    _velocity: Dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        Optimizer.__init__(self, self.lr)
+        if not 0.0 <= self.momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+
+    def step(self, params: List[np.ndarray], grads: List[np.ndarray]) -> None:
+        if len(params) != len(grads):
+            raise ValueError("params and grads must have the same length")
+        for i, (p, g) in enumerate(zip(params, grads)):
+            if p.shape != g.shape:
+                raise ValueError(f"shape mismatch at parameter {i}: {p.shape} vs {g.shape}")
+            if self.weight_decay:
+                g = g + self.weight_decay * p
+            if self.momentum:
+                v = self._velocity.get(i)
+                if v is None:
+                    v = np.zeros_like(p)
+                v = self.momentum * v + g
+                self._velocity[i] = v
+                update = v
+            else:
+                update = g
+            p -= self.lr * update
+
+    def reset(self) -> None:
+        self._velocity.clear()
+
+
+@dataclass
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    lr: float = 1e-2
+    beta1: float = 0.9
+    beta2: float = 0.999
+    eps: float = 1e-8
+    weight_decay: float = 0.0
+    _m: Dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+    _v: Dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+    _t: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        Optimizer.__init__(self, self.lr)
+        if not 0.0 <= self.beta1 < 1.0 or not 0.0 <= self.beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+
+    def step(self, params: List[np.ndarray], grads: List[np.ndarray]) -> None:
+        if len(params) != len(grads):
+            raise ValueError("params and grads must have the same length")
+        self._t += 1
+        t = self._t
+        for i, (p, g) in enumerate(zip(params, grads)):
+            if p.shape != g.shape:
+                raise ValueError(f"shape mismatch at parameter {i}: {p.shape} vs {g.shape}")
+            if self.weight_decay:
+                g = g + self.weight_decay * p
+            m = self._m.get(i)
+            v = self._v.get(i)
+            if m is None:
+                m = np.zeros_like(p)
+                v = np.zeros_like(p)
+            m = self.beta1 * m + (1.0 - self.beta1) * g
+            v = self.beta2 * v + (1.0 - self.beta2) * (g * g)
+            self._m[i] = m
+            self._v[i] = v
+            m_hat = m / (1.0 - self.beta1**t)
+            v_hat = v / (1.0 - self.beta2**t)
+            p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def reset(self) -> None:
+        self._m.clear()
+        self._v.clear()
+        self._t = 0

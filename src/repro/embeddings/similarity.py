@@ -1,0 +1,134 @@
+"""Cosine similarity and vectorized top-k semantic search.
+
+This replaces SBERT's ``util.semantic_search``: given a query embedding and a
+matrix of cached embeddings, return the top-k most similar cached entries and
+their cosine scores.  The search is a single (chunked) matrix multiplication,
+which keeps per-probe cost O(N * d) — the quantity measured in the paper's
+Figure 10(b) search-time experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Cosine similarity between rows of ``a`` and rows of ``b``.
+
+    Accepts 1-D or 2-D inputs; returns a scalar for two 1-D inputs, otherwise
+    an ``(n_a, n_b)`` matrix.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    scalar = a.ndim == 1 and b.ndim == 1
+    A = np.atleast_2d(a)
+    B = np.atleast_2d(b)
+    if A.shape[1] != B.shape[1]:
+        raise ValueError(f"dimension mismatch: {A.shape[1]} vs {B.shape[1]}")
+    a_norm = np.linalg.norm(A, axis=1, keepdims=True)
+    b_norm = np.linalg.norm(B, axis=1, keepdims=True)
+    a_safe = A / np.where(a_norm > 1e-12, a_norm, 1.0)
+    b_safe = B / np.where(b_norm > 1e-12, b_norm, 1.0)
+    sims = a_safe @ b_safe.T
+    return float(sims[0, 0]) if scalar else sims
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """A single semantic-search result."""
+
+    index: int
+    score: float
+
+
+def semantic_search(
+    query_embeddings: np.ndarray,
+    corpus_embeddings: np.ndarray,
+    top_k: int = 5,
+    score_threshold: float | None = None,
+    chunk_size: int = 65536,
+) -> List[List[SearchHit]]:
+    """Top-k cosine search of query embeddings against a corpus.
+
+    Parameters
+    ----------
+    query_embeddings:
+        ``(q, d)`` or ``(d,)`` array of query embeddings.
+    corpus_embeddings:
+        ``(n, d)`` array of cached embeddings.
+    top_k:
+        Number of hits per query (fewer if the corpus is smaller).
+    score_threshold:
+        If given, drop hits scoring below the threshold.
+    chunk_size:
+        Corpus rows processed per matmul chunk, bounding peak memory.
+
+    Returns
+    -------
+    One list of :class:`SearchHit` (sorted by descending score) per query.
+    """
+    if top_k < 1:
+        raise ValueError("top_k must be >= 1")
+    queries = np.atleast_2d(np.asarray(query_embeddings, dtype=np.float64))
+    corpus = np.atleast_2d(np.asarray(corpus_embeddings, dtype=np.float64))
+    n_queries = queries.shape[0]
+    if corpus.size == 0:
+        return [[] for _ in range(n_queries)]
+    if queries.shape[1] != corpus.shape[1]:
+        raise ValueError(
+            f"query dim {queries.shape[1]} != corpus dim {corpus.shape[1]}"
+        )
+
+    q_norm = np.linalg.norm(queries, axis=1, keepdims=True)
+    queries_n = queries / np.where(q_norm > 1e-12, q_norm, 1.0)
+
+    n_corpus = corpus.shape[0]
+    k = min(top_k, n_corpus)
+    best_scores = np.full((n_queries, k), -np.inf)
+    best_indices = np.zeros((n_queries, k), dtype=np.int64)
+
+    for start in range(0, n_corpus, chunk_size):
+        chunk = corpus[start : start + chunk_size]
+        c_norm = np.linalg.norm(chunk, axis=1, keepdims=True)
+        chunk_n = chunk / np.where(c_norm > 1e-12, c_norm, 1.0)
+        sims = queries_n @ chunk_n.T  # (q, chunk)
+        # Merge this chunk's candidates with the running best.
+        combined_scores = np.concatenate([best_scores, sims], axis=1)
+        combined_indices = np.concatenate(
+            [best_indices, np.broadcast_to(np.arange(start, start + chunk.shape[0]), sims.shape)],
+            axis=1,
+        )
+        top = np.argpartition(-combined_scores, kth=k - 1, axis=1)[:, :k]
+        rows = np.arange(n_queries)[:, None]
+        best_scores = combined_scores[rows, top]
+        best_indices = combined_indices[rows, top]
+
+    results: List[List[SearchHit]] = []
+    for qi in range(n_queries):
+        order = np.argsort(-best_scores[qi])
+        hits = []
+        for j in order:
+            score = float(best_scores[qi, j])
+            if not np.isfinite(score):
+                continue
+            if score_threshold is not None and score < score_threshold:
+                continue
+            hits.append(SearchHit(index=int(best_indices[qi, j]), score=score))
+        results.append(hits)
+    return results
+
+
+def pairwise_cosine(pairs_a: np.ndarray, pairs_b: np.ndarray) -> np.ndarray:
+    """Row-wise cosine similarity between two equally-shaped batches."""
+    A = np.atleast_2d(np.asarray(pairs_a, dtype=np.float64))
+    B = np.atleast_2d(np.asarray(pairs_b, dtype=np.float64))
+    if A.shape != B.shape:
+        raise ValueError(f"shape mismatch: {A.shape} vs {B.shape}")
+    a_norm = np.linalg.norm(A, axis=1)
+    b_norm = np.linalg.norm(B, axis=1)
+    denom = a_norm * b_norm
+    dots = np.einsum("ij,ij->i", A, B)
+    return dots / np.where(denom > 1e-12, denom, 1.0)

@@ -1,0 +1,269 @@
+"""The encoder "model zoo".
+
+The paper evaluates three sentence encoders:
+
+* **MPNet** (all-mpnet-base-v2): 768-d embeddings, ~420 MB, the strongest.
+* **ALBERT** (paraphrase-albert-small-v2): 768-d embeddings, ~43 MB, lighter
+  and slightly weaker; GPTCache's default.
+* **Llama-2 7B**: 4096-d embeddings, ~30 GB, slow to embed and — as the paper
+  shows in §IV-G — poorly suited to sentence-similarity out of the box.
+
+This module provides the equivalent configurations of the NumPy
+:class:`~repro.embeddings.model.SiameseEncoder`.  The analogues preserve the
+properties the evaluation depends on:
+
+==============  ======  ===========  ==============================  =========
+name            emb dim  per-query    relative embedding compute      semantic
+                         storage      (hidden width × feature width)  quality
+==============  ======  ===========  ==============================  =========
+``mpnet-sim``   768     6 KB (f64)   medium                           best
+``albert-sim``  768     6 KB (f64)   small                            good
+``llama2-sim``  4096    32 KB (f64)  large                            poor
+==============  ======  ===========  ==============================  =========
+
+Per-embedding storage matches the paper exactly because the paper also counts
+float64/float32 vectors of the same dimensionalities (768 → 6 KB, 4096 →
+32 KB).  The ``llama2-sim`` configuration disables the identity-residual
+initialisation and adds no similarity-oriented structure, reproducing the
+finding that a general-purpose LLM's raw embeddings are a weak similarity
+signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.embeddings.featurizer import FeaturizerConfig, HashedFeaturizer
+from repro.embeddings.model import EncoderConfig, SiameseEncoder
+from repro.embeddings.optim import Adam
+from repro.embeddings.tokenizer import Tokenizer, TokenizerConfig
+
+#: Domains used to synthesise the "public pretraining corpus" the zoo models
+#: are pretrained on (mirroring how MPNet/ALBERT sentence encoders are
+#: pretrained on public paraphrase corpora before any user-specific
+#: fine-tuning).  Deliberately *half* of the full domain set so federated
+#: fine-tuning on the users' query distribution still has headroom.
+PRETRAIN_DOMAINS: Tuple[str, ...] = (
+    "programming",
+    "cooking",
+    "health",
+    "science",
+    "writing",
+    "fitness",
+    "gardening",
+    "home",
+    "entertainment",
+    "education",
+)
+#: Seed of the pretraining corpus/data generation (shared by every zoo entry).
+PRETRAIN_SEED: int = 7_777
+
+
+@dataclass(frozen=True)
+class EncoderSpec:
+    """Static description of a zoo entry.
+
+    Attributes
+    ----------
+    name:
+        Zoo key, e.g. ``"mpnet-sim"``.
+    paper_model:
+        The model the entry stands in for.
+    config:
+        The :class:`EncoderConfig` used to instantiate it.
+    model_size_mb:
+        Nominal on-disk size of the *paper's* model, used for reporting.
+    trainable:
+        Whether the reproduction fine-tunes this encoder with FL (the paper
+        never fine-tunes Llama-2; it is only probed as a frozen embedder).
+    pretrain_epochs:
+        Epochs of "public corpus" pretraining baked into the checkpoint that
+        :func:`load_encoder` returns.  0 means the raw random initialisation
+        (used for the llama2 analogue, which is not a sentence encoder).
+    pretrain_pairs:
+        Number of pretraining pairs generated from the pretraining corpus.
+    pretrain_lr:
+        Learning rate of the pretraining pass.
+    """
+
+    name: str
+    paper_model: str
+    config: EncoderConfig
+    model_size_mb: float
+    trainable: bool = True
+    pretrain_epochs: int = 0
+    pretrain_pairs: int = 800
+    pretrain_lr: float = 1e-2
+
+    @property
+    def embedding_dim(self) -> int:
+        """Embedding dimensionality produced by this encoder."""
+        return self.config.output_dim
+
+    @property
+    def embedding_bytes(self) -> int:
+        """Per-query embedding storage in bytes (float64 vectors)."""
+        return self.config.output_dim * 8
+
+
+ENCODER_SPECS: Dict[str, EncoderSpec] = {
+    "mpnet-sim": EncoderSpec(
+        name="mpnet-sim",
+        paper_model="sentence-transformers/all-mpnet-base-v2 (MPNet)",
+        config=EncoderConfig(
+            n_features=2048,
+            hidden_dim=512,
+            output_dim=768,
+            seed=11,
+            init_scale=1.0,
+            identity_residual=True,
+            anisotropy=0.3,
+            text_noise=0.0,
+        ),
+        model_size_mb=420.0,
+        pretrain_epochs=5,
+        pretrain_pairs=1400,
+    ),
+    "albert-sim": EncoderSpec(
+        name="albert-sim",
+        paper_model="paraphrase-albert-small-v2 (ALBERT)",
+        config=EncoderConfig(
+            n_features=2048,
+            hidden_dim=256,
+            output_dim=768,
+            seed=23,
+            init_scale=1.0,
+            identity_residual=True,
+            anisotropy=0.3,
+            text_noise=0.05,
+        ),
+        model_size_mb=43.0,
+        pretrain_epochs=5,
+        pretrain_pairs=1400,
+    ),
+    "llama2-sim": EncoderSpec(
+        name="llama2-sim",
+        paper_model="Llama-2 7B (last-hidden-state mean pooling)",
+        config=EncoderConfig(
+            n_features=8192,
+            hidden_dim=2048,
+            output_dim=4096,
+            seed=37,
+            init_scale=1.0,
+            identity_residual=False,
+            anisotropy=0.5,
+            text_noise=0.5,
+        ),
+        model_size_mb=30000.0,
+        trainable=False,
+    ),
+}
+
+
+#: Cache of pretrained parameter lists, keyed by (zoo name, seed, pretrain flag).
+_PRETRAINED_CACHE: Dict[Tuple[str, int, bool], List[np.ndarray]] = {}
+
+
+def _pretraining_pairs(n_pairs: int) -> List[Tuple[str, str, int]]:
+    """Generate the shared "public corpus" pretraining pair set."""
+    # Imported lazily to avoid a hard dependency cycle at import time
+    # (datasets never import the zoo).
+    from repro.datasets.corpus import Corpus
+    from repro.datasets.semantic_pairs import generate_pair_dataset
+
+    corpus = Corpus(seed=PRETRAIN_SEED, domains=list(PRETRAIN_DOMAINS))
+    dataset = generate_pair_dataset(
+        n_pairs=n_pairs,
+        duplicate_fraction=0.5,
+        hard_negative_fraction=0.6,
+        corpus=corpus,
+        seed=PRETRAIN_SEED,
+    )
+    return dataset.as_tuples()
+
+
+def _pretrain(encoder: SiameseEncoder, spec: EncoderSpec) -> None:
+    """Run the spec's pretraining pass in place (no-op for 0 epochs)."""
+    if spec.pretrain_epochs <= 0:
+        return
+    pairs = _pretraining_pairs(spec.pretrain_pairs)
+    encoder.train_on_pairs(
+        pairs,
+        epochs=spec.pretrain_epochs,
+        batch_size=128,
+        optimizer=Adam(lr=spec.pretrain_lr),
+        shuffle_seed=PRETRAIN_SEED,
+    )
+
+
+def load_encoder(name: str, seed: int | None = None, pretrained: bool = True) -> SiameseEncoder:
+    """Instantiate a zoo encoder by name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`ENCODER_SPECS` keys (``mpnet-sim``, ``albert-sim``,
+        ``llama2-sim``).
+    seed:
+        Optional seed override (changes the "pretrained checkpoint" while
+        keeping the architecture).
+    pretrained:
+        When True (default) the returned encoder carries the spec's
+        "public corpus" pretraining (cached per process, so repeated loads are
+        cheap).  When False the raw random initialisation is returned.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not a known zoo entry.
+    """
+    try:
+        spec = ENCODER_SPECS[name]
+    except KeyError:
+        known = ", ".join(sorted(ENCODER_SPECS))
+        raise KeyError(f"unknown encoder {name!r}; known encoders: {known}") from None
+    config = spec.config
+    if seed is not None:
+        config = EncoderConfig(
+            n_features=config.n_features,
+            hidden_dim=config.hidden_dim,
+            output_dim=config.output_dim,
+            seed=seed,
+            init_scale=config.init_scale,
+            identity_residual=config.identity_residual,
+            anisotropy=config.anisotropy,
+            text_noise=config.text_noise,
+            dtype=config.dtype,
+        )
+    if name == "llama2-sim":
+        # Llama-2 is not a sentence-similarity model: no stop-word filtering
+        # or subword/char-n-gram robustness tuned for paraphrase retrieval.
+        tokenizer = Tokenizer(TokenizerConfig(remove_stopwords=False, char_ngram_max=0))
+    else:
+        tokenizer = Tokenizer(TokenizerConfig())
+    featurizer = HashedFeaturizer(
+        FeaturizerConfig(n_features=config.n_features, seed=config.seed),
+        tokenizer,
+    )
+    encoder = SiameseEncoder(config, featurizer)
+    do_pretrain = pretrained and spec.pretrain_epochs > 0
+    if do_pretrain:
+        cache_key = (name, config.seed, True)
+        cached = _PRETRAINED_CACHE.get(cache_key)
+        if cached is None:
+            _pretrain(encoder, spec)
+            _PRETRAINED_CACHE[cache_key] = encoder.get_parameters()
+        else:
+            encoder.set_parameters(cached)
+    return encoder
+
+
+def spec_for(name: str) -> EncoderSpec:
+    """Return the :class:`EncoderSpec` for ``name`` (KeyError if unknown)."""
+    if name not in ENCODER_SPECS:
+        known = ", ".join(sorted(ENCODER_SPECS))
+        raise KeyError(f"unknown encoder {name!r}; known encoders: {known}")
+    return ENCODER_SPECS[name]

@@ -1,0 +1,33 @@
+"""Experiment harness: one module per paper table / figure.
+
+Every experiment exposes a ``run_*`` function returning a plain dataclass of
+the series/rows the paper reports, plus a ``format_*`` helper rendering the
+result as text.  Benchmarks under ``benchmarks/`` and the example scripts call
+into these functions; ``repro.experiments.runner`` regenerates everything in
+one go (used to produce ``EXPERIMENTS.md``).
+
+Experiment index
+----------------
+==============================  ==========================================
+Module                           Paper artefact
+==============================  ==========================================
+``table1``                       Table I (standalone) + Figure 7 matrices
+``contextual``                   Table I (contextual) + Figures 8, 9
+``fig04_userstudy``              Figure 4
+``fig05_latency``                Figure 5 (+ Figure 6 decisions)
+``fig10_compression``            Figure 10 (storage / search time / F-score)
+``fig11_12_fl_training``         Figures 11 and 12
+``fig13_14_threshold``           Figures 13 and 14
+``fig15_model_cost``             Figure 15
+``fig16_llama_threshold``        Figure 16
+==============================  ==========================================
+"""
+
+from repro.experiments.common import ExperimentScale, SCALES, build_system_bundle, SystemBundle
+
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "build_system_bundle",
+    "SystemBundle",
+]

@@ -1,0 +1,248 @@
+"""Shared experiment plumbing.
+
+The evaluation pipeline that most experiments share is:
+
+1. generate the synthetic pair dataset and split it train/val/test,
+2. federated-train the MeanCache encoder (MPNet-class and/or ALBERT-class)
+   across 20 clients and learn the global cosine threshold,
+3. keep a *frozen* pretrained ALBERT-class encoder with the fixed 0.7
+   threshold as the GPTCache baseline,
+4. evaluate both systems on an end-to-end cache workload.
+
+:func:`build_system_bundle` performs steps 1–3 once and returns a
+:class:`SystemBundle`; experiments then reuse it.  Two scales are provided:
+``quick`` (seconds; used by the test suite) and ``paper`` (the paper's sizes:
+1000-query workloads, 20 clients, 50 FL rounds; used by the benchmarks).
+The scale can be overridden globally through the ``REPRO_SCALE`` environment
+variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.datasets.corpus import Corpus
+from repro.datasets.semantic_pairs import QueryPairDataset, generate_pair_dataset
+from repro.embeddings.model import SiameseEncoder
+from repro.embeddings.zoo import load_encoder
+from repro.federated.simulation import FLSimulation, SimulationConfig, SimulationResult
+from repro.federated.threshold import find_optimal_threshold
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Sizes controlling experiment cost.
+
+    ``paper`` mirrors the paper's evaluation sizes; ``quick`` shrinks
+    everything so the full experiment suite runs in seconds (CI / unit tests).
+    """
+
+    name: str
+    n_pairs: int
+    n_cached: int
+    n_probes: int
+    fl_rounds: int
+    fl_clients: int
+    fl_clients_per_round: int
+    fl_local_epochs: int
+    contextual_cached_standalone: int
+    contextual_cached_followups: int
+    contextual_dup_standalone: int
+    contextual_dup_contextual: int
+    contextual_unique: int
+    compression_cache_sizes: tuple
+    latency_probe_count: int
+    threshold_grid: int
+
+
+SCALES: Dict[str, ExperimentScale] = {
+    "paper": ExperimentScale(
+        name="paper",
+        n_pairs=3000,
+        n_cached=1000,
+        n_probes=1000,
+        fl_rounds=50,
+        fl_clients=20,
+        fl_clients_per_round=4,
+        fl_local_epochs=6,
+        contextual_cached_standalone=100,
+        contextual_cached_followups=100,
+        contextual_dup_standalone=75,
+        contextual_dup_contextual=75,
+        contextual_unique=100,
+        compression_cache_sizes=(1000, 2000, 3000),
+        latency_probe_count=100,
+        threshold_grid=101,
+    ),
+    "quick": ExperimentScale(
+        name="quick",
+        n_pairs=900,
+        n_cached=250,
+        n_probes=250,
+        fl_rounds=6,
+        fl_clients=8,
+        fl_clients_per_round=4,
+        fl_local_epochs=3,
+        contextual_cached_standalone=40,
+        contextual_cached_followups=40,
+        contextual_dup_standalone=30,
+        contextual_dup_contextual=30,
+        contextual_unique=40,
+        compression_cache_sizes=(100, 250),
+        latency_probe_count=60,
+        threshold_grid=51,
+    ),
+}
+
+
+def resolve_scale(scale: "str | ExperimentScale | None" = None) -> ExperimentScale:
+    """Resolve a scale argument, honouring the ``REPRO_SCALE`` env variable."""
+    if isinstance(scale, ExperimentScale):
+        return scale
+    if scale is None:
+        scale = os.environ.get("REPRO_SCALE", "paper")
+    try:
+        return SCALES[scale]
+    except KeyError:
+        known = ", ".join(sorted(SCALES))
+        raise ValueError(f"unknown scale {scale!r}; known scales: {known}") from None
+
+
+@dataclass
+class TrainedEncoder:
+    """An FL-trained encoder plus its learned global threshold."""
+
+    name: str
+    encoder: SiameseEncoder
+    threshold: float
+    simulation: Optional[SimulationResult] = None
+
+
+@dataclass
+class SystemBundle:
+    """Everything the end-to-end experiments need, built once."""
+
+    scale: ExperimentScale
+    seed: int
+    corpus: Corpus
+    pairs: QueryPairDataset
+    train_pairs: QueryPairDataset
+    val_pairs: QueryPairDataset
+    test_pairs: QueryPairDataset
+    meancache_mpnet: TrainedEncoder
+    meancache_albert: Optional[TrainedEncoder] = None
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def gptcache_encoder(self) -> SiameseEncoder:
+        """A fresh, frozen pretrained ALBERT-class encoder (baseline config)."""
+        return load_encoder("albert-sim")
+
+
+def _train_encoder_fl(
+    encoder_name: str,
+    train_pairs: QueryPairDataset,
+    val_pairs: QueryPairDataset,
+    test_pairs: QueryPairDataset,
+    scale: ExperimentScale,
+    seed: int,
+) -> TrainedEncoder:
+    """Federated-train a zoo encoder and learn the global threshold."""
+    config = SimulationConfig(
+        encoder_name=encoder_name,
+        n_clients=scale.fl_clients,
+        n_rounds=scale.fl_rounds,
+        clients_per_round=scale.fl_clients_per_round,
+        local_epochs=scale.fl_local_epochs,
+        seed=seed,
+    )
+    simulation = FLSimulation(train_pairs, val_pairs, test_data=test_pairs, config=config)
+    result = simulation.run()
+    encoder = simulation.trained_encoder()
+    # The deployed threshold is the FL-aggregated one; fall back to a local
+    # search on the validation split if aggregation produced a degenerate
+    # value (can only happen with pathological tiny shards).
+    threshold = result.final_threshold
+    if not 0.05 <= threshold <= 0.99:
+        threshold = find_optimal_threshold(encoder, val_pairs.as_tuples())
+    return TrainedEncoder(
+        name=encoder_name, encoder=encoder, threshold=threshold, simulation=result
+    )
+
+
+def build_system_bundle(
+    scale: "str | ExperimentScale | None" = None,
+    seed: int = 0,
+    train_albert: bool = False,
+) -> SystemBundle:
+    """Generate data and FL-train the MeanCache encoder(s).
+
+    Parameters
+    ----------
+    scale:
+        ``"paper"``, ``"quick"``, an :class:`ExperimentScale`, or None to use
+        the ``REPRO_SCALE`` environment variable (default ``paper``).
+    seed:
+        Master seed; all randomness derives from it.
+    train_albert:
+        Also FL-train an ALBERT-class encoder (needed by the Table I
+        "MeanCache (Albert)" column and Figures 12/14).
+    """
+    scale = resolve_scale(scale)
+    corpus = Corpus(seed=seed)
+    pairs = generate_pair_dataset(
+        n_pairs=scale.n_pairs,
+        duplicate_fraction=0.5,
+        hard_negative_fraction=0.5,
+        corpus=corpus,
+        seed=seed,
+    )
+    train_pairs, val_pairs, test_pairs = pairs.split(0.7, 0.15, seed=seed + 1)
+
+    meancache_mpnet = _train_encoder_fl(
+        "mpnet-sim", train_pairs, val_pairs, test_pairs, scale, seed
+    )
+    meancache_albert = None
+    if train_albert:
+        meancache_albert = _train_encoder_fl(
+            "albert-sim", train_pairs, val_pairs, test_pairs, scale, seed + 7
+        )
+    return SystemBundle(
+        scale=scale,
+        seed=seed,
+        corpus=corpus,
+        pairs=pairs,
+        train_pairs=train_pairs,
+        val_pairs=val_pairs,
+        test_pairs=test_pairs,
+        meancache_mpnet=meancache_mpnet,
+        meancache_albert=meancache_albert,
+    )
+
+
+_BUNDLE_CACHE: Dict[tuple, SystemBundle] = {}
+
+
+def cached_system_bundle(
+    scale: "str | ExperimentScale | None" = None,
+    seed: int = 0,
+    train_albert: bool = False,
+) -> SystemBundle:
+    """Memoised :func:`build_system_bundle` (FL training is the costly step).
+
+    A bundle trained with ``train_albert=True`` also satisfies requests with
+    ``train_albert=False`` for the same scale/seed.
+    """
+    resolved = resolve_scale(scale)
+    key_with = (resolved.name, seed, True)
+    key_without = (resolved.name, seed, False)
+    if key_with in _BUNDLE_CACHE:
+        return _BUNDLE_CACHE[key_with]
+    if not train_albert and key_without in _BUNDLE_CACHE:
+        return _BUNDLE_CACHE[key_without]
+    bundle = build_system_bundle(resolved, seed=seed, train_albert=train_albert)
+    _BUNDLE_CACHE[(resolved.name, seed, train_albert)] = bundle
+    return bundle

@@ -1,0 +1,161 @@
+"""Figures 5 and 6: per-query response times and hit/miss decisions.
+
+The paper sends 100 randomly sampled queries (70 unique, 30 duplicates of
+cached queries) to a Llama-2-based service in three configurations: no cache,
+GPTCache, and MeanCache.  Figure 5 plots per-query response time; Figure 6
+plots the hit/miss decision of each cache against the ground truth.
+
+LLM latency here is *simulated* (see :mod:`repro.llm.latency`); cache lookup
+overhead (embedding + search) is measured wall-clock.  The paper's qualitative
+claims are that (a) adding a semantic cache does not slow down unique queries
+and (b) duplicate queries are answered orders of magnitude faster from the
+local cache, with (c) GPTCache producing far more false hits than MeanCache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines.gptcache import GPTCache, GPTCacheConfig
+from repro.core.cache import MeanCache, MeanCacheConfig
+from repro.datasets.semantic_pairs import CacheWorkload, generate_cache_workload
+from repro.experiments.common import SystemBundle, cached_system_bundle, resolve_scale
+from repro.llm.service import LLMServiceConfig, SimulatedLLMService
+from repro.metrics.classification import confusion_matrix
+from repro.metrics.reporting import format_table
+
+
+@dataclass
+class LatencyTrace:
+    """Per-query response times and decisions for one configuration."""
+
+    system: str
+    latencies_s: np.ndarray
+    predictions: Optional[np.ndarray] = None  # None for the no-cache run
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean per-query latency."""
+        return float(self.latencies_s.mean()) if self.latencies_s.size else 0.0
+
+
+@dataclass
+class Fig5Result:
+    """The three response-time traces plus decision series (Fig. 6)."""
+
+    workload: CacheWorkload
+    order: List[int]
+    true_labels: np.ndarray
+    traces: Dict[str, LatencyTrace] = field(default_factory=dict)
+
+    def decision_metrics(self, system: str, beta: float = 0.5) -> Dict[str, float]:
+        """Hit/miss metrics of one cached configuration on this probe subset."""
+        trace = self.traces[system]
+        if trace.predictions is None:
+            raise ValueError(f"{system} records no decisions (no cache)")
+        return confusion_matrix(self.true_labels, trace.predictions).metrics(beta)
+
+    def speedup_on_duplicates(self, system: str) -> float:
+        """Mean no-cache latency / mean cached latency over true-duplicate probes."""
+        base = self.traces["Llama 2"].latencies_s[self.true_labels]
+        cached = self.traces[system].latencies_s[self.true_labels]
+        if cached.mean() <= 0:
+            return float("inf")
+        return float(base.mean() / cached.mean())
+
+    def format(self) -> str:
+        """Summary table of mean latencies and duplicate-query speedups."""
+        rows = []
+        for name, trace in self.traces.items():
+            dup_lat = float(trace.latencies_s[self.true_labels].mean()) if self.true_labels.any() else 0.0
+            uniq_lat = float(trace.latencies_s[~self.true_labels].mean()) if (~self.true_labels).any() else 0.0
+            rows.append([name, trace.mean_latency_s, uniq_lat, dup_lat])
+        return format_table(
+            ["System", "Mean latency (s)", "Unique queries (s)", "Duplicate queries (s)"],
+            rows,
+            title="Figure 5: per-query response time (simulated LLM latency + measured cache overhead)",
+        )
+
+
+def run_fig05(
+    scale: "str | None" = None,
+    seed: int = 0,
+    bundle: Optional[SystemBundle] = None,
+    n_probes: Optional[int] = None,
+    duplicate_fraction: float = 0.3,
+) -> Fig5Result:
+    """Reproduce Figures 5 and 6."""
+    resolved = bundle.scale if (bundle is not None and scale is None) else resolve_scale(scale)
+    if bundle is None:
+        bundle = cached_system_bundle(resolved, seed=seed)
+    n_probes = n_probes or resolved.latency_probe_count
+    workload = generate_cache_workload(
+        n_cached=resolved.n_cached,
+        n_probes=n_probes,
+        duplicate_fraction=duplicate_fraction,
+        corpus=bundle.corpus,
+        seed=seed + 300,
+    )
+    # The paper orders the figure with unique queries first (0-69) and
+    # duplicates last (70-99); reproduce that ordering for readability.
+    order = sorted(range(workload.n_probes), key=lambda i: workload.probes[i].should_hit)
+    probes = [workload.probes[i] for i in order]
+    true_labels = np.array([p.should_hit for p in probes], dtype=bool)
+
+    result = Fig5Result(workload=workload, order=order, true_labels=true_labels)
+
+    # --- no cache ------------------------------------------------------- #
+    service = SimulatedLLMService(LLMServiceConfig(seed=seed))
+    latencies = np.array([service.query(p.text).latency_s for p in probes])
+    result.traces["Llama 2"] = LatencyTrace(system="Llama 2", latencies_s=latencies)
+
+    # --- GPTCache ------------------------------------------------------- #
+    service_gpt = SimulatedLLMService(LLMServiceConfig(seed=seed))
+    gpt = GPTCache(bundle.gptcache_encoder(), GPTCacheConfig(similarity_threshold=0.7))
+    gpt.populate(workload.cached_queries)
+    gpt_lat = np.zeros(len(probes))
+    gpt_pred = np.zeros(len(probes), dtype=bool)
+    for i, probe in enumerate(probes):
+        decision = gpt.lookup(probe.text)
+        gpt_pred[i] = decision.hit
+        if decision.hit:
+            gpt_lat[i] = decision.total_overhead_s
+        else:
+            gpt_lat[i] = decision.total_overhead_s + service_gpt.query(probe.text).latency_s
+    result.traces["Llama 2 + GPTCache"] = LatencyTrace(
+        system="Llama 2 + GPTCache", latencies_s=gpt_lat, predictions=gpt_pred
+    )
+
+    # --- MeanCache ------------------------------------------------------ #
+    service_mc = SimulatedLLMService(LLMServiceConfig(seed=seed))
+    mpnet = bundle.meancache_mpnet
+    mc = MeanCache(
+        mpnet.encoder.clone(),
+        MeanCacheConfig(similarity_threshold=mpnet.threshold, verify_context=True),
+    )
+    mc.populate(workload.cached_queries)
+    mc_lat = np.zeros(len(probes))
+    mc_pred = np.zeros(len(probes), dtype=bool)
+    for i, probe in enumerate(probes):
+        decision = mc.lookup(probe.text)
+        mc_pred[i] = decision.hit
+        if decision.hit:
+            mc_lat[i] = decision.total_overhead_s
+        else:
+            mc_lat[i] = decision.total_overhead_s + service_mc.query(probe.text).latency_s
+    result.traces["Llama 2 + MeanCache"] = LatencyTrace(
+        system="Llama 2 + MeanCache", latencies_s=mc_lat, predictions=mc_pred
+    )
+    return result
+
+
+def run_fig06(
+    scale: "str | None" = None,
+    seed: int = 0,
+    bundle: Optional[SystemBundle] = None,
+) -> Fig5Result:
+    """Figure 6 uses the same run as Figure 5 (decision series per probe)."""
+    return run_fig05(scale=scale, seed=seed, bundle=bundle)

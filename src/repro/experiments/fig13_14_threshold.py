@@ -1,0 +1,101 @@
+"""Figures 13 and 14: cosine-threshold sweeps for the trained encoders.
+
+MeanCache sweeps the cosine threshold τ from 0 to 1 on a *balanced* validation
+set (equal duplicate / non-duplicate pairs) and selects the τ maximising the
+F-score.  The paper reports an optimum of ~0.83 for MPNet (F1 0.89, precision
+0.92) and ~0.78 for ALBERT (F1 0.88), and notes that GPTCache's fixed 0.7
+is suboptimal for both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.experiments.common import SystemBundle, cached_system_bundle, resolve_scale
+from repro.federated.threshold import ThresholdSweepResult, cache_mode_threshold_sweep
+from repro.metrics.reporting import format_table
+
+
+@dataclass
+class ThresholdFigure:
+    """One threshold-sweep figure."""
+
+    encoder_name: str
+    sweep: ThresholdSweepResult
+    fixed_threshold_metrics: Dict[str, float]
+    optimal_metrics: Dict[str, float]
+
+    def format(self, title: str) -> str:
+        """Render a down-sampled sweep table plus the fixed-vs-optimal summary."""
+        taus = self.sweep.thresholds
+        step = max(1, len(taus) // 21)
+        rows = []
+        for i in range(0, len(taus), step):
+            rows.append(
+                [
+                    float(taus[i]),
+                    float(self.sweep.f1_scores[i]),
+                    float(self.sweep.precisions[i]),
+                    float(self.sweep.recalls[i]),
+                    float(self.sweep.accuracies[i]),
+                ]
+            )
+        table = format_table(
+            ["Threshold", "F1", "Precision", "Recall", "Accuracy"], rows, title=title
+        )
+        summary = (
+            f"\nOptimal threshold: {self.optimal_metrics['threshold']:.2f} "
+            f"(F1 {self.optimal_metrics['f1']:.3f}, precision {self.optimal_metrics['precision']:.3f})"
+            f"\nAt fixed 0.7:      F1 {self.fixed_threshold_metrics['f1']:.3f}, "
+            f"precision {self.fixed_threshold_metrics['precision']:.3f}"
+        )
+        return table + summary
+
+
+@dataclass
+class Fig13_14Result:
+    """Sweeps for both trained encoders."""
+
+    mpnet: ThresholdFigure
+    albert: Optional[ThresholdFigure] = None
+
+    def format(self) -> str:
+        """Render both figures."""
+        parts = [self.mpnet.format("Figure 13: threshold sweep (MPNet-class encoder)")]
+        if self.albert is not None:
+            parts.append("")
+            parts.append(self.albert.format("Figure 14: threshold sweep (ALBERT-class encoder)"))
+        return "\n".join(parts)
+
+
+def _sweep_for(encoder, pairs, grid: int, beta: float) -> ThresholdFigure:
+    thresholds = np.linspace(0.0, 1.0, grid)
+    sweep = cache_mode_threshold_sweep(encoder.encoder, pairs, thresholds=thresholds, beta=beta)
+    return ThresholdFigure(
+        encoder_name=encoder.name,
+        sweep=sweep,
+        fixed_threshold_metrics=sweep.metrics_at(0.7),
+        optimal_metrics=sweep.metrics_at_optimum(),
+    )
+
+
+def run_fig13_14(
+    scale: "str | None" = None,
+    seed: int = 0,
+    bundle: Optional[SystemBundle] = None,
+    include_albert: bool = True,
+    beta: float = 0.5,
+) -> Fig13_14Result:
+    """Reproduce the threshold sweeps on balanced validation pairs."""
+    resolved = bundle.scale if (bundle is not None and scale is None) else resolve_scale(scale)
+    if bundle is None:
+        bundle = cached_system_bundle(resolved, seed=seed, train_albert=include_albert)
+    balanced = bundle.val_pairs.balanced(seed=seed + 500).as_tuples()
+    mpnet_fig = _sweep_for(bundle.meancache_mpnet, balanced, resolved.threshold_grid, beta)
+    albert_fig = None
+    if include_albert and bundle.meancache_albert is not None:
+        albert_fig = _sweep_for(bundle.meancache_albert, balanced, resolved.threshold_grid, beta)
+    return Fig13_14Result(mpnet=mpnet_fig, albert=albert_fig)

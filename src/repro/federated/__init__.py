@@ -1,0 +1,68 @@
+"""Federated-learning substrate (Flower framework replacement).
+
+Implements the synchronous FL protocol of the paper (§II, §III-A):
+
+1. the server sends the global encoder weights and global cosine threshold to
+   a sampled subset of clients,
+2. each client fine-tunes the encoder on its local duplicate/non-duplicate
+   query pairs with the multitask loss and searches for its locally-optimal
+   cosine threshold,
+3. clients return updated weights + threshold + sample counts,
+4. the server aggregates weights with FedAvg (sample-count weighted mean) and
+   thresholds with the mean, then redistributes.
+
+Modules
+-------
+* :mod:`repro.federated.messages` — flat-buffer parameter (de)serialization.
+* :mod:`repro.federated.aggregation` — FedAvg / FedProx-style aggregation and
+  threshold aggregation.
+* :mod:`repro.federated.sampling` — client-selection strategies.
+* :mod:`repro.federated.threshold` — optimal-cosine-threshold search.
+* :mod:`repro.federated.client` — the FL client (local training).
+* :mod:`repro.federated.server` — the FL server (round orchestration).
+* :mod:`repro.federated.simulation` — end-to-end simulation harness.
+"""
+
+from repro.federated.messages import parameters_to_buffer, buffer_to_parameters, ParameterSpec
+from repro.federated.aggregation import (
+    fedavg,
+    fedprox_aggregate,
+    aggregate_thresholds,
+    weighted_metric_mean,
+)
+from repro.federated.sampling import UniformSampler, RoundRobinSampler, ResourceAwareSampler
+from repro.federated.threshold import (
+    find_optimal_threshold,
+    threshold_sweep,
+    cache_mode_threshold_sweep,
+    ThresholdSweepResult,
+)
+from repro.federated.client import FLClient, ClientConfig, ClientUpdate
+from repro.federated.server import FLServer, ServerConfig, RoundResult
+from repro.federated.simulation import FLSimulation, SimulationConfig, SimulationResult
+
+__all__ = [
+    "parameters_to_buffer",
+    "buffer_to_parameters",
+    "ParameterSpec",
+    "fedavg",
+    "fedprox_aggregate",
+    "aggregate_thresholds",
+    "weighted_metric_mean",
+    "UniformSampler",
+    "RoundRobinSampler",
+    "ResourceAwareSampler",
+    "find_optimal_threshold",
+    "threshold_sweep",
+    "cache_mode_threshold_sweep",
+    "ThresholdSweepResult",
+    "FLClient",
+    "ClientConfig",
+    "ClientUpdate",
+    "FLServer",
+    "ServerConfig",
+    "RoundResult",
+    "FLSimulation",
+    "SimulationConfig",
+    "SimulationResult",
+]

@@ -1,0 +1,129 @@
+"""Server-side aggregation strategies.
+
+The paper uses FedAvg (Eq. 1): the new global model is the sample-count
+weighted mean of client models.  The global cosine-similarity threshold is the
+(unweighted) mean of the clients' locally-optimal thresholds (§III-A3).
+FedProx is included because the paper cites it as an alternative aggregation /
+local-objective scheme; our implementation provides the proximal-term gradient
+helper for clients plus a plain weighted average on the server (FedProx's
+server step equals FedAvg's).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def _validate_updates(
+    parameter_sets: Sequence[Sequence[np.ndarray]], weights: Sequence[float]
+) -> None:
+    if not parameter_sets:
+        raise ValueError("no client updates to aggregate")
+    if len(parameter_sets) != len(weights):
+        raise ValueError("one weight per client update is required")
+    n_arrays = len(parameter_sets[0])
+    for i, params in enumerate(parameter_sets):
+        if len(params) != n_arrays:
+            raise ValueError(f"client {i} returned {len(params)} arrays, expected {n_arrays}")
+        for j, (p, ref) in enumerate(zip(params, parameter_sets[0])):
+            if p.shape != ref.shape:
+                raise ValueError(
+                    f"client {i} parameter {j} has shape {p.shape}, expected {ref.shape}"
+                )
+    if any(w < 0 for w in weights):
+        raise ValueError("weights must be non-negative")
+    if sum(weights) <= 0:
+        raise ValueError("at least one weight must be positive")
+
+
+def fedavg(
+    parameter_sets: Sequence[Sequence[np.ndarray]],
+    num_samples: Sequence[float],
+) -> List[np.ndarray]:
+    """Sample-count weighted parameter averaging (McMahan et al., Eq. 1).
+
+    Parameters
+    ----------
+    parameter_sets:
+        One parameter list per participating client.
+    num_samples:
+        The ``n_k`` sample counts used as weights.
+    """
+    _validate_updates(parameter_sets, num_samples)
+    total = float(sum(num_samples))
+    fractions = [float(n) / total for n in num_samples]
+    aggregated: List[np.ndarray] = []
+    for j in range(len(parameter_sets[0])):
+        acc = np.zeros_like(np.asarray(parameter_sets[0][j], dtype=np.float64))
+        for frac, params in zip(fractions, parameter_sets):
+            acc += frac * np.asarray(params[j], dtype=np.float64)
+        aggregated.append(acc)
+    return aggregated
+
+
+def fedprox_aggregate(
+    parameter_sets: Sequence[Sequence[np.ndarray]],
+    num_samples: Sequence[float],
+) -> List[np.ndarray]:
+    """FedProx server aggregation (identical to FedAvg's weighted mean)."""
+    return fedavg(parameter_sets, num_samples)
+
+
+def fedprox_proximal_gradient(
+    local_params: Sequence[np.ndarray],
+    global_params: Sequence[np.ndarray],
+    mu: float,
+) -> List[np.ndarray]:
+    """Gradient of the FedProx proximal term ``(mu/2) * ||w - w_global||^2``.
+
+    Clients add this to their loss gradients during local training to keep
+    local models close to the global model under heterogeneous data.
+    """
+    if mu < 0:
+        raise ValueError("mu must be non-negative")
+    if len(local_params) != len(global_params):
+        raise ValueError("parameter lists differ in length")
+    grads: List[np.ndarray] = []
+    for local, global_ in zip(local_params, global_params):
+        if local.shape != global_.shape:
+            raise ValueError(f"shape mismatch: {local.shape} vs {global_.shape}")
+        grads.append(mu * (np.asarray(local, dtype=np.float64) - np.asarray(global_, dtype=np.float64)))
+    return grads
+
+
+def aggregate_thresholds(
+    thresholds: Sequence[float],
+    num_samples: Sequence[float] | None = None,
+    weighted: bool = False,
+) -> float:
+    """Aggregate client cosine-similarity thresholds into the global threshold.
+
+    The paper takes the plain mean (``weighted=False``); a sample-weighted
+    variant is provided for the ablation benchmarks.
+    """
+    thresholds = [float(t) for t in thresholds]
+    if not thresholds:
+        raise ValueError("no thresholds to aggregate")
+    for t in thresholds:
+        if not 0.0 <= t <= 1.0:
+            raise ValueError(f"threshold {t} outside [0, 1]")
+    if weighted:
+        if num_samples is None or len(num_samples) != len(thresholds):
+            raise ValueError("weighted aggregation requires one sample count per threshold")
+        total = float(sum(num_samples))
+        if total <= 0:
+            raise ValueError("sample counts must sum to a positive value")
+        return float(sum(t * n for t, n in zip(thresholds, num_samples)) / total)
+    return float(np.mean(thresholds))
+
+
+def weighted_metric_mean(values: Sequence[float], num_samples: Sequence[float]) -> float:
+    """Sample-weighted mean of per-client evaluation metrics."""
+    if len(values) != len(num_samples):
+        raise ValueError("values and num_samples must align")
+    total = float(sum(num_samples))
+    if total <= 0:
+        raise ValueError("sample counts must sum to a positive value")
+    return float(sum(v * n for v, n in zip(values, num_samples)) / total)

@@ -1,0 +1,74 @@
+"""Parameter serialization for client/server exchange.
+
+Model parameters travel between the FL server and clients as a single flat
+``float64`` buffer plus a :class:`ParameterSpec` describing shapes — the same
+buffer-oriented discipline mpi4py encourages for array communication (the
+HPC guides), and what Flower does under the hood with its ``Parameters``
+protobuf.  Keeping the wire format a contiguous array makes process-parallel
+client execution cheap (one array per message) and makes aggregation a pure
+vector operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """Shapes (and therefore sizes/offsets) of a parameter list."""
+
+    shapes: Tuple[Tuple[int, ...], ...]
+
+    @classmethod
+    def from_parameters(cls, params: Sequence[np.ndarray]) -> "ParameterSpec":
+        """Build a spec describing ``params``."""
+        return cls(tuple(tuple(int(s) for s in p.shape) for p in params))
+
+    @property
+    def sizes(self) -> List[int]:
+        """Flat size of each parameter."""
+        return [int(np.prod(shape)) if shape else 1 for shape in self.shapes]
+
+    @property
+    def total_size(self) -> int:
+        """Total number of scalars across all parameters."""
+        return int(sum(self.sizes))
+
+    @property
+    def n_parameters(self) -> int:
+        """Number of parameter arrays."""
+        return len(self.shapes)
+
+
+def parameters_to_buffer(params: Sequence[np.ndarray]) -> Tuple[np.ndarray, ParameterSpec]:
+    """Flatten a parameter list into one contiguous float64 buffer."""
+    spec = ParameterSpec.from_parameters(params)
+    if spec.n_parameters == 0:
+        return np.zeros(0, dtype=np.float64), spec
+    buffer = np.concatenate([np.asarray(p, dtype=np.float64).ravel() for p in params])
+    return buffer, spec
+
+
+def buffer_to_parameters(buffer: np.ndarray, spec: ParameterSpec) -> List[np.ndarray]:
+    """Reconstruct the parameter list from a flat buffer and its spec."""
+    buffer = np.asarray(buffer, dtype=np.float64).ravel()
+    if buffer.size != spec.total_size:
+        raise ValueError(
+            f"buffer has {buffer.size} scalars but spec expects {spec.total_size}"
+        )
+    params: List[np.ndarray] = []
+    offset = 0
+    for shape, size in zip(spec.shapes, spec.sizes):
+        chunk = buffer[offset : offset + size]
+        params.append(chunk.reshape(shape).copy())
+        offset += size
+    return params
+
+
+def parameters_nbytes(params: Sequence[np.ndarray]) -> int:
+    """Total payload size in bytes of a parameter list (float64 wire format)."""
+    return int(sum(int(np.prod(p.shape)) for p in params)) * 8

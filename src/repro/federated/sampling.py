@@ -1,0 +1,77 @@
+"""Client-selection strategies for each FL round.
+
+The paper samples 4 of 20 clients uniformly at random each round and notes
+that selection may also consider battery level, bandwidth or past performance
+(§III-A).  Three samplers are provided: uniform random (the default),
+round-robin (deterministic coverage, useful in tests) and a resource-aware
+sampler that weights clients by a supplied availability score.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+class ClientSampler:
+    """Interface: pick ``n`` client ids out of ``client_ids`` for a round."""
+
+    def sample(self, client_ids: Sequence[str], n: int, round_number: int) -> List[str]:
+        """Return the selected client ids for ``round_number``."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(client_ids: Sequence[str], n: int) -> int:
+        if not client_ids:
+            raise ValueError("no clients to sample from")
+        if n < 1:
+            raise ValueError("must sample at least one client")
+        return min(n, len(client_ids))
+
+
+class UniformSampler(ClientSampler):
+    """Uniform random sampling without replacement (the paper's setting)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, client_ids: Sequence[str], n: int, round_number: int) -> List[str]:
+        k = self._check(client_ids, n)
+        idx = self._rng.choice(len(client_ids), size=k, replace=False)
+        return [client_ids[int(i)] for i in idx]
+
+
+class RoundRobinSampler(ClientSampler):
+    """Deterministic rotation through the client list."""
+
+    def sample(self, client_ids: Sequence[str], n: int, round_number: int) -> List[str]:
+        k = self._check(client_ids, n)
+        start = (round_number * k) % len(client_ids)
+        picked = [client_ids[(start + i) % len(client_ids)] for i in range(k)]
+        return picked
+
+
+class ResourceAwareSampler(ClientSampler):
+    """Weighted sampling by a per-client availability score.
+
+    Scores model battery level / bandwidth / historical reliability; clients
+    with zero score are never selected (unless all scores are zero, in which
+    case sampling degrades to uniform).
+    """
+
+    def __init__(self, scores: Dict[str, float], seed: int = 0) -> None:
+        for cid, score in scores.items():
+            if score < 0:
+                raise ValueError(f"negative availability score for client {cid!r}")
+        self.scores = dict(scores)
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, client_ids: Sequence[str], n: int, round_number: int) -> List[str]:
+        k = self._check(client_ids, n)
+        weights = np.array([self.scores.get(cid, 1.0) for cid in client_ids], dtype=np.float64)
+        if weights.sum() <= 0:
+            weights = np.ones_like(weights)
+        probs = weights / weights.sum()
+        idx = self._rng.choice(len(client_ids), size=k, replace=False, p=probs)
+        return [client_ids[int(i)] for i in idx]

@@ -1,0 +1,252 @@
+"""Optimal cosine-similarity threshold search (paper §III-A2, §IV-F).
+
+Given an encoder and a set of labelled query pairs, sweep the cosine
+threshold τ over [0, 1], compute the decision metrics at each value, and pick
+the τ maximising the Fβ score (β = 0.5, weighting precision twice as much as
+recall).  Each FL client runs this on its local validation pairs; the server
+averages the per-client optima into the global threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.embeddings.model import SiameseEncoder
+from repro.embeddings.similarity import pairwise_cosine, semantic_search
+from repro.metrics.classification import confusion_matrix
+
+
+@dataclass
+class ThresholdSweepResult:
+    """The metric curves of a threshold sweep plus the selected optimum."""
+
+    thresholds: np.ndarray
+    f_scores: np.ndarray
+    f1_scores: np.ndarray
+    precisions: np.ndarray
+    recalls: np.ndarray
+    accuracies: np.ndarray
+    optimal_threshold: float
+    optimal_index: int
+    beta: float
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    def as_series(self) -> Dict[str, np.ndarray]:
+        """The four curves plotted in Figures 13/14/16, keyed by name."""
+        return {
+            "threshold": self.thresholds,
+            "f1": self.f1_scores,
+            "f_score": self.f_scores,
+            "precision": self.precisions,
+            "recall": self.recalls,
+            "accuracy": self.accuracies,
+        }
+
+    def metrics_at_optimum(self) -> Dict[str, float]:
+        """Headline metrics at the selected threshold."""
+        i = self.optimal_index
+        return {
+            "threshold": float(self.thresholds[i]),
+            "f_score": float(self.f_scores[i]),
+            "f1": float(self.f1_scores[i]),
+            "precision": float(self.precisions[i]),
+            "recall": float(self.recalls[i]),
+            "accuracy": float(self.accuracies[i]),
+        }
+
+    def metrics_at(self, threshold: float) -> Dict[str, float]:
+        """Headline metrics at the sweep point nearest ``threshold``."""
+        i = int(np.argmin(np.abs(self.thresholds - threshold)))
+        return {
+            "threshold": float(self.thresholds[i]),
+            "f_score": float(self.f_scores[i]),
+            "f1": float(self.f1_scores[i]),
+            "precision": float(self.precisions[i]),
+            "recall": float(self.recalls[i]),
+            "accuracy": float(self.accuracies[i]),
+        }
+
+
+def pair_similarities(
+    encoder: SiameseEncoder,
+    pairs: Sequence[Tuple[str, str, int]],
+    compress: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cosine similarity and label arrays for labelled query pairs."""
+    if not pairs:
+        return np.zeros(0), np.zeros(0, dtype=bool)
+    texts_a = [p[0] for p in pairs]
+    texts_b = [p[1] for p in pairs]
+    labels = np.array([bool(p[2]) for p in pairs])
+    emb_a = encoder.encode(texts_a, compress=compress)
+    emb_b = encoder.encode(texts_b, compress=compress)
+    sims = pairwise_cosine(emb_a, emb_b)
+    return sims, labels
+
+
+def threshold_sweep(
+    encoder: SiameseEncoder,
+    pairs: Sequence[Tuple[str, str, int]],
+    thresholds: Optional[np.ndarray] = None,
+    beta: float = 0.5,
+    compress: bool = True,
+) -> ThresholdSweepResult:
+    """Sweep τ over [0, 1] and compute decision metrics at each value.
+
+    A pair is *predicted duplicate* when its cosine similarity is at least τ.
+    """
+    if thresholds is None:
+        thresholds = np.linspace(0.0, 1.0, 101)
+    thresholds = np.asarray(thresholds, dtype=np.float64)
+    if thresholds.size == 0:
+        raise ValueError("thresholds must be non-empty")
+    if np.any(thresholds < 0) or np.any(thresholds > 1):
+        raise ValueError("thresholds must lie in [0, 1]")
+
+    sims, labels = pair_similarities(encoder, pairs, compress=compress)
+    n = thresholds.size
+    f_scores = np.zeros(n)
+    f1_scores = np.zeros(n)
+    precisions = np.zeros(n)
+    recalls = np.zeros(n)
+    accuracies = np.zeros(n)
+    for i, tau in enumerate(thresholds):
+        predicted = sims >= tau
+        cm = confusion_matrix(labels, predicted)
+        f_scores[i] = cm.fbeta(beta)
+        f1_scores[i] = cm.f1()
+        precisions[i] = cm.precision()
+        recalls[i] = cm.recall()
+        accuracies[i] = cm.accuracy()
+    optimal_index = int(np.argmax(f_scores))
+    return ThresholdSweepResult(
+        thresholds=thresholds,
+        f_scores=f_scores,
+        f1_scores=f1_scores,
+        precisions=precisions,
+        recalls=recalls,
+        accuracies=accuracies,
+        optimal_threshold=float(thresholds[optimal_index]),
+        optimal_index=optimal_index,
+        beta=beta,
+        metadata={"n_pairs": float(len(pairs)), "positive_fraction": float(labels.mean()) if len(labels) else 0.0},
+    )
+
+
+def cache_mode_threshold_sweep(
+    encoder: SiameseEncoder,
+    pairs: Sequence[Tuple[str, str, int]],
+    thresholds: Optional[np.ndarray] = None,
+    beta: float = 0.5,
+    compress: bool = True,
+    extra_cache_texts: Optional[Sequence[str]] = None,
+) -> ThresholdSweepResult:
+    """Sweep τ against *deployed-cache* decisions rather than pairwise ones.
+
+    The paper's clients tune τ from their cache's observed behaviour (a user
+    re-querying the LLM after a bad cached answer marks a false hit), i.e.
+    against the distribution of *best-match* similarities over a populated
+    cache, not against isolated pairs.  This sweep reproduces that: the first
+    query of every local pair is loaded into a scratch cache, the second query
+    of every pair probes it, the probe's score is its maximum cosine
+    similarity over the whole cache, and the ground truth is the pair's
+    duplicate label.
+
+    ``extra_cache_texts`` adds more queries to the scratch cache (e.g. the
+    client's full query history), making the best-match distribution closer
+    to the deployed cache's.
+    """
+    if thresholds is None:
+        thresholds = np.linspace(0.0, 1.0, 101)
+    thresholds = np.asarray(thresholds, dtype=np.float64)
+    if thresholds.size == 0:
+        raise ValueError("thresholds must be non-empty")
+    if not pairs:
+        raise ValueError("cache-mode sweep needs at least one pair")
+
+    cache_texts = [p[0] for p in pairs]
+    if extra_cache_texts:
+        cache_texts = cache_texts + [t for t in extra_cache_texts if t]
+    probe_texts = [p[1] for p in pairs]
+    labels = np.array([bool(p[2]) for p in pairs])
+    cache_embs = np.atleast_2d(encoder.encode(cache_texts, compress=compress))
+    probe_embs = np.atleast_2d(encoder.encode(probe_texts, compress=compress))
+    hits = semantic_search(probe_embs, cache_embs, top_k=1)
+    best = np.array([h[0].score if h else -1.0 for h in hits])
+
+    n = thresholds.size
+    f_scores = np.zeros(n)
+    f1_scores = np.zeros(n)
+    precisions = np.zeros(n)
+    recalls = np.zeros(n)
+    accuracies = np.zeros(n)
+    for i, tau in enumerate(thresholds):
+        predicted = best >= tau
+        cm = confusion_matrix(labels, predicted)
+        f_scores[i] = cm.fbeta(beta)
+        f1_scores[i] = cm.f1()
+        precisions[i] = cm.precision()
+        recalls[i] = cm.recall()
+        accuracies[i] = cm.accuracy()
+    optimal_index = int(np.argmax(f_scores))
+    return ThresholdSweepResult(
+        thresholds=thresholds,
+        f_scores=f_scores,
+        f1_scores=f1_scores,
+        precisions=precisions,
+        recalls=recalls,
+        accuracies=accuracies,
+        optimal_threshold=float(thresholds[optimal_index]),
+        optimal_index=optimal_index,
+        beta=beta,
+        metadata={
+            "n_pairs": float(len(pairs)),
+            "positive_fraction": float(labels.mean()),
+            "mode": 1.0,  # 1.0 marks cache-mode sweeps
+        },
+    )
+
+
+def find_optimal_threshold(
+    encoder: SiameseEncoder,
+    pairs: Sequence[Tuple[str, str, int]],
+    thresholds: Optional[np.ndarray] = None,
+    beta: float = 0.5,
+    compress: bool = True,
+    default: float = 0.7,
+    mode: str = "cache",
+    extra_cache_texts: Optional[Sequence[str]] = None,
+) -> float:
+    """Return the Fβ-optimal cosine threshold for ``encoder`` on ``pairs``.
+
+    ``mode="cache"`` (default) tunes against deployed-cache best-match scores
+    (:func:`cache_mode_threshold_sweep`); ``mode="pairwise"`` tunes against
+    isolated pair similarities (:func:`threshold_sweep`, the Figures 13/14
+    analysis).  Falls back to ``default`` when there are no pairs or only one
+    class is present (the sweep would be degenerate) — mirroring MeanCache's
+    use of the server's global threshold for data-poor clients.
+    """
+    if mode not in ("cache", "pairwise"):
+        raise ValueError("mode must be 'cache' or 'pairwise'")
+    if not pairs:
+        return default
+    labels = {p[2] for p in pairs}
+    if len(labels) < 2:
+        return default
+    if mode == "cache":
+        result = cache_mode_threshold_sweep(
+            encoder,
+            pairs,
+            thresholds=thresholds,
+            beta=beta,
+            compress=compress,
+            extra_cache_texts=extra_cache_texts,
+        )
+    else:
+        result = threshold_sweep(
+            encoder, pairs, thresholds=thresholds, beta=beta, compress=compress
+        )
+    return result.optimal_threshold

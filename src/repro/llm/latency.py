@@ -1,0 +1,79 @@
+"""LLM inference latency model.
+
+The Figure 5 experiment compares per-query response times for a Llama-2 7B
+service with no cache, with GPTCache and with MeanCache.  We cannot run
+Llama-2 here, so latencies are *simulated* from a standard decomposition of
+autoregressive inference cost:
+
+    latency = network_rtt + prefill(prompt_tokens) + decode(response_tokens) + jitter
+
+with defaults calibrated to the magnitudes visible in the paper's Figure 5
+(~0.5–1.0 s for 50-token responses on an A100).  The model is deterministic
+given its seed, so experiments are reproducible, and latencies are *modelled*
+quantities — they are reported as such, never measured wall-clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencyModelConfig:
+    """Parameters of the latency decomposition (all times in seconds).
+
+    Defaults approximate a Llama-2 7B deployment on a single A100 responding
+    with ~50 tokens, which the paper reports at roughly 0.5–1.0 s per query.
+    """
+
+    network_rtt: float = 0.03
+    prefill_per_token: float = 0.0006
+    decode_per_token: float = 0.012
+    jitter_std: float = 0.05
+    min_latency: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.min_latency < 0 or self.network_rtt < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.prefill_per_token < 0 or self.decode_per_token < 0:
+            raise ValueError("per-token latencies must be non-negative")
+        if self.jitter_std < 0:
+            raise ValueError("jitter_std must be non-negative")
+
+
+class LatencyModel:
+    """Samples simulated per-request latencies."""
+
+    def __init__(self, config: Optional[LatencyModelConfig] = None, seed: int = 0) -> None:
+        self.config = config or LatencyModelConfig()
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, prompt_tokens: int, response_tokens: int) -> float:
+        """Return one simulated end-to-end latency (seconds)."""
+        if prompt_tokens < 0 or response_tokens < 0:
+            raise ValueError("token counts must be non-negative")
+        cfg = self.config
+        base = (
+            cfg.network_rtt
+            + cfg.prefill_per_token * prompt_tokens
+            + cfg.decode_per_token * response_tokens
+        )
+        jitter = float(self._rng.normal(0.0, cfg.jitter_std)) if cfg.jitter_std else 0.0
+        return max(cfg.min_latency, base + jitter)
+
+    def expected(self, prompt_tokens: int, response_tokens: int) -> float:
+        """The deterministic (jitter-free) latency for given token counts."""
+        cfg = self.config
+        return max(
+            cfg.min_latency,
+            cfg.network_rtt
+            + cfg.prefill_per_token * prompt_tokens
+            + cfg.decode_per_token * response_tokens,
+        )
+
+    def reseed(self, seed: int) -> None:
+        """Reset the jitter RNG (used to replay identical traces)."""
+        self._rng = np.random.default_rng(seed)

@@ -1,0 +1,27 @@
+"""Evaluation metrics for semantic-cache hit/miss decisions."""
+
+from repro.metrics.classification import (
+    ConfusionMatrix,
+    accuracy,
+    confusion_matrix,
+    evaluate_decisions,
+    fbeta_score,
+    precision,
+    recall,
+)
+from repro.metrics.timing import Timer, SimulatedClock
+from repro.metrics.reporting import format_table, format_confusion_matrix
+
+__all__ = [
+    "ConfusionMatrix",
+    "confusion_matrix",
+    "precision",
+    "recall",
+    "fbeta_score",
+    "accuracy",
+    "evaluate_decisions",
+    "Timer",
+    "SimulatedClock",
+    "format_table",
+    "format_confusion_matrix",
+]

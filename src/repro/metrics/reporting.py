@@ -1,0 +1,72 @@
+"""Plain-text report formatting for experiment outputs.
+
+Experiments print the same rows/series the paper reports; these helpers render
+them as aligned ASCII tables so benchmark logs are readable without plotting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.metrics.classification import ConfusionMatrix
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_fmt: str = "{:.3f}",
+    title: str | None = None,
+) -> str:
+    """Render a list of rows as an aligned ASCII table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_fmt.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_confusion_matrix(cm: ConfusionMatrix, name: str = "") -> str:
+    """Render a confusion matrix in the paper's Figure 7 layout."""
+    header = f"Confusion matrix {name}".strip()
+    arr = cm.as_array()
+    lines = [
+        header,
+        "                 Predicted",
+        "                 miss(0)  hit(1)",
+        f"Real miss (0)    {arr[0, 0]:>7d}  {arr[0, 1]:>6d}",
+        f"Real hit  (1)    {arr[1, 0]:>7d}  {arr[1, 1]:>6d}",
+    ]
+    return "\n".join(lines)
+
+
+def format_metric_comparison(
+    systems: Mapping[str, Mapping[str, float]],
+    metrics: Sequence[str] = ("f_score", "precision", "recall", "accuracy"),
+    title: str | None = None,
+) -> str:
+    """Render a Table-I-style comparison: one column per system."""
+    headers = ["Metric", *systems.keys()]
+    rows = []
+    for metric in metrics:
+        row: List[object] = [metric]
+        for system_metrics in systems.values():
+            row.append(float(system_metrics.get(metric, float("nan"))))
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,77 @@
+"""Timing utilities.
+
+Two notions of time coexist in the reproduction:
+
+* **Wall-clock time** (:class:`Timer`) — used for quantities the paper
+  actually measures on real hardware that we *can* also measure here, such as
+  embedding-computation time (Fig. 15) and semantic-search time (Fig. 10b).
+* **Simulated time** (:class:`SimulatedClock`) — used for quantities that
+  depend on hardware we do not have (LLM inference latency in Fig. 5); the
+  latency model contributes simulated durations that are accumulated on a
+  virtual clock so traces remain deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class Timer:
+    """A context-manager stopwatch accumulating wall-clock durations."""
+
+    def __init__(self) -> None:
+        self.durations: List[float] = []
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._start is None:  # pragma: no cover - defensive
+            return
+        self.durations.append(time.perf_counter() - self._start)
+        self._start = None
+
+    @property
+    def last(self) -> float:
+        """Most recent recorded duration (0.0 if none)."""
+        return self.durations[-1] if self.durations else 0.0
+
+    @property
+    def total(self) -> float:
+        """Sum of recorded durations."""
+        return float(sum(self.durations))
+
+    @property
+    def mean(self) -> float:
+        """Mean recorded duration (0.0 if none)."""
+        return self.total / len(self.durations) if self.durations else 0.0
+
+    def reset(self) -> None:
+        """Forget all recorded durations."""
+        self.durations.clear()
+        self._start = None
+
+
+@dataclass
+class SimulatedClock:
+    """A virtual clock advanced by modelled durations."""
+
+    now: float = 0.0
+    history: List[float] = field(default_factory=list)
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock and return the new time."""
+        if seconds < 0:
+            raise ValueError("cannot advance the clock by a negative duration")
+        self.now += seconds
+        self.history.append(seconds)
+        return self.now
+
+    def reset(self) -> None:
+        """Return to t=0 and clear the history."""
+        self.now = 0.0
+        self.history.clear()

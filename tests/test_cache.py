@@ -1,0 +1,302 @@
+"""Tests for MeanCache (Algorithm 1), compression and the client session."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gptcache import GPTCache, GPTCacheConfig
+from repro.baselines.keyword_cache import KeywordCache, KeywordCacheConfig
+from repro.core.cache import CacheDecision, MeanCache, MeanCacheConfig
+from repro.core.client import MeanCacheClient
+from repro.core.compression import compress_cache
+from repro.core.storage import InMemoryStore
+from repro.llm.service import SimulatedLLMService
+
+from conftest import make_tiny_encoder
+
+
+@pytest.fixture()
+def trained_encoder():
+    """A tiny encoder fine-tuned just enough to separate the test phrases."""
+    enc = make_tiny_encoder(seed=2)
+    pairs = [
+        ("How can I sort a list in python?", "What is the best way to order a python list?", 1),
+        ("How can I sort a list in python?", "How can I reverse a list in python?", 0),
+        ("Tips for how to bake chocolate chip cookies", "How do I make cookies with chocolate chips?", 1),
+        ("Tips for how to bake chocolate chip cookies", "How do I plan a trip to japan?", 0),
+        ("How do I extend the battery life of my smartphone?", "Tips for improving my phone's battery duration", 1),
+        ("How do I extend the battery life of my smartphone?", "How do I reset my wifi router?", 0),
+    ] * 8
+    enc.train_on_pairs(pairs, epochs=6, batch_size=8)
+    return enc
+
+
+class TestMeanCacheBasics:
+    def test_empty_cache_misses(self, tiny_encoder):
+        cache = MeanCache(tiny_encoder)
+        decision = cache.lookup("anything at all")
+        assert not decision.hit and decision.response is None
+        assert cache.stats.lookups == 1 and cache.stats.misses == 1
+
+    def test_insert_then_exact_hit(self, tiny_encoder):
+        cache = MeanCache(tiny_encoder, MeanCacheConfig(similarity_threshold=0.9))
+        cache.insert("How can I sort a list in python?", "use sorted()")
+        decision = cache.lookup("How can I sort a list in python?")
+        assert decision.hit and decision.response == "use sorted()"
+        assert decision.similarity == pytest.approx(1.0, abs=1e-6)
+
+    def test_paraphrase_hit_unrelated_miss(self, trained_encoder):
+        cache = MeanCache(trained_encoder, MeanCacheConfig(similarity_threshold=0.8))
+        cache.insert("How can I sort a list in python?", "use sorted()")
+        dup = cache.lookup("What is the best way to order a python list?")
+        other = cache.lookup("How do I plan a trip to japan?")
+        assert dup.hit
+        assert not other.hit
+
+    def test_empty_query_rejected(self, tiny_encoder):
+        cache = MeanCache(tiny_encoder)
+        with pytest.raises(ValueError):
+            cache.lookup("  ")
+        with pytest.raises(ValueError):
+            cache.insert("", "resp")
+
+    def test_populate_and_len(self, tiny_encoder):
+        cache = MeanCache(tiny_encoder)
+        ids = cache.populate(["q one", "q two", "q three"])
+        assert len(cache) == 3 and len(ids) == 3
+
+    def test_remove_entry(self, tiny_encoder):
+        cache = MeanCache(tiny_encoder, MeanCacheConfig(similarity_threshold=0.95))
+        eid = cache.insert("sort a python list", "resp")
+        cache.remove(eid)
+        assert len(cache) == 0
+        assert not cache.lookup("sort a python list").hit
+        with pytest.raises(KeyError):
+            cache.remove(eid)
+
+    def test_clear(self, tiny_encoder):
+        cache = MeanCache(tiny_encoder)
+        cache.populate(["a b c", "d e f"])
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_hit_updates_stats_and_entry(self, tiny_encoder):
+        cache = MeanCache(tiny_encoder, MeanCacheConfig(similarity_threshold=0.9))
+        eid = cache.insert("sort a python list", "resp")
+        cache.lookup("sort a python list")
+        entry = cache.entries[0]
+        assert entry.hit_count == 1
+        assert cache.stats.hit_rate == pytest.approx(1.0)
+
+    def test_persistent_store_receives_entries(self, tiny_encoder):
+        store = InMemoryStore()
+        cache = MeanCache(tiny_encoder, store=store)
+        eid = cache.insert("sort a python list", "resp")
+        assert f"entry:{eid}" in store
+        cache.remove(eid)
+        assert f"entry:{eid}" not in store
+
+    def test_config_validation(self, tiny_encoder):
+        with pytest.raises(ValueError):
+            MeanCacheConfig(similarity_threshold=1.5)
+        with pytest.raises(ValueError):
+            MeanCacheConfig(top_k=0)
+        with pytest.raises(ValueError):
+            MeanCache(tiny_encoder, MeanCacheConfig(compressed=True))
+
+    def test_set_threshold(self, tiny_encoder):
+        cache = MeanCache(tiny_encoder)
+        cache.set_threshold(0.91)
+        assert cache.config.similarity_threshold == 0.91
+        with pytest.raises(ValueError):
+            cache.set_threshold(2.0)
+
+
+class TestEviction:
+    def test_capacity_enforced_with_lru(self, tiny_encoder):
+        cache = MeanCache(tiny_encoder, MeanCacheConfig(max_entries=3, eviction_policy="lru"))
+        for i in range(5):
+            cache.insert(f"query number {i} about topic {i}", f"r{i}")
+        assert len(cache) == 3
+        assert cache.stats.evictions == 2
+        remaining = {e.query for e in cache.entries}
+        assert "query number 0 about topic 0" not in remaining
+
+    def test_lru_keeps_recently_accessed(self, tiny_encoder):
+        cache = MeanCache(
+            tiny_encoder,
+            MeanCacheConfig(max_entries=2, eviction_policy="lru", similarity_threshold=0.99),
+        )
+        cache.insert("alpha bravo charlie", "r0")
+        cache.insert("delta echo foxtrot", "r1")
+        cache.lookup("alpha bravo charlie")  # touch entry 0
+        cache.insert("golf hotel india", "r2")  # evicts entry 1
+        remaining = {e.query for e in cache.entries}
+        assert "alpha bravo charlie" in remaining
+        assert "delta echo foxtrot" not in remaining
+
+
+class TestContextHandling:
+    def test_contextual_trap_misses_with_verification(self, trained_encoder):
+        config = MeanCacheConfig(similarity_threshold=0.8, verify_context=True, context_threshold=0.6)
+        cache = MeanCache(trained_encoder, config)
+        parent = "How can I sort a list in python?"
+        cache.insert(parent, "use sorted()")
+        cache.insert("Change the color to red", "set color='red'", context=[parent])
+        # Same follow-up text but under a different conversation -> must miss.
+        trap = cache.lookup(
+            "Change the color to red",
+            context=["Tips for how to bake chocolate chip cookies"],
+        )
+        assert not trap.hit
+        # Same follow-up under a paraphrased matching context -> should hit.
+        good = cache.lookup(
+            "Change the color to red",
+            context=["What is the best way to order a python list?"],
+        )
+        assert good.hit
+
+    def test_without_verification_trap_hits(self, trained_encoder):
+        config = MeanCacheConfig(similarity_threshold=0.8, verify_context=False)
+        cache = MeanCache(trained_encoder, config)
+        parent = "How can I sort a list in python?"
+        cache.insert("Change the color to red", "set color='red'", context=[parent])
+        trap = cache.lookup(
+            "Change the color to red",
+            context=["Tips for how to bake chocolate chip cookies"],
+        )
+        assert trap.hit
+
+    def test_standalone_probe_does_not_hit_contextual_entry(self, trained_encoder):
+        config = MeanCacheConfig(similarity_threshold=0.8, verify_context=True)
+        cache = MeanCache(trained_encoder, config)
+        cache.insert("Change the color to red", "resp", context=["How can I sort a list in python?"])
+        assert not cache.lookup("Change the color to red").hit
+
+
+class TestCompression:
+    def _populated_cache(self, encoder, n=40):
+        cache = MeanCache(encoder, MeanCacheConfig(similarity_threshold=0.8))
+        cache.populate([f"question number {i} about subject {i % 11}" for i in range(n)])
+        return cache
+
+    def test_compress_reduces_storage_and_dim(self, tiny_encoder):
+        cache = self._populated_cache(tiny_encoder)
+        before = cache.embedding_storage_bytes()
+        report = compress_cache(cache, n_components=8)
+        assert cache.embedding_dim == 8
+        assert cache.embedding_storage_bytes() < before
+        assert report.embedding_saving_fraction > 0.8
+        assert report.compressed_dim == 8 and report.original_dim == tiny_encoder.config.output_dim
+
+    def test_compressed_cache_still_hits_duplicates(self, trained_encoder):
+        cache = MeanCache(trained_encoder, MeanCacheConfig(similarity_threshold=0.75))
+        cache.populate(
+            ["How can I sort a list in python?"]
+            + [f"unrelated filler question number {i} about area {i}" for i in range(30)]
+        )
+        compress_cache(cache, n_components=8)
+        decision = cache.lookup("What is the best way to order a python list?")
+        assert decision.hit
+        assert decision.matched_query == "How can I sort a list in python?"
+
+    def test_double_compression_rejected(self, tiny_encoder):
+        cache = self._populated_cache(tiny_encoder)
+        compress_cache(cache, n_components=8)
+        with pytest.raises(ValueError):
+            compress_cache(cache, n_components=8)
+
+    def test_too_few_entries_rejected(self, tiny_encoder):
+        cache = MeanCache(tiny_encoder)
+        cache.insert("only one entry", "r")
+        with pytest.raises(ValueError):
+            compress_cache(cache, n_components=8)
+
+    def test_components_exceeding_dim_rejected(self, tiny_encoder):
+        cache = self._populated_cache(tiny_encoder)
+        with pytest.raises(ValueError):
+            compress_cache(cache, n_components=tiny_encoder.config.output_dim + 1)
+
+
+class TestBaselines:
+    def test_gptcache_fixed_threshold_hit_and_miss(self, trained_encoder):
+        gpt = GPTCache(trained_encoder, GPTCacheConfig(similarity_threshold=0.8))
+        gpt.insert("How can I sort a list in python?", "use sorted()", user_id="alice")
+        hit = gpt.lookup("What is the best way to order a python list?")
+        miss = gpt.lookup("How do I plan a trip to japan?")
+        assert hit.hit and not miss.hit
+        assert hit.network_time_s > 0  # central cache always pays the round trip
+
+    def test_gptcache_is_context_oblivious(self, trained_encoder):
+        gpt = GPTCache(trained_encoder, GPTCacheConfig(similarity_threshold=0.8))
+        gpt.insert("Change the color to red", "resp")
+        trap = gpt.lookup("Change the color to red", context=["totally different conversation"])
+        assert trap.hit
+
+    def test_gptcache_central_storage_tracks_users(self, tiny_encoder):
+        gpt = GPTCache(tiny_encoder)
+        gpt.insert("q1 from alice", "r", user_id="alice")
+        gpt.insert("q2 from bob", "r", user_id="bob")
+        assert gpt.users() == ["alice", "bob"]
+        assert gpt.total_storage_bytes() > 0
+
+    def test_gptcache_validation(self, tiny_encoder):
+        with pytest.raises(ValueError):
+            GPTCacheConfig(similarity_threshold=-0.1)
+        with pytest.raises(ValueError):
+            GPTCache(tiny_encoder).lookup("")
+
+    def test_keyword_cache_exact_match_only(self):
+        kc = KeywordCache()
+        kc.insert("How can I sort a list in Python?", "use sorted()")
+        assert kc.lookup("how can i sort a list in python") == "use sorted()"
+        # A paraphrase is a miss for the keyword cache (the paper's motivation).
+        assert kc.lookup("What is the best way to order a python list?") is None
+
+    def test_keyword_cache_eviction(self):
+        kc = KeywordCache(KeywordCacheConfig(max_entries=2))
+        kc.insert("query one alpha", "1")
+        kc.insert("query two beta", "2")
+        kc.insert("query three gamma", "3")
+        assert len(kc) == 2
+
+    def test_keyword_cache_sorted_tokens_mode(self):
+        kc = KeywordCache(KeywordCacheConfig(sort_tokens=True))
+        kc.insert("python list sort", "r")
+        assert kc.lookup("sort python list") == "r"
+
+
+class TestMeanCacheClient:
+    def test_miss_then_hit_roundtrip(self, trained_encoder):
+        cache = MeanCache(trained_encoder, MeanCacheConfig(similarity_threshold=0.8))
+        client = MeanCacheClient(cache, SimulatedLLMService(), client_id="u1")
+        first = client.query("How can I sort a list in python?")
+        assert not first.from_cache and first.llm_latency_s > 0
+        second = client.query("What is the best way to order a python list?")
+        assert second.from_cache
+        assert second.llm_latency_s == 0.0
+        assert second.total_latency_s < first.total_latency_s
+        assert client.hit_rate == pytest.approx(0.5)
+        assert client.total_cost_usd > 0
+
+    def test_followup_carries_context(self, trained_encoder):
+        cache = MeanCache(trained_encoder, MeanCacheConfig(similarity_threshold=0.8))
+        client = MeanCacheClient(cache, SimulatedLLMService())
+        client.query("How can I sort a list in python?")
+        followup = client.query("Change the color to red", is_followup=True)
+        assert not followup.from_cache
+        # The follow-up must have been stored with a context chain.
+        contextual_entries = [e for e in cache.entries if not e.context.is_empty]
+        assert len(contextual_entries) == 1
+
+    def test_enroll_on_miss_can_be_disabled(self, tiny_encoder):
+        cache = MeanCache(tiny_encoder)
+        client = MeanCacheClient(cache, SimulatedLLMService())
+        client.query("some query", enroll_on_miss=False)
+        assert len(cache) == 0
+
+    def test_new_conversation_resets_context(self, tiny_encoder):
+        cache = MeanCache(tiny_encoder)
+        client = MeanCacheClient(cache, SimulatedLLMService())
+        client.query("first question about python")
+        client.new_conversation()
+        assert client.conversation.turns == []

@@ -1,0 +1,97 @@
+"""Unit tests for the hashed featurizer."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.featurizer import FeaturizerConfig, HashedFeaturizer, stable_token_hash
+from repro.embeddings.tokenizer import Tokenizer, TokenizerConfig
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_token_hash("python") == stable_token_hash("python")
+
+    def test_seed_changes_hash(self):
+        assert stable_token_hash("python", seed=0) != stable_token_hash("python", seed=1)
+
+    def test_different_tokens_differ(self):
+        assert stable_token_hash("python") != stable_token_hash("java")
+
+    def test_is_64_bit(self):
+        assert 0 <= stable_token_hash("x") < 2**64
+
+
+class TestFeaturizerConfig:
+    def test_rejects_tiny_feature_space(self):
+        with pytest.raises(ValueError):
+            FeaturizerConfig(n_features=1)
+
+
+class TestHashedFeaturizer:
+    def test_output_shape_and_dtype(self):
+        feat = HashedFeaturizer(FeaturizerConfig(n_features=128))
+        vec = feat.transform("sort a list in python")
+        assert vec.shape == (128,)
+        assert vec.dtype == np.float64
+
+    def test_normalized_output(self):
+        feat = HashedFeaturizer(FeaturizerConfig(n_features=128, normalize=True))
+        vec = feat.transform("sort a python list quickly")
+        assert np.isclose(np.linalg.norm(vec), 1.0)
+
+    def test_unnormalized_output(self):
+        feat = HashedFeaturizer(FeaturizerConfig(n_features=128, normalize=False))
+        vec = feat.transform("sort sort sort")
+        assert np.linalg.norm(vec) > 0
+
+    def test_empty_text_gives_zero_vector(self):
+        feat = HashedFeaturizer(FeaturizerConfig(n_features=64))
+        assert np.allclose(feat.transform(""), 0.0)
+
+    def test_deterministic(self):
+        feat = HashedFeaturizer(FeaturizerConfig(n_features=256))
+        text = "merge two dictionaries in python"
+        assert np.array_equal(feat.transform(text), feat.transform(text))
+
+    def test_two_instances_same_config_agree(self):
+        # Critical for federated clients: featurizers built from the same
+        # config must produce identical features without exchanging state.
+        a = HashedFeaturizer(FeaturizerConfig(n_features=256, seed=3))
+        b = HashedFeaturizer(FeaturizerConfig(n_features=256, seed=3))
+        text = "how to bake sourdough bread"
+        assert np.array_equal(a.transform(text), b.transform(text))
+
+    def test_different_seeds_give_different_features(self):
+        a = HashedFeaturizer(FeaturizerConfig(n_features=256, seed=3))
+        b = HashedFeaturizer(FeaturizerConfig(n_features=256, seed=4))
+        text = "how to bake sourdough bread"
+        assert not np.array_equal(a.transform(text), b.transform(text))
+
+    def test_batch_matches_single(self):
+        feat = HashedFeaturizer(FeaturizerConfig(n_features=128))
+        texts = ["sort a list", "reverse a string", "bake cookies"]
+        batch = feat.transform_batch(texts)
+        assert batch.shape == (3, 128)
+        for i, text in enumerate(texts):
+            assert np.allclose(batch[i], feat.transform(text))
+
+    def test_overlapping_texts_share_features(self):
+        feat = HashedFeaturizer(FeaturizerConfig(n_features=512))
+        a = feat.transform("sort a python list")
+        b = feat.transform("order a python list")
+        c = feat.transform("grill salmon fillets tonight")
+        sim_ab = float(a @ b)
+        sim_ac = float(a @ c)
+        assert sim_ab > sim_ac
+
+    def test_sublinear_tf_damps_repeats(self):
+        base = FeaturizerConfig(n_features=128, sublinear_tf=False, normalize=False)
+        damped = FeaturizerConfig(n_features=128, sublinear_tf=True, normalize=False)
+        tok = Tokenizer(TokenizerConfig(char_ngram_max=0, remove_stopwords=False))
+        raw = HashedFeaturizer(base, tok).transform("spam spam spam spam")
+        sub = HashedFeaturizer(damped, tok).transform("spam spam spam spam")
+        assert np.abs(sub).max() < np.abs(raw).max()
+
+    def test_n_features_property(self):
+        feat = HashedFeaturizer(FeaturizerConfig(n_features=333))
+        assert feat.n_features == 333

@@ -1,0 +1,328 @@
+"""Tests for the federated-learning substrate."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.semantic_pairs import QueryPairDataset, generate_pair_dataset
+from repro.federated.aggregation import (
+    aggregate_thresholds,
+    fedavg,
+    fedprox_aggregate,
+    fedprox_proximal_gradient,
+    weighted_metric_mean,
+)
+from repro.federated.client import ClientConfig, FLClient
+from repro.federated.messages import (
+    ParameterSpec,
+    buffer_to_parameters,
+    parameters_nbytes,
+    parameters_to_buffer,
+)
+from repro.federated.sampling import ResourceAwareSampler, RoundRobinSampler, UniformSampler
+from repro.federated.server import FLServer, ServerConfig
+from repro.federated.threshold import (
+    cache_mode_threshold_sweep,
+    find_optimal_threshold,
+    threshold_sweep,
+)
+
+from conftest import make_tiny_encoder
+
+
+# --------------------------------------------------------------------------- #
+# Messages
+# --------------------------------------------------------------------------- #
+class TestMessages:
+    def test_roundtrip(self, rng):
+        params = [rng.normal(size=(4, 3)), rng.normal(size=5), rng.normal(size=(2, 2, 2))]
+        buffer, spec = parameters_to_buffer(params)
+        assert buffer.ndim == 1
+        restored = buffer_to_parameters(buffer, spec)
+        assert all(np.allclose(a, b) for a, b in zip(params, restored))
+
+    def test_spec_sizes(self, rng):
+        params = [rng.normal(size=(4, 3)), rng.normal(size=5)]
+        spec = ParameterSpec.from_parameters(params)
+        assert spec.sizes == [12, 5]
+        assert spec.total_size == 17
+        assert spec.n_parameters == 2
+
+    def test_buffer_size_mismatch_rejected(self, rng):
+        params = [rng.normal(size=(2, 2))]
+        buffer, spec = parameters_to_buffer(params)
+        with pytest.raises(ValueError):
+            buffer_to_parameters(buffer[:-1], spec)
+
+    def test_empty_parameters(self):
+        buffer, spec = parameters_to_buffer([])
+        assert buffer.size == 0 and spec.total_size == 0
+
+    def test_nbytes(self, rng):
+        params = [rng.normal(size=(10, 10))]
+        assert parameters_nbytes(params) == 800
+
+
+# --------------------------------------------------------------------------- #
+# Aggregation
+# --------------------------------------------------------------------------- #
+class TestFedAvg:
+    def test_equal_weights_is_plain_mean(self):
+        a = [np.ones((2, 2)), np.zeros(3)]
+        b = [3 * np.ones((2, 2)), np.ones(3)]
+        out = fedavg([a, b], [1, 1])
+        assert np.allclose(out[0], 2.0)
+        assert np.allclose(out[1], 0.5)
+
+    def test_sample_weighting(self):
+        a = [np.zeros(2)]
+        b = [np.ones(2)]
+        out = fedavg([a, b], [1, 3])
+        assert np.allclose(out[0], 0.75)
+
+    def test_single_client_identity(self, rng):
+        a = [rng.normal(size=(3, 3))]
+        out = fedavg([a], [10])
+        assert np.allclose(out[0], a[0])
+
+    def test_preserves_convex_hull(self, rng):
+        clients = [[rng.normal(size=4)] for _ in range(5)]
+        out = fedavg(clients, [1, 2, 3, 4, 5])[0]
+        stacked = np.stack([c[0] for c in clients])
+        assert np.all(out <= stacked.max(axis=0) + 1e-12)
+        assert np.all(out >= stacked.min(axis=0) - 1e-12)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            fedavg([], [])
+        with pytest.raises(ValueError):
+            fedavg([[np.ones(2)]], [1, 2])
+        with pytest.raises(ValueError):
+            fedavg([[np.ones(2)], [np.ones(3)]], [1, 1])
+        with pytest.raises(ValueError):
+            fedavg([[np.ones(2)], [np.ones(2)]], [0, 0])
+
+    def test_fedprox_server_equals_fedavg(self, rng):
+        clients = [[rng.normal(size=3)] for _ in range(3)]
+        weights = [2, 1, 4]
+        assert np.allclose(fedavg(clients, weights)[0], fedprox_aggregate(clients, weights)[0])
+
+    def test_fedprox_proximal_gradient(self):
+        local = [np.array([2.0, 0.0])]
+        global_ = [np.array([0.0, 0.0])]
+        grads = fedprox_proximal_gradient(local, global_, mu=0.5)
+        assert np.allclose(grads[0], [1.0, 0.0])
+        with pytest.raises(ValueError):
+            fedprox_proximal_gradient(local, global_, mu=-1.0)
+
+
+class TestThresholdAggregation:
+    def test_plain_mean(self):
+        assert aggregate_thresholds([0.7, 0.9]) == pytest.approx(0.8)
+
+    def test_weighted_mean(self):
+        assert aggregate_thresholds([0.6, 1.0], num_samples=[3, 1], weighted=True) == pytest.approx(0.7)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_thresholds([1.2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_thresholds([])
+
+    def test_weighted_metric_mean(self):
+        assert weighted_metric_mean([1.0, 0.0], [1, 3]) == pytest.approx(0.25)
+
+
+# --------------------------------------------------------------------------- #
+# Sampling
+# --------------------------------------------------------------------------- #
+class TestSamplers:
+    CLIENTS = [f"c{i}" for i in range(10)]
+
+    def test_uniform_no_duplicates_and_deterministic_seed(self):
+        a = UniformSampler(seed=1).sample(self.CLIENTS, 4, 0)
+        b = UniformSampler(seed=1).sample(self.CLIENTS, 4, 0)
+        assert len(set(a)) == 4
+        assert a == b
+
+    def test_uniform_caps_at_population(self):
+        assert len(UniformSampler(seed=0).sample(self.CLIENTS, 50, 0)) == 10
+
+    def test_round_robin_covers_all_clients(self):
+        sampler = RoundRobinSampler()
+        seen = set()
+        for r in range(5):
+            seen.update(sampler.sample(self.CLIENTS, 2, r))
+        assert seen == set(self.CLIENTS)
+
+    def test_resource_aware_prefers_high_scores(self):
+        scores = {c: 0.0 for c in self.CLIENTS}
+        scores["c3"] = 100.0
+        scores["c7"] = 100.0
+        picked = ResourceAwareSampler(scores, seed=0).sample(self.CLIENTS, 2, 0)
+        assert set(picked) == {"c3", "c7"}
+
+    def test_resource_aware_rejects_negative_scores(self):
+        with pytest.raises(ValueError):
+            ResourceAwareSampler({"a": -1.0})
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            UniformSampler().sample([], 1, 0)
+
+
+# --------------------------------------------------------------------------- #
+# Threshold search
+# --------------------------------------------------------------------------- #
+class TestThresholdSearch:
+    def _pairs(self):
+        return [
+            ("How can I sort a list in python?", "What is the best way to order a python list?", 1),
+            ("Tips for how to bake chocolate chip cookies", "How do I make cookies with chocolate chips?", 1),
+            ("How do I extend my phone battery life?", "Tips for improving my smartphone battery", 1),
+            ("How can I sort a list in python?", "How do I plan a trip to japan?", 0),
+            ("Tips for how to bake chocolate chip cookies", "How do I reset my wifi router?", 0),
+            ("How do I extend my phone battery life?", "How do I write a cover letter?", 0),
+        ] * 4
+
+    def test_pairwise_sweep_curves_monotone_recall(self, tiny_encoder):
+        sweep = threshold_sweep(tiny_encoder, self._pairs(), thresholds=np.linspace(0, 1, 21))
+        # Recall is non-increasing in the threshold.
+        assert np.all(np.diff(sweep.recalls) <= 1e-12)
+        assert 0.0 <= sweep.optimal_threshold <= 1.0
+
+    def test_recall_one_at_zero_threshold(self, tiny_encoder):
+        sweep = threshold_sweep(tiny_encoder, self._pairs(), thresholds=np.array([0.0]))
+        assert sweep.recalls[0] == pytest.approx(1.0)
+
+    def test_cache_mode_sweep_runs_and_selects_valid_tau(self, tiny_encoder):
+        sweep = cache_mode_threshold_sweep(tiny_encoder, self._pairs(), thresholds=np.linspace(0, 1, 21))
+        assert 0.0 <= sweep.optimal_threshold <= 1.0
+        assert sweep.metadata["mode"] == 1.0
+
+    def test_cache_mode_extra_history_changes_nothing_for_empty(self, tiny_encoder):
+        pairs = self._pairs()
+        a = cache_mode_threshold_sweep(tiny_encoder, pairs)
+        b = cache_mode_threshold_sweep(tiny_encoder, pairs, extra_cache_texts=[])
+        assert a.optimal_threshold == b.optimal_threshold
+
+    def test_find_optimal_threshold_defaults(self, tiny_encoder):
+        assert find_optimal_threshold(tiny_encoder, [], default=0.66) == 0.66
+        only_pos = [("a b c", "a b c d", 1)]
+        assert find_optimal_threshold(tiny_encoder, only_pos, default=0.66) == 0.66
+        with pytest.raises(ValueError):
+            find_optimal_threshold(tiny_encoder, self._pairs(), mode="bogus")
+
+    def test_trained_encoder_has_higher_optimum_than_random_guess(self, tiny_encoder):
+        pairs = self._pairs()
+        tiny_encoder.train_on_pairs(pairs, epochs=5, batch_size=8)
+        sweep = threshold_sweep(tiny_encoder, pairs)
+        assert sweep.f_scores[sweep.optimal_index] > 0.8
+
+
+# --------------------------------------------------------------------------- #
+# Client / server round trip
+# --------------------------------------------------------------------------- #
+def _make_clients(n_clients=3, pairs_per_client=24):
+    dataset = generate_pair_dataset(n_pairs=n_clients * pairs_per_client, seed=17)
+    shards = [
+        QueryPairDataset(dataset.pairs[i::n_clients], seed=i) for i in range(n_clients)
+    ]
+    clients = []
+    for i, shard in enumerate(shards):
+        train, val, _ = shard.split(0.6, 0.3, seed=i)
+        clients.append(
+            FLClient(
+                client_id=f"client-{i}",
+                train_data=train,
+                val_data=val,
+                encoder=make_tiny_encoder(seed=5),
+                config=ClientConfig(local_epochs=1, batch_size=16, threshold_grid=21),
+                seed=i,
+            )
+        )
+    return clients
+
+
+class TestFLClientServer:
+    def test_client_fit_returns_update(self):
+        client = _make_clients(1)[0]
+        global_params = make_tiny_encoder(seed=5).get_parameters()
+        update = client.fit(global_params, 0.7, round_number=0)
+        assert update.num_samples == max(len(client.train_data), 1)
+        assert 0.0 <= update.local_threshold <= 1.0
+        assert len(update.parameters) == 4
+        # Local training must actually change the weights.
+        assert any(not np.allclose(p, g) for p, g in zip(update.parameters, global_params))
+
+    def test_client_zero_epochs_keeps_global_weights(self):
+        client = _make_clients(1)[0]
+        client.config = ClientConfig(local_epochs=0, threshold_grid=21)
+        global_params = make_tiny_encoder(seed=5).get_parameters()
+        update = client.fit(global_params, 0.7)
+        assert all(np.allclose(p, g) for p, g in zip(update.parameters, global_params))
+
+    def test_client_evaluate_returns_metrics(self):
+        client = _make_clients(1)[0]
+        metrics = client.evaluate(make_tiny_encoder(seed=5).get_parameters(), threshold=0.7)
+        assert set(metrics) >= {"f_score", "precision", "recall", "accuracy"}
+
+    def test_server_round_updates_global_state(self):
+        clients = _make_clients(3)
+        test_pairs = generate_pair_dataset(n_pairs=40, seed=5).as_tuples()
+        server = FLServer(
+            global_encoder=make_tiny_encoder(seed=5),
+            clients=clients,
+            config=ServerConfig(n_rounds=2, clients_per_round=2, initial_threshold=0.7),
+            test_pairs=test_pairs,
+            seed=0,
+        )
+        initial_params = [p.copy() for p in server.global_parameters]
+        result = server.run_round(0)
+        assert len(result.participating_clients) == 2
+        assert 0.0 <= server.global_threshold <= 1.0
+        assert any(
+            not np.allclose(p, q) for p, q in zip(initial_params, server.global_parameters)
+        )
+        assert "f_score" in result.evaluation
+
+    def test_server_fit_builds_history_and_curves(self):
+        clients = _make_clients(3)
+        server = FLServer(
+            global_encoder=make_tiny_encoder(seed=5),
+            clients=clients,
+            config=ServerConfig(n_rounds=2, clients_per_round=2),
+            test_pairs=generate_pair_dataset(n_pairs=30, seed=6).as_tuples(),
+            seed=1,
+        )
+        history = server.fit()
+        assert len(history) == 2
+        curves = server.training_curves()
+        assert len(curves["round"]) == 2
+        assert "precision" in curves
+
+    def test_server_requires_unique_client_ids(self):
+        clients = _make_clients(2)
+        clients[1].client_id = clients[0].client_id
+        with pytest.raises(ValueError):
+            FLServer(make_tiny_encoder(), clients)
+
+    def test_server_rejects_empty_updates(self):
+        server = FLServer(make_tiny_encoder(seed=5), _make_clients(1))
+        with pytest.raises(ValueError):
+            server.apply_updates([])
+
+    def test_fedavg_of_identical_updates_is_identity(self):
+        clients = _make_clients(2)
+        server = FLServer(make_tiny_encoder(seed=5), clients, seed=0)
+        params = server.global_parameters
+        from repro.federated.client import ClientUpdate
+
+        updates = [
+            ClientUpdate("a", [p.copy() for p in params], 10, 0.8, 0.0),
+            ClientUpdate("b", [p.copy() for p in params], 30, 0.6, 0.0),
+        ]
+        server.apply_updates(updates)
+        assert all(np.allclose(p, q) for p, q in zip(params, server.global_parameters))
+        assert server.global_threshold == pytest.approx(0.7)

@@ -1,0 +1,158 @@
+"""Unit tests for the training objectives, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.losses import (
+    combined_multitask_loss,
+    contrastive_loss,
+    multiple_negatives_ranking_loss,
+)
+
+
+def _unit_rows(rng, n, d):
+    x = rng.normal(size=(n, d))
+    return x / np.linalg.norm(x, axis=1, keepdims=True)
+
+
+class TestContrastiveLoss:
+    def test_identical_positive_pair_has_zero_loss(self):
+        e = np.array([[1.0, 0.0], [0.0, 1.0]])
+        loss, ga, gb = contrastive_loss(e, e.copy(), np.array([1, 1]))
+        assert loss == pytest.approx(0.0)
+        assert np.allclose(ga, 0.0) and np.allclose(gb, 0.0)
+
+    def test_distant_negative_pair_has_zero_loss(self):
+        a = np.array([[1.0, 0.0]])
+        b = np.array([[-1.0, 0.0]])
+        loss, ga, gb = contrastive_loss(a, b, np.array([0]), margin=1.0)
+        assert loss == pytest.approx(0.0)
+        assert np.allclose(ga, 0.0)
+
+    def test_close_negative_pair_is_penalised(self):
+        a = np.array([[1.0, 0.0]])
+        b = np.array([[0.99, np.sqrt(1 - 0.99**2)]])
+        loss, _, _ = contrastive_loss(a, b, np.array([0]), margin=1.0)
+        assert loss > 0.0
+
+    def test_positive_loss_grows_with_distance(self):
+        a = np.array([[1.0, 0.0]])
+        near = np.array([[0.99, np.sqrt(1 - 0.99**2)]])
+        far = np.array([[0.0, 1.0]])
+        near_loss, _, _ = contrastive_loss(a, near, np.array([1]))
+        far_loss, _, _ = contrastive_loss(a, far, np.array([1]))
+        assert far_loss > near_loss
+
+    def test_gradient_antisymmetry(self, rng):
+        a = _unit_rows(rng, 6, 8)
+        b = _unit_rows(rng, 6, 8)
+        labels = np.array([1, 0, 1, 0, 1, 0])
+        _, ga, gb = contrastive_loss(a, b, labels)
+        assert np.allclose(ga, -gb)
+
+    def test_numerical_gradient(self, rng):
+        a = _unit_rows(rng, 4, 6)
+        b = _unit_rows(rng, 4, 6)
+        labels = np.array([1, 0, 1, 0])
+        _, ga, _ = contrastive_loss(a, b, labels, margin=1.0)
+        eps = 1e-6
+        for i in (0, 2):
+            for j in (0, 3):
+                ap = a.copy(); ap[i, j] += eps
+                am = a.copy(); am[i, j] -= eps
+                lp, _, _ = contrastive_loss(ap, b, labels, margin=1.0)
+                lm, _, _ = contrastive_loss(am, b, labels, margin=1.0)
+                numeric = (lp - lm) / (2 * eps)
+                assert numeric == pytest.approx(ga[i, j], abs=1e-5)
+
+    def test_empty_batch(self):
+        loss, ga, gb = contrastive_loss(np.zeros((0, 4)), np.zeros((0, 4)), np.zeros(0))
+        assert loss == 0.0 and ga.shape == (0, 4)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            contrastive_loss(np.zeros((2, 4)), np.zeros((3, 4)), np.zeros(2))
+
+    def test_label_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            contrastive_loss(np.zeros((2, 4)), np.zeros((2, 4)), np.zeros(3))
+
+
+class TestMNRLoss:
+    def test_perfectly_aligned_pairs_have_low_loss(self, rng):
+        anchors = _unit_rows(rng, 8, 16)
+        loss_aligned, _, _ = multiple_negatives_ranking_loss(anchors, anchors.copy())
+        shuffled = anchors[::-1].copy()
+        loss_shuffled, _, _ = multiple_negatives_ranking_loss(anchors, shuffled)
+        assert loss_aligned < loss_shuffled
+
+    def test_gradients_push_diagonal_up(self, rng):
+        anchors = _unit_rows(rng, 5, 8)
+        positives = _unit_rows(rng, 5, 8)
+        loss, ga, _ = multiple_negatives_ranking_loss(anchors, positives, scale=10.0)
+        # Taking a small step along -grad should decrease the loss.
+        stepped = anchors - 0.01 * ga
+        loss2, _, _ = multiple_negatives_ranking_loss(stepped, positives, scale=10.0)
+        assert loss2 < loss
+
+    def test_numerical_gradient(self, rng):
+        anchors = _unit_rows(rng, 4, 5)
+        positives = _unit_rows(rng, 4, 5)
+        _, ga, gp = multiple_negatives_ranking_loss(anchors, positives, scale=5.0)
+        eps = 1e-6
+        i, j = 1, 2
+        ap = anchors.copy(); ap[i, j] += eps
+        am = anchors.copy(); am[i, j] -= eps
+        lp, _, _ = multiple_negatives_ranking_loss(ap, positives, scale=5.0)
+        lm, _, _ = multiple_negatives_ranking_loss(am, positives, scale=5.0)
+        assert (lp - lm) / (2 * eps) == pytest.approx(ga[i, j], abs=1e-5)
+        pp = positives.copy(); pp[i, j] += eps
+        pm = positives.copy(); pm[i, j] -= eps
+        lp, _, _ = multiple_negatives_ranking_loss(anchors, pp, scale=5.0)
+        lm, _, _ = multiple_negatives_ranking_loss(anchors, pm, scale=5.0)
+        assert (lp - lm) / (2 * eps) == pytest.approx(gp[i, j], abs=1e-5)
+
+    def test_empty_batch(self):
+        loss, ga, gp = multiple_negatives_ranking_loss(np.zeros((0, 4)), np.zeros((0, 4)))
+        assert loss == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            multiple_negatives_ranking_loss(np.zeros((2, 4)), np.zeros((2, 5)))
+
+
+class TestCombinedLoss:
+    def test_reduces_to_contrastive_when_mnr_disabled(self, rng):
+        a = _unit_rows(rng, 6, 8)
+        b = _unit_rows(rng, 6, 8)
+        labels = np.array([1, 0, 1, 0, 1, 0])
+        c_loss, c_ga, _ = contrastive_loss(a, b, labels)
+        loss, ga, _ = combined_multitask_loss(a, b, labels, mnr_weight=0.0)
+        assert loss == pytest.approx(c_loss)
+        assert np.allclose(ga, c_ga)
+
+    def test_mnr_term_only_touches_positive_rows(self, rng):
+        a = _unit_rows(rng, 6, 8)
+        b = _unit_rows(rng, 6, 8)
+        labels = np.array([1, 0, 1, 0, 1, 0])
+        _, ga_no_mnr, _ = combined_multitask_loss(a, b, labels, mnr_weight=0.0)
+        _, ga_mnr, _ = combined_multitask_loss(a, b, labels, mnr_weight=1.0)
+        neg_rows = labels < 0.5
+        assert np.allclose(ga_no_mnr[neg_rows], ga_mnr[neg_rows])
+        assert not np.allclose(ga_no_mnr[~neg_rows], ga_mnr[~neg_rows])
+
+    def test_single_positive_skips_mnr(self, rng):
+        a = _unit_rows(rng, 3, 8)
+        b = _unit_rows(rng, 3, 8)
+        labels = np.array([1, 0, 0])
+        loss_with, _, _ = combined_multitask_loss(a, b, labels, mnr_weight=5.0)
+        loss_without, _, _ = combined_multitask_loss(a, b, labels, mnr_weight=0.0)
+        assert loss_with == pytest.approx(loss_without)
+
+    def test_weights_scale_loss(self, rng):
+        a = _unit_rows(rng, 6, 8)
+        b = _unit_rows(rng, 6, 8)
+        labels = np.array([1, 1, 1, 0, 0, 0])
+        loss1, _, _ = combined_multitask_loss(a, b, labels, contrastive_weight=1.0, mnr_weight=0.0)
+        loss2, _, _ = combined_multitask_loss(a, b, labels, contrastive_weight=2.0, mnr_weight=0.0)
+        assert loss2 == pytest.approx(2.0 * loss1)

@@ -1,0 +1,200 @@
+"""Tests for the metrics package and the simulated LLM service."""
+
+import numpy as np
+import pytest
+
+from repro.llm.latency import LatencyModel, LatencyModelConfig
+from repro.llm.responses import ResponseGenerator, count_tokens
+from repro.llm.service import LLMServiceConfig, SimulatedLLMService
+from repro.metrics.classification import (
+    ConfusionMatrix,
+    accuracy,
+    confusion_matrix,
+    evaluate_decisions,
+    fbeta_score,
+    precision,
+    recall,
+)
+from repro.metrics.reporting import format_confusion_matrix, format_metric_comparison, format_table
+from repro.metrics.timing import SimulatedClock, Timer
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        y_true = [True, True, False, False, True]
+        y_pred = [True, False, True, False, True]
+        cm = confusion_matrix(y_true, y_pred)
+        assert (cm.tp, cm.fn, cm.fp, cm.tn) == (2, 1, 1, 1)
+
+    def test_metric_values(self):
+        cm = ConfusionMatrix(true_hits=60, false_hits=40, true_misses=160, false_misses=40)
+        assert cm.precision() == pytest.approx(0.6)
+        assert cm.recall() == pytest.approx(0.6)
+        assert cm.accuracy() == pytest.approx(220 / 300)
+        assert cm.f1() == pytest.approx(0.6)
+
+    def test_fbeta_weights_precision(self):
+        high_p = ConfusionMatrix(true_hits=50, false_hits=5, true_misses=100, false_misses=50)
+        high_r = ConfusionMatrix(true_hits=95, false_hits=90, true_misses=15, false_misses=5)
+        # Same F1-ish ballpark, but F0.5 must prefer the high-precision system.
+        assert high_p.fbeta(0.5) > high_r.fbeta(0.5)
+
+    def test_degenerate_cases_are_zero_not_nan(self):
+        cm = ConfusionMatrix(0, 0, 10, 0)
+        assert cm.precision() == 0.0
+        assert cm.recall() == 0.0
+        assert cm.fbeta() == 0.0
+
+    def test_as_array_layout(self):
+        cm = ConfusionMatrix(true_hits=3, false_hits=2, true_misses=5, false_misses=1)
+        arr = cm.as_array()
+        assert arr[0, 0] == 5 and arr[0, 1] == 2 and arr[1, 0] == 1 and arr[1, 1] == 3
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            ConfusionMatrix(1, 1, 1, 1).fbeta(0.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([True], [True, False])
+
+    def test_wrapper_functions_agree(self):
+        y_true = np.array([True, False, True, False])
+        y_pred = np.array([True, True, False, False])
+        cm = confusion_matrix(y_true, y_pred)
+        assert precision(y_true, y_pred) == cm.precision()
+        assert recall(y_true, y_pred) == cm.recall()
+        assert accuracy(y_true, y_pred) == cm.accuracy()
+        assert fbeta_score(y_true, y_pred) == cm.fbeta(0.5)
+        assert evaluate_decisions(y_true, y_pred)["f_score"] == cm.fbeta(0.5)
+
+    def test_false_hit_rate(self):
+        cm = ConfusionMatrix(true_hits=10, false_hits=25, true_misses=75, false_misses=5)
+        assert cm.false_hit_rate() == pytest.approx(0.25)
+
+
+class TestReporting:
+    def test_format_table_contains_cells(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 3.0]])
+        assert "2.500" in text and "x" in text
+
+    def test_format_confusion_matrix(self):
+        cm = ConfusionMatrix(1, 2, 3, 4)
+        text = format_confusion_matrix(cm, "demo")
+        assert "demo" in text and "3" in text
+
+    def test_format_metric_comparison(self):
+        text = format_metric_comparison(
+            {"A": {"precision": 0.5}, "B": {"precision": 0.7}}, metrics=("precision",)
+        )
+        assert "0.700" in text and "A" in text
+
+
+class TestTiming:
+    def test_timer_records_durations(self):
+        timer = Timer()
+        with timer:
+            sum(range(1000))
+        assert timer.last >= 0.0
+        assert len(timer.durations) == 1
+        assert timer.mean == timer.total
+
+    def test_timer_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.durations == [] and timer.last == 0.0
+
+    def test_simulated_clock(self):
+        clock = SimulatedClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == pytest.approx(2.0)
+        assert clock.history == [1.5, 0.5]
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestLatencyModel:
+    def test_expected_latency_grows_with_tokens(self):
+        model = LatencyModel(seed=0)
+        assert model.expected(10, 100) > model.expected(10, 10)
+
+    def test_sample_respects_minimum(self):
+        config = LatencyModelConfig(jitter_std=10.0, min_latency=0.02)
+        model = LatencyModel(config, seed=1)
+        samples = [model.sample(5, 5) for _ in range(50)]
+        assert min(samples) >= 0.02
+
+    def test_deterministic_given_seed(self):
+        a = LatencyModel(seed=7)
+        b = LatencyModel(seed=7)
+        assert [a.sample(10, 50) for _ in range(5)] == [b.sample(10, 50) for _ in range(5)]
+
+    def test_negative_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(seed=0).sample(-1, 10)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            LatencyModelConfig(decode_per_token=-1.0)
+
+    def test_llm_scale_latency_magnitude(self):
+        # ~50-token responses should land in the hundreds of milliseconds,
+        # matching the magnitudes in the paper's Figure 5.
+        model = LatencyModel(seed=0)
+        assert 0.2 < model.expected(20, 50) < 2.0
+
+
+class TestResponses:
+    def test_deterministic_per_query(self):
+        gen = ResponseGenerator(response_tokens=50)
+        assert gen.generate("sort a list") == gen.generate("sort a list")
+
+    def test_token_budget_respected(self):
+        gen = ResponseGenerator(response_tokens=50)
+        assert count_tokens(gen.generate("anything at all")) == 50
+
+    def test_different_queries_differ(self):
+        gen = ResponseGenerator()
+        assert gen.generate("query one") != gen.generate("a different query")
+
+    def test_invalid_token_count(self):
+        with pytest.raises(ValueError):
+            ResponseGenerator(response_tokens=0)
+
+
+class TestSimulatedService:
+    def test_query_returns_response_and_accounting(self):
+        service = SimulatedLLMService()
+        resp = service.query("How do I sort a list in python?", client_id="u1")
+        assert resp.response_tokens == 50
+        assert resp.latency_s > 0
+        assert service.stats.n_requests == 1
+        assert service.client_stats("u1").n_requests == 1
+        assert service.client_stats("unknown").n_requests == 0
+
+    def test_context_increases_prompt_tokens(self):
+        service = SimulatedLLMService()
+        short = service.query("change the color to red")
+        long = service.query("change the color to red", context=["draw a big line plot in python please"])
+        assert long.prompt_tokens > short.prompt_tokens
+
+    def test_cost_positive_and_accumulates(self):
+        service = SimulatedLLMService()
+        service.query("a")
+        service.query("b")
+        assert service.stats.total_cost_usd > 0
+
+    def test_empty_prompt_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedLLMService().query("   ")
+
+    def test_reset_stats(self):
+        service = SimulatedLLMService()
+        service.query("a")
+        service.reset_stats()
+        assert service.stats.n_requests == 0

@@ -1,0 +1,233 @@
+"""Unit tests for the siamese encoder."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.model import EncoderConfig, SiameseEncoder
+from repro.embeddings.pca import PCA
+from repro.embeddings.similarity import cosine_similarity
+
+from conftest import make_tiny_encoder
+
+
+class TestConfigValidation:
+    def test_negative_anisotropy_rejected(self):
+        with pytest.raises(ValueError):
+            EncoderConfig(anisotropy=-0.1)
+
+    def test_negative_text_noise_rejected(self):
+        with pytest.raises(ValueError):
+            EncoderConfig(text_noise=-0.1)
+
+    def test_zero_hidden_rejected(self):
+        with pytest.raises(ValueError):
+            EncoderConfig(hidden_dim=0)
+
+
+class TestForward:
+    def test_embeddings_are_unit_norm(self, tiny_encoder):
+        emb = tiny_encoder.encode(["sort a list in python", "bake a cake"])
+        norms = np.linalg.norm(emb, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_single_text_returns_vector(self, tiny_encoder):
+        emb = tiny_encoder.encode("sort a list in python")
+        assert emb.shape == (tiny_encoder.config.output_dim,)
+
+    def test_batch_shape(self, tiny_encoder):
+        emb = tiny_encoder.encode(["a", "b", "c"])
+        assert emb.shape == (3, tiny_encoder.config.output_dim)
+
+    def test_deterministic(self, tiny_encoder):
+        text = "merge two sorted arrays"
+        assert np.allclose(tiny_encoder.encode(text), tiny_encoder.encode(text))
+
+    def test_same_config_same_embeddings(self):
+        a = make_tiny_encoder(seed=9)
+        b = make_tiny_encoder(seed=9)
+        text = "merge two sorted arrays"
+        assert np.allclose(a.encode(text), b.encode(text))
+
+    def test_paraphrase_closer_than_unrelated(self, tiny_encoder):
+        q = tiny_encoder.encode("How can I sort a list in python?")
+        dup = tiny_encoder.encode("What is the best way to order a python list?")
+        other = tiny_encoder.encode("Tips for how to grill salmon fillets")
+        assert cosine_similarity(q, dup) > cosine_similarity(q, other)
+
+    def test_anisotropy_raises_unrelated_similarity(self):
+        flat = make_tiny_encoder(seed=4, anisotropy=0.0)
+        skew = make_tiny_encoder(seed=4, anisotropy=2.0)
+        a, b = "sort a python list", "grill salmon fillets tonight"
+        sim_flat = cosine_similarity(flat.encode(a), flat.encode(b))
+        sim_skew = cosine_similarity(skew.encode(a), skew.encode(b))
+        assert sim_skew > sim_flat
+
+
+class TestBackward:
+    def test_numerical_gradient_of_parameters(self, tiny_encoder):
+        texts = ["sort a list in python", "bake chocolate cookies"]
+        X = tiny_encoder.featurize(texts)
+        target = np.ones((2, tiny_encoder.config.output_dim)) / np.sqrt(tiny_encoder.config.output_dim)
+
+        def loss_value():
+            E = tiny_encoder.forward(X)
+            return float(0.5 * np.sum((E - target) ** 2))
+
+        cache = {}
+        E = tiny_encoder.forward(X, cache)
+        grads = tiny_encoder.backward(cache, E - target)
+        params = [tiny_encoder.W1, tiny_encoder.b1, tiny_encoder.W2, tiny_encoder.b2]
+        eps = 1e-6
+        # Spot-check a few coordinates of every parameter tensor.
+        rng = np.random.default_rng(0)
+        for p, g in zip(params, grads):
+            flat_idx = rng.choice(p.size, size=3, replace=False)
+            for idx in flat_idx:
+                orig = p.flat[idx]
+                p.flat[idx] = orig + eps
+                up = loss_value()
+                p.flat[idx] = orig - eps
+                down = loss_value()
+                p.flat[idx] = orig
+                numeric = (up - down) / (2 * eps)
+                assert numeric == pytest.approx(g.flat[idx], rel=1e-3, abs=1e-6)
+
+
+class TestParameters:
+    def test_get_set_roundtrip(self, tiny_encoder):
+        # Same architecture/config (same seed -> same featurizer hash and
+        # anisotropy direction); transferring parameters must transfer the
+        # embedding function exactly.  This is what FedAvg relies on.
+        params = tiny_encoder.get_parameters()
+        tiny_encoder.train_on_pairs([("a b c", "a b c d", 1)] * 4, epochs=1)
+        other = make_tiny_encoder(seed=tiny_encoder.config.seed)
+        other.set_parameters(params)
+        tiny_encoder.set_parameters(params)
+        text = "reverse a linked list"
+        assert np.allclose(tiny_encoder.encode(text), other.encode(text))
+
+    def test_get_parameters_returns_copies(self, tiny_encoder):
+        params = tiny_encoder.get_parameters()
+        params[0][:] = 0.0
+        assert not np.allclose(tiny_encoder.W1, 0.0)
+
+    def test_set_wrong_count_rejected(self, tiny_encoder):
+        with pytest.raises(ValueError):
+            tiny_encoder.set_parameters(tiny_encoder.get_parameters()[:2])
+
+    def test_set_wrong_shape_rejected(self, tiny_encoder):
+        params = tiny_encoder.get_parameters()
+        params[0] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            tiny_encoder.set_parameters(params)
+
+    def test_parameter_count(self, tiny_encoder):
+        cfg = tiny_encoder.config
+        expected = (
+            cfg.n_features * cfg.hidden_dim
+            + cfg.hidden_dim
+            + cfg.hidden_dim * cfg.output_dim
+            + cfg.output_dim
+        )
+        assert tiny_encoder.parameter_count() == expected
+
+    def test_state_dict_roundtrip(self, tiny_encoder):
+        state = tiny_encoder.state_dict()
+        other = make_tiny_encoder(seed=tiny_encoder.config.seed)
+        other.W2[:] = 0.0
+        other.load_state_dict(state)
+        assert np.allclose(other.W2, tiny_encoder.W2)
+
+    def test_clone_is_independent(self, tiny_encoder):
+        clone = tiny_encoder.clone()
+        clone.W1[:] = 0.0
+        assert not np.allclose(tiny_encoder.W1, 0.0)
+
+
+class TestTraining:
+    def test_training_reduces_loss(self, tiny_encoder):
+        pairs = [
+            ("sort a list in python", "order a python list", 1),
+            ("sort a list in python", "grill salmon fillets", 0),
+            ("extend my phone battery", "improve my smartphone battery life", 1),
+            ("extend my phone battery", "write a cover letter", 0),
+            ("bake chocolate chip cookies", "make cookies with chocolate chips", 1),
+            ("bake chocolate chip cookies", "plan a trip to japan", 0),
+        ] * 4
+        # Disable the MNR term here: the toy batch repeats identical positive
+        # pairs, which makes in-batch negatives identical to the positives and
+        # gives MNR an irreducible floor.  The contrastive objective must
+        # decrease monotonically enough to end below its starting value.
+        losses = tiny_encoder.train_on_pairs(pairs, epochs=5, batch_size=8, mnr_weight=0.0)
+        assert len(losses) == 5
+        assert losses[-1] < losses[0]
+
+    def test_training_improves_separation(self, tiny_encoder):
+        dup = ("sort a list in python", "order a python list")
+        neg = ("sort a list in python", "reverse a list in python")
+        before_gap = cosine_similarity(
+            tiny_encoder.encode(dup[0]), tiny_encoder.encode(dup[1])
+        ) - cosine_similarity(tiny_encoder.encode(neg[0]), tiny_encoder.encode(neg[1]))
+        pairs = [(*dup, 1), (*neg, 0)] * 16
+        tiny_encoder.train_on_pairs(pairs, epochs=8, batch_size=8)
+        after_gap = cosine_similarity(
+            tiny_encoder.encode(dup[0]), tiny_encoder.encode(dup[1])
+        ) - cosine_similarity(tiny_encoder.encode(neg[0]), tiny_encoder.encode(neg[1]))
+        assert after_gap > before_gap
+
+    def test_empty_pairs_is_noop(self, tiny_encoder):
+        before = tiny_encoder.get_parameters()
+        losses = tiny_encoder.train_on_pairs([], epochs=3)
+        assert losses == [0.0, 0.0, 0.0]
+        after = tiny_encoder.get_parameters()
+        assert all(np.allclose(b, a) for b, a in zip(before, after))
+
+
+class TestPCAIntegration:
+    def test_fit_pca_changes_embedding_dim(self, tiny_encoder):
+        texts = [f"question number {i} about topic {i % 7}" for i in range(40)]
+        tiny_encoder.fit_pca(texts, n_components=8)
+        assert tiny_encoder.embedding_dim == 8
+        emb = tiny_encoder.encode("a new question", compress=True)
+        assert emb.shape == (8,)
+
+    def test_uncompressed_encode_still_available(self, tiny_encoder):
+        texts = [f"question number {i} about topic {i % 7}" for i in range(40)]
+        tiny_encoder.fit_pca(texts, n_components=8)
+        emb = tiny_encoder.encode("a new question", compress=False)
+        assert emb.shape == (tiny_encoder.config.output_dim,)
+
+    def test_attach_unfitted_pca_rejected(self, tiny_encoder):
+        with pytest.raises(ValueError):
+            tiny_encoder.attach_pca(PCA(n_components=4))
+
+    def test_attach_wrong_dim_pca_rejected(self, tiny_encoder):
+        pca = PCA(n_components=4)
+        pca.fit(np.random.default_rng(0).normal(size=(20, 16)))
+        with pytest.raises(ValueError):
+            tiny_encoder.attach_pca(pca)
+
+    def test_detach_pca(self, tiny_encoder):
+        texts = [f"question {i}" for i in range(30)]
+        tiny_encoder.fit_pca(texts, n_components=4)
+        tiny_encoder.detach_pca()
+        assert tiny_encoder.embedding_dim == tiny_encoder.config.output_dim
+
+
+class TestTextNoise:
+    def test_noise_is_deterministic_per_text(self):
+        cfg = EncoderConfig(n_features=256, hidden_dim=32, output_dim=64, seed=3, text_noise=0.5)
+        enc = SiameseEncoder(cfg)
+        a = enc.encode("sort a list in python")
+        b = enc.encode("sort a list in python")
+        assert np.allclose(a, b)
+
+    def test_noise_reduces_paraphrase_similarity(self):
+        clean = SiameseEncoder(EncoderConfig(n_features=256, hidden_dim=32, output_dim=64, seed=3))
+        noisy = SiameseEncoder(
+            EncoderConfig(n_features=256, hidden_dim=32, output_dim=64, seed=3, text_noise=0.8)
+        )
+        q, dup = "sort a list in python", "order a python list"
+        sim_clean = cosine_similarity(clean.encode(q), clean.encode(dup))
+        sim_noisy = cosine_similarity(noisy.encode(q), noisy.encode(dup))
+        assert sim_noisy < sim_clean

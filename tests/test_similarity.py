@@ -1,0 +1,109 @@
+"""Unit tests for cosine similarity and top-k semantic search."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.similarity import (
+    SearchHit,
+    cosine_similarity,
+    pairwise_cosine,
+    semantic_search,
+)
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(0.0)
+
+    def test_opposite_vectors(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([-1.0, 0.0])) == pytest.approx(-1.0)
+
+    def test_matrix_output_shape(self, rng):
+        A = rng.normal(size=(3, 5))
+        B = rng.normal(size=(4, 5))
+        assert cosine_similarity(A, B).shape == (3, 4)
+
+    def test_scale_invariance(self, rng):
+        a = rng.normal(size=8)
+        b = rng.normal(size=8)
+        assert cosine_similarity(a, b) == pytest.approx(cosine_similarity(10 * a, 0.1 * b))
+
+    def test_zero_vector_is_safe(self):
+        assert cosine_similarity(np.zeros(4), np.ones(4)) == pytest.approx(0.0)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            cosine_similarity(np.ones(3), np.ones(4))
+
+
+class TestPairwiseCosine:
+    def test_matches_elementwise_cosine(self, rng):
+        A = rng.normal(size=(6, 7))
+        B = rng.normal(size=(6, 7))
+        sims = pairwise_cosine(A, B)
+        for i in range(6):
+            assert sims[i] == pytest.approx(cosine_similarity(A[i], B[i]))
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            pairwise_cosine(rng.normal(size=(3, 4)), rng.normal(size=(4, 4)))
+
+
+class TestSemanticSearch:
+    def test_finds_exact_match_first(self, rng):
+        corpus = rng.normal(size=(50, 16))
+        query = corpus[17]
+        hits = semantic_search(query, corpus, top_k=3)[0]
+        assert hits[0].index == 17
+        assert hits[0].score == pytest.approx(1.0)
+
+    def test_scores_sorted_descending(self, rng):
+        corpus = rng.normal(size=(30, 8))
+        hits = semantic_search(rng.normal(size=8), corpus, top_k=10)[0]
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_k_capped_by_corpus_size(self, rng):
+        corpus = rng.normal(size=(4, 8))
+        hits = semantic_search(rng.normal(size=8), corpus, top_k=10)[0]
+        assert len(hits) == 4
+
+    def test_threshold_filters_hits(self, rng):
+        corpus = rng.normal(size=(20, 8))
+        hits = semantic_search(rng.normal(size=8), corpus, top_k=20, score_threshold=2.0)[0]
+        assert hits == []
+
+    def test_empty_corpus(self):
+        assert semantic_search(np.ones(4), np.zeros((0, 4)), top_k=3) == [[]]
+
+    def test_multiple_queries(self, rng):
+        corpus = rng.normal(size=(25, 8))
+        queries = rng.normal(size=(3, 8))
+        results = semantic_search(queries, corpus, top_k=2)
+        assert len(results) == 3
+        assert all(len(r) == 2 for r in results)
+
+    def test_chunked_search_matches_unchunked(self, rng):
+        corpus = rng.normal(size=(200, 8))
+        query = rng.normal(size=8)
+        full = semantic_search(query, corpus, top_k=5)[0]
+        chunked = semantic_search(query, corpus, top_k=5, chunk_size=17)[0]
+        assert [h.index for h in full] == [h.index for h in chunked]
+        assert np.allclose([h.score for h in full], [h.score for h in chunked])
+
+    def test_invalid_top_k(self, rng):
+        with pytest.raises(ValueError):
+            semantic_search(np.ones(4), rng.normal(size=(5, 4)), top_k=0)
+
+    def test_dim_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            semantic_search(np.ones(3), rng.normal(size=(5, 4)))
+
+    def test_hit_is_named_tuple_like(self, rng):
+        hits = semantic_search(np.ones(4), np.eye(4), top_k=1)[0]
+        assert isinstance(hits[0], SearchHit)
+        assert isinstance(hits[0].index, int)

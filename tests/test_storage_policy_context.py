@@ -1,0 +1,172 @@
+"""Tests for the storage backends, eviction policies and context chains."""
+
+import numpy as np
+import pytest
+
+from repro.core.context import ContextChain, context_matches
+from repro.core.policy import FIFOPolicy, LFUPolicy, LRUPolicy, make_policy
+from repro.core.storage import DiskStore, InMemoryStore, object_nbytes
+
+from conftest import make_tiny_encoder
+
+
+class TestObjectNbytes:
+    def test_array_counts_buffer(self):
+        assert object_nbytes(np.zeros(10, dtype=np.float64)) == 80
+
+    def test_string_counts_utf8(self):
+        assert object_nbytes("abcd") == 4
+
+    def test_containers_sum_members(self):
+        assert object_nbytes(["ab", "cd"]) == 4
+        assert object_nbytes({"k": "vv"}) == 3
+
+
+class TestInMemoryStore:
+    def test_set_get_delete(self):
+        store = InMemoryStore()
+        store.set("a", {"x": 1})
+        assert "a" in store and store.get("a") == {"x": 1}
+        store.delete("a")
+        assert "a" not in store
+        with pytest.raises(KeyError):
+            store.get("a")
+
+    def test_nbytes_tracks_content(self):
+        store = InMemoryStore()
+        store.set("k", np.zeros(100))
+        assert store.nbytes() >= 800
+        store.delete("k")
+        assert store.nbytes() == 0
+
+    def test_clear(self):
+        store = InMemoryStore()
+        for i in range(5):
+            store.set(f"k{i}", i)
+        store.clear()
+        assert len(store) == 0
+
+
+class TestDiskStore:
+    def test_persistence_across_instances(self, tmp_path):
+        store = DiskStore(tmp_path / "cache")
+        store.set("query:1", {"text": "hello", "emb": np.arange(4.0)})
+        reopened = DiskStore(tmp_path / "cache")
+        value = reopened.get("query:1")
+        assert value["text"] == "hello"
+        assert np.allclose(value["emb"], np.arange(4.0))
+
+    def test_overwrite_key(self, tmp_path):
+        store = DiskStore(tmp_path / "c")
+        store.set("k", 1)
+        store.set("k", 2)
+        assert store.get("k") == 2
+        assert len(store) == 1
+
+    def test_delete_removes_file(self, tmp_path):
+        store = DiskStore(tmp_path / "c")
+        store.set("k", "v")
+        store.delete("k")
+        assert "k" not in store
+        assert DiskStore(tmp_path / "c").keys() == []
+
+    def test_nbytes_positive(self, tmp_path):
+        store = DiskStore(tmp_path / "c")
+        store.set("k", np.zeros(64))
+        assert store.nbytes() > 0
+
+    def test_missing_key(self, tmp_path):
+        with pytest.raises(KeyError):
+            DiskStore(tmp_path / "c").get("nope")
+
+
+class TestPolicies:
+    def test_lru_evicts_least_recently_used(self):
+        policy = LRUPolicy()
+        for i in range(3):
+            policy.record_insert(i)
+        policy.record_access(0)  # 0 becomes most recent; 1 is oldest now
+        assert policy.select_victim() == 1
+
+    def test_lfu_evicts_least_frequent(self):
+        policy = LFUPolicy()
+        for i in range(3):
+            policy.record_insert(i)
+        policy.record_access(0)
+        policy.record_access(0)
+        policy.record_access(2)
+        assert policy.select_victim() == 1
+
+    def test_lfu_ties_break_by_recency(self):
+        policy = LFUPolicy()
+        policy.record_insert(1)
+        policy.record_insert(2)
+        policy.record_access(1)
+        policy.record_access(2)
+        # equal counts; 1 was accessed earlier -> evict 1
+        assert policy.select_victim() == 1
+
+    def test_fifo_ignores_accesses(self):
+        policy = FIFOPolicy()
+        policy.record_insert(1)
+        policy.record_insert(2)
+        policy.record_access(1)
+        assert policy.select_victim() == 1
+
+    def test_remove_forgets_entry(self):
+        policy = LRUPolicy()
+        policy.record_insert(1)
+        policy.record_insert(2)
+        policy.record_remove(1)
+        assert policy.select_victim() == 2
+        assert len(policy) == 1
+
+    def test_empty_policy_raises(self):
+        for policy in (LRUPolicy(), LFUPolicy(), FIFOPolicy()):
+            with pytest.raises(LookupError):
+                policy.select_victim()
+
+    def test_factory(self):
+        assert isinstance(make_policy("lru"), LRUPolicy)
+        assert isinstance(make_policy("LFU"), LFUPolicy)
+        assert isinstance(make_policy("fifo"), FIFOPolicy)
+        with pytest.raises(ValueError):
+            make_policy("random")
+
+
+class TestContextChain:
+    def test_empty_chain(self):
+        chain = ContextChain.empty()
+        assert chain.is_empty and chain.depth == 0
+
+    def test_from_texts_builds_embedding(self):
+        enc = make_tiny_encoder()
+        chain = ContextChain.from_texts(["draw a line plot in python"], encoder=enc)
+        assert chain.embedding is not None
+        assert np.isclose(np.linalg.norm(chain.embedding), 1.0)
+
+    def test_standalone_matches_standalone(self):
+        assert context_matches(ContextChain.empty(), ContextChain.empty())
+
+    def test_standalone_never_matches_contextual(self):
+        enc = make_tiny_encoder()
+        contextual = ContextChain.from_texts(["draw a plot"], encoder=enc)
+        assert not context_matches(ContextChain.empty(), contextual)
+        assert not context_matches(contextual, ContextChain.empty())
+
+    def test_similar_contexts_match(self):
+        enc = make_tiny_encoder()
+        a = ContextChain.from_texts(["How can I plot a line plot in matplotlib?"], encoder=enc)
+        b = ContextChain.from_texts(["Please show me how to draw a line plot in matplotlib"], encoder=enc)
+        c = ContextChain.from_texts(["Tips for how to grill salmon fillets"], encoder=enc)
+        assert a.similarity_to(b) > a.similarity_to(c)
+
+    def test_missing_embedding_never_matches(self):
+        a = ContextChain(texts=("x",), embedding=None)
+        b = ContextChain(texts=("y",), embedding=None)
+        assert not context_matches(a, b)
+
+    def test_empty_similarity_conventions(self):
+        assert ContextChain.empty().similarity_to(ContextChain.empty()) == 1.0
+        a = ContextChain(texts=("x",), embedding=np.ones(4))
+        assert ContextChain.empty().similarity_to(a) == 0.0

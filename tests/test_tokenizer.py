@@ -1,0 +1,100 @@
+"""Unit tests for the tokenizer."""
+
+import pytest
+
+from repro.embeddings.tokenizer import DEFAULT_STOPWORDS, Tokenizer, TokenizerConfig
+
+
+class TestTokenizerConfig:
+    def test_default_config_is_valid(self):
+        cfg = TokenizerConfig()
+        assert cfg.char_ngram_min <= cfg.char_ngram_max
+
+    def test_invalid_ngram_range_rejected(self):
+        with pytest.raises(ValueError):
+            TokenizerConfig(char_ngram_min=5, char_ngram_max=3)
+
+    def test_zero_min_ngram_rejected(self):
+        with pytest.raises(ValueError):
+            TokenizerConfig(char_ngram_min=0)
+
+
+class TestWords:
+    def test_lowercases(self):
+        tok = Tokenizer()
+        assert "python" in tok.words("PYTHON Plotting")
+
+    def test_removes_stopwords(self):
+        tok = Tokenizer()
+        words = tok.words("what is the best way to sort a list")
+        assert "the" not in words
+        assert "sort" in words and "list" in words
+
+    def test_keeps_stopwords_when_disabled(self):
+        tok = Tokenizer(TokenizerConfig(remove_stopwords=False))
+        assert "the" in tok.words("the list")
+
+    def test_all_stopword_query_falls_back_to_raw_words(self):
+        tok = Tokenizer()
+        # Every token is a stop word; the tokenizer must not return nothing.
+        words = tok.words("what is this")
+        assert words, "a non-empty query must produce at least one token"
+
+    def test_punctuation_is_not_a_token(self):
+        tok = Tokenizer()
+        words = tok.words("sort, a list!?")
+        assert all(w.isalnum() or "'" in w for w in words)
+
+    def test_empty_string(self):
+        assert Tokenizer().words("") == []
+
+
+class TestCharNgrams:
+    def test_boundary_markers_present(self):
+        tok = Tokenizer()
+        grams = tok.char_ngrams("cat")
+        assert "#ca" in grams and "at#" in grams
+
+    def test_disabled_ngrams(self):
+        tok = Tokenizer(TokenizerConfig(char_ngram_max=0))
+        assert tok.char_ngrams("python") == []
+
+    def test_short_word_shorter_than_ngram(self):
+        tok = Tokenizer(TokenizerConfig(char_ngram_min=4, char_ngram_max=4))
+        # marked form "#ab#" has length 4 -> exactly one gram
+        assert tok.char_ngrams("ab") == ["#ab#"]
+
+    def test_ngram_lengths_respected(self):
+        cfg = TokenizerConfig(char_ngram_min=3, char_ngram_max=4)
+        tok = Tokenizer(cfg)
+        grams = tok.char_ngrams("sorting")
+        assert all(3 <= len(g) <= 4 for g in grams)
+
+
+class TestTokenize:
+    def test_char_grams_are_prefixed(self):
+        tok = Tokenizer()
+        tokens = tok.tokenize("sort")
+        assert "sort" in tokens
+        assert any(t.startswith("cg:") for t in tokens)
+
+    def test_deterministic(self):
+        tok = Tokenizer()
+        text = "How can I extend the battery life of my phone?"
+        assert tok.tokenize(text) == tok.tokenize(text)
+
+    def test_batch_matches_single(self):
+        tok = Tokenizer()
+        texts = ["sort a list", "bake a cake"]
+        assert tok.tokenize_batch(texts) == [tok.tokenize(t) for t in texts]
+
+    def test_shared_words_give_shared_tokens(self):
+        tok = Tokenizer()
+        t1 = set(tok.tokenize("sort a python list"))
+        t2 = set(tok.tokenize("order a python list"))
+        assert "python" in t1 & t2
+
+    def test_scaffolding_words_are_stopwords(self):
+        # Question scaffolding must not contribute tokens (it is shared by
+        # nearly every query and would inflate unrelated similarity).
+        assert {"how", "best", "way", "please"} <= DEFAULT_STOPWORDS
