@@ -23,9 +23,10 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.storage import object_nbytes
+from repro.core.validation import require_query_text, require_query_texts
 from repro.embeddings.model import SiameseEncoder
-from repro.embeddings.similarity import SearchHit, semantic_search
 from repro.embeddings.zoo import load_encoder
+from repro.index import FlatIndex, IndexHit
 
 
 @dataclass(frozen=True)
@@ -55,7 +56,7 @@ class GPTCacheDecision:
     response: Optional[str] = None
     matched_query: Optional[str] = None
     similarity: float = 0.0
-    candidates: List[SearchHit] = field(default_factory=list)
+    candidates: List[IndexHit] = field(default_factory=list)
     embed_time_s: float = 0.0
     search_time_s: float = 0.0
     network_time_s: float = 0.0
@@ -93,7 +94,8 @@ class GPTCache:
         self.config = config or GPTCacheConfig()
         self.encoder = encoder or load_encoder(self.config.encoder_name)
         self._entries: List[_StoredEntry] = []
-        self._embeddings: Optional[np.ndarray] = None
+        # The baseline never evicts, so index ids coincide with list positions.
+        self._index = FlatIndex()
         self.lookups = 0
         self.hits = 0
 
@@ -111,8 +113,12 @@ class GPTCache:
         return sorted({e.user_id for e in self._entries})
 
     def embedding_storage_bytes(self) -> int:
-        """Bytes used by cached embeddings."""
-        return int(self._embeddings.nbytes) if self._embeddings is not None else 0
+        """Bytes used by the stored (float64) embeddings, as in the seed.
+
+        The index's float32 search matrix is separate bookkeeping; inspect
+        ``self._index.nbytes`` for its footprint.
+        """
+        return sum(int(e.embedding.nbytes) for e in self._entries)
 
     def total_storage_bytes(self) -> int:
         """Bytes used by the whole central cache."""
@@ -133,33 +139,36 @@ class GPTCache:
         embedding: Optional[np.ndarray] = None,
     ) -> None:
         """Store a (query, response) pair in the central cache."""
-        if not isinstance(query, str) or not query.strip():
-            raise ValueError("query must be a non-empty string")
+        require_query_text(query)
         if embedding is None:
             embedding, _ = self.embed(query)
         embedding = np.asarray(embedding, dtype=np.float64).reshape(-1)
+        self._index.add(embedding, id=len(self._entries))
         self._entries.append(
             _StoredEntry(query=query, response=response, embedding=embedding, user_id=user_id)
         )
-        if self._embeddings is None:
-            self._embeddings = embedding.reshape(1, -1).copy()
-        else:
-            self._embeddings = np.vstack([self._embeddings, embedding.reshape(1, -1)])
 
     def populate(
         self, queries: Sequence[str], responses: Optional[Sequence[str]] = None, user_id: str = "default"
     ) -> None:
-        """Bulk-insert queries (pre-loading experiment caches)."""
+        """Bulk-insert queries (pre-loading experiment caches).
+
+        The whole batch is embedded in one encoder call; each embedding is
+        then appended to the index in O(1) amortized time.
+        """
         if responses is not None and len(responses) != len(queries):
             raise ValueError("responses must align with queries")
+        queries = require_query_texts(queries)
+        if not queries:
+            return
+        embeddings = np.atleast_2d(np.asarray(self.encoder.encode(queries), dtype=np.float64))
         for i, query in enumerate(queries):
             response = responses[i] if responses is not None else f"cached response for: {query}"
-            self.insert(query, response, user_id=user_id)
+            self.insert(query, response, user_id=user_id, embedding=embeddings[i])
 
     def lookup(self, query: str, context: Sequence[str] = (), user_id: str = "default") -> GPTCacheDecision:
         """Hit/miss decision; ``context`` is accepted but ignored (no context handling)."""
-        if not isinstance(query, str) or not query.strip():
-            raise ValueError("query must be a non-empty string")
+        require_query_text(query)
         self.lookups += 1
         embedding, embed_time = self.embed(query)
         if not self._entries:
@@ -170,13 +179,57 @@ class GPTCache:
                 network_time_s=self.config.network_rtt_s,
             )
         start = time.perf_counter()
-        hits = semantic_search(
-            embedding, self._embeddings, top_k=min(self.config.top_k, len(self._entries))
+        hits = self._index.search(
+            embedding, top_k=min(self.config.top_k, len(self._entries))
         )[0]
         search_time = time.perf_counter() - start
+        return self._decide(query, hits, embed_time, search_time)
+
+    def lookup_batch(self, queries: Sequence[str], user_id: str = "default") -> List[GPTCacheDecision]:
+        """Vectorized equivalent of calling :meth:`lookup` per query in order.
+
+        One encoder call embeds the whole batch and one matmul searches it;
+        the measured embed/search wall-clock is split evenly per query.
+        """
+        queries = require_query_texts(queries)
+        if not queries:
+            return []
+        n = len(queries)
+        self.lookups += n
+        start = time.perf_counter()
+        embeddings = np.atleast_2d(np.asarray(self.encoder.encode(queries), dtype=np.float64))
+        embed_time = (time.perf_counter() - start) / n
+        if not self._entries:
+            return [
+                GPTCacheDecision(
+                    hit=False,
+                    query=query,
+                    embed_time_s=embed_time,
+                    network_time_s=self.config.network_rtt_s,
+                )
+                for query in queries
+            ]
+        start = time.perf_counter()
+        hit_lists = self._index.search(
+            embeddings, top_k=min(self.config.top_k, len(self._entries))
+        )
+        search_time = (time.perf_counter() - start) / n
+        return [
+            self._decide(query, hit_lists[i], embed_time, search_time)
+            for i, query in enumerate(queries)
+        ]
+
+    def _decide(
+        self,
+        query: str,
+        hits: List[IndexHit],
+        embed_time: float,
+        search_time: float,
+    ) -> GPTCacheDecision:
+        """Apply the fixed-threshold hit rule to one query's candidates."""
         best = hits[0] if hits else None
         if best is not None and best.score >= self.config.similarity_threshold:
-            entry = self._entries[best.index]
+            entry = self._entries[best.id]
             self.hits += 1
             return GPTCacheDecision(
                 hit=True,

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.policy import EvictionPolicy, make_policy
+from repro.core.validation import require_query_text
 from repro.embeddings.tokenizer import DEFAULT_STOPWORDS
 
 _WS_RE = re.compile(r"\s+")
@@ -71,8 +72,7 @@ class KeywordCache:
     # ------------------------------------------------------------------ #
     def insert(self, query: str, response: str) -> None:
         """Store a (query, response) pair under the normalised key."""
-        if not isinstance(query, str) or not query.strip():
-            raise ValueError("query must be a non-empty string")
+        require_query_text(query)
         key = self.normalize(query)
         while len(self._data) >= self.config.max_entries and key not in self._data:
             victim = self._policy.select_victim()
@@ -109,6 +109,16 @@ class KeywordCache:
         self.hits += 1
         self._policy.record_access(self._key_ids[key])
         return found[1]
+
+    def lookup_batch(self, queries: Sequence[str]) -> List[Optional[str]]:
+        """Look up many queries in order (the batched workload entry point).
+
+        Exact-match lookups are already O(1), so unlike the semantic caches
+        this is pure convenience: it mirrors ``MeanCache.lookup_batch`` /
+        ``GPTCache.lookup_batch`` so workload drivers treat every cache
+        uniformly.
+        """
+        return [self.lookup(query) for query in queries]
 
     @property
     def hit_rate(self) -> float:

@@ -5,7 +5,8 @@ holds the query text, its response, its (optionally PCA-compressed) embedding
 and its context chain.  On a lookup the cache:
 
 1. embeds the query with the (FL-fine-tuned) local encoder,
-2. retrieves the top-k most similar cached queries by cosine similarity,
+2. retrieves the top-k most similar cached queries by cosine similarity from
+   the incremental vector index (:class:`repro.index.FlatIndex`),
 3. keeps candidates scoring at least the adaptive threshold τ,
 4. verifies each surviving candidate's context chain against the probe's
    conversational history,
@@ -25,8 +26,9 @@ import numpy as np
 from repro.core.context import ContextChain, context_matches
 from repro.core.policy import EvictionPolicy, make_policy
 from repro.core.storage import BaseStore, object_nbytes
+from repro.core.validation import require_query_text, require_query_texts
 from repro.embeddings.model import SiameseEncoder
-from repro.embeddings.similarity import SearchHit, semantic_search
+from repro.index import FlatIndex, IndexHit
 
 
 @dataclass(frozen=True)
@@ -100,7 +102,12 @@ class CacheEntry:
 
 @dataclass
 class CacheDecision:
-    """The outcome of one lookup."""
+    """The outcome of one lookup.
+
+    For decisions produced by :meth:`MeanCache.lookup_batch`, ``embed_time_s``
+    and ``search_time_s`` are the batch's wall-clock cost divided evenly over
+    its queries (the whole batch is embedded and searched in one call).
+    """
 
     hit: bool
     query: str
@@ -108,7 +115,7 @@ class CacheDecision:
     matched_query: Optional[str] = None
     entry_id: Optional[int] = None
     similarity: float = 0.0
-    candidates: List[SearchHit] = field(default_factory=list)
+    candidates: List[IndexHit] = field(default_factory=list)
     context_verified: bool = False
     embed_time_s: float = 0.0
     search_time_s: float = 0.0
@@ -151,11 +158,10 @@ class MeanCache:
                 "config.compressed=True requires an encoder with a PCA head attached"
             )
         self.store = store
-        self._entries: List[CacheEntry] = []
-        self._embeddings: Optional[np.ndarray] = None  # (n, d) row per entry
+        self._entries: Dict[int, CacheEntry] = {}  # entry_id -> entry, insertion order
+        self._index = FlatIndex()
         self._policy: EvictionPolicy = make_policy(self.config.eviction_policy)
         self._next_id = 0
-        self._id_to_row: Dict[int, int] = {}
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------ #
@@ -166,8 +172,13 @@ class MeanCache:
 
     @property
     def entries(self) -> List[CacheEntry]:
-        """The live cache entries (row order)."""
-        return list(self._entries)
+        """The live cache entries (insertion order)."""
+        return list(self._entries.values())
+
+    @property
+    def index(self) -> FlatIndex:
+        """The vector index holding the cached query embeddings."""
+        return self._index
 
     @property
     def embedding_dim(self) -> int:
@@ -175,18 +186,22 @@ class MeanCache:
         return self.encoder.embedding_dim
 
     def embedding_storage_bytes(self) -> int:
-        """Bytes used by cached query embeddings (the Fig. 10a quantity)."""
-        if self._embeddings is None:
-            return 0
-        return int(self._embeddings.nbytes) + sum(
-            int(e.context.embedding.nbytes)
-            for e in self._entries
-            if e.context.embedding is not None
+        """Bytes used by cached query embeddings (the Fig. 10a quantity).
+
+        Counts the float64 embeddings the entries store (the seed's and the
+        paper's accounting) plus the context-chain embeddings.  The index's
+        float32 search matrix is a separate structure; inspect
+        ``cache.index.nbytes`` for its footprint.
+        """
+        return sum(
+            int(e.embedding.nbytes)
+            + (int(e.context.embedding.nbytes) if e.context.embedding is not None else 0)
+            for e in self._entries.values()
         )
 
     def total_storage_bytes(self) -> int:
         """Bytes used by the whole cache (texts + responses + embeddings)."""
-        return sum(entry.nbytes() for entry in self._entries)
+        return sum(entry.nbytes() for entry in self._entries.values())
 
     # ------------------------------------------------------------------ #
     # Embedding helpers
@@ -208,8 +223,7 @@ class MeanCache:
     # ------------------------------------------------------------------ #
     def lookup(self, query: str, context: Sequence[str] = ()) -> CacheDecision:
         """Decide hit/miss for ``query`` under conversational ``context``."""
-        if not isinstance(query, str) or not query.strip():
-            raise ValueError("query must be a non-empty string")
+        require_query_text(query)
         self.stats.lookups += 1
         embedding, embed_time = self.embed(query)
 
@@ -218,22 +232,106 @@ class MeanCache:
             return CacheDecision(hit=False, query=query, embed_time_s=embed_time)
 
         start = time.perf_counter()
-        hits = semantic_search(
+        hits = self._index.search(
             embedding,
-            self._embeddings,
             top_k=min(self.config.top_k, len(self._entries)),
         )[0]
         search_time = time.perf_counter() - start
+        return self._decide(query, context, hits, embed_time, search_time)
 
-        query_context = self._embed_context(context)
-        best: Optional[Tuple[SearchHit, CacheEntry]] = None
+    def lookup_batch(
+        self,
+        queries: Sequence[str],
+        contexts: Optional[Sequence[Sequence[str]]] = None,
+    ) -> List[CacheDecision]:
+        """Decide hit/miss for a whole batch of queries in one vectorized pass.
+
+        Equivalent to calling :meth:`lookup` on each query in order (the same
+        candidates, thresholding, context verification and stats/eviction
+        bookkeeping), but the *queries* are embedded with **one** encoder
+        call and searched with **one** matmul against the index, so per-query
+        overhead amortizes across the batch.  Context chains, when probes
+        carry them, are still embedded per probe — and only for probes whose
+        best candidate clears τ and needs verification.
+        ``embed_time_s``/``search_time_s`` on the returned decisions are the
+        batch cost split evenly per query.
+
+        Parameters
+        ----------
+        queries:
+            The probe queries (each a non-empty string).
+        contexts:
+            Optional per-query conversational contexts, aligned with
+            ``queries``; ``None`` means every probe is standalone.
+
+        Returns
+        -------
+        One :class:`CacheDecision` per query, in input order.
+        """
+        queries = require_query_texts(queries)
+        if contexts is not None and len(contexts) != len(queries):
+            raise ValueError("contexts must align with queries")
+        if not queries:
+            return []
+
+        n = len(queries)
+        self.stats.lookups += n
+        start = time.perf_counter()
+        embeddings = np.atleast_2d(
+            np.asarray(
+                self.encoder.encode(queries, compress=self.config.compressed),
+                dtype=np.float64,
+            )
+        )
+        embed_time = (time.perf_counter() - start) / n
+
+        if not self._entries:
+            self.stats.misses += n
+            return [
+                CacheDecision(hit=False, query=query, embed_time_s=embed_time)
+                for query in queries
+            ]
+
+        start = time.perf_counter()
+        hit_lists = self._index.search(
+            embeddings,
+            top_k=min(self.config.top_k, len(self._entries)),
+        )
+        search_time = (time.perf_counter() - start) / n
+
+        decisions: List[CacheDecision] = []
+        for i, query in enumerate(queries):
+            context = contexts[i] if contexts is not None else ()
+            decisions.append(
+                self._decide(query, context, hit_lists[i], embed_time, search_time)
+            )
+        return decisions
+
+    def _decide(
+        self,
+        query: str,
+        context: Sequence[str],
+        hits: List[IndexHit],
+        embed_time: float,
+        search_time: float,
+    ) -> CacheDecision:
+        """Threshold + context-verify candidates (Algorithm 1, lines 3-7).
+
+        The probe's context chain is embedded lazily — only when a candidate
+        actually clears the τ threshold and needs verification — so probes
+        that miss outright never pay the context-encoding cost.
+        """
+        query_context: Optional[ContextChain] = None
+        best: Optional[Tuple[IndexHit, CacheEntry]] = None
         context_checked = False
         for hit in hits:
             if hit.score < self.config.similarity_threshold:
                 continue
-            entry = self._entries[hit.index]
+            entry = self._entries[hit.id]
             if self.config.verify_context:
                 context_checked = True
+                if query_context is None:
+                    query_context = self._embed_context(context)
                 if not context_matches(query_context, entry.context, self.config.context_threshold):
                     continue
             best = (hit, entry)
@@ -280,15 +378,14 @@ class MeanCache:
         embedding: Optional[np.ndarray] = None,
     ) -> int:
         """Enrol a (query, response) pair; returns the new entry id."""
-        if not isinstance(query, str) or not query.strip():
-            raise ValueError("query must be a non-empty string")
+        require_query_text(query)
         if embedding is None:
             embedding, _ = self.embed(query)
         embedding = np.asarray(embedding, dtype=np.float64).reshape(-1)
-        if self._embeddings is not None and embedding.shape[0] != self._embeddings.shape[1]:
+        if self._index.dim is not None and embedding.shape[0] != self._index.dim:
             raise ValueError(
                 f"embedding dim {embedding.shape[0]} does not match cache dim "
-                f"{self._embeddings.shape[1]}"
+                f"{self._index.dim}"
             )
 
         while len(self._entries) >= self.config.max_entries:
@@ -304,13 +401,8 @@ class MeanCache:
             last_accessed=time.time(),
         )
         self._next_id += 1
-        self._entries.append(entry)
-        row = len(self._entries) - 1
-        self._id_to_row[entry.entry_id] = row
-        if self._embeddings is None:
-            self._embeddings = embedding.reshape(1, -1).copy()
-        else:
-            self._embeddings = np.vstack([self._embeddings, embedding.reshape(1, -1)])
+        self._entries[entry.entry_id] = entry
+        self._index.add(embedding, id=entry.entry_id)
         self._policy.record_insert(entry.entry_id)
         self.stats.insertions += 1
         if self.store is not None:
@@ -331,27 +423,19 @@ class MeanCache:
         self.stats.evictions += 1
 
     def remove(self, entry_id: int) -> None:
-        """Remove a cache entry by id."""
-        row = self._id_to_row.get(entry_id)
-        if row is None:
+        """Remove a cache entry by id (O(d): the index swap-deletes its row)."""
+        if entry_id not in self._entries:
             raise KeyError(f"no cache entry with id {entry_id}")
-        del self._entries[row]
-        self._embeddings = np.delete(self._embeddings, row, axis=0)
-        if self._embeddings.shape[0] == 0:
-            self._embeddings = None
+        del self._entries[entry_id]
+        self._index.remove(entry_id)
         self._policy.record_remove(entry_id)
-        del self._id_to_row[entry_id]
-        # Re-index the rows that shifted down.
-        for i in range(row, len(self._entries)):
-            self._id_to_row[self._entries[i].entry_id] = i
         if self.store is not None and f"entry:{entry_id}" in self.store:
             self.store.delete(f"entry:{entry_id}")
 
     def clear(self) -> None:
         """Drop all entries."""
         self._entries.clear()
-        self._embeddings = None
-        self._id_to_row.clear()
+        self._index.clear()
         self._policy = make_policy(self.config.eviction_policy)
         if self.store is not None:
             self.store.clear()
@@ -365,16 +449,31 @@ class MeanCache:
         responses: Optional[Sequence[str]] = None,
         contexts: Optional[Sequence[Sequence[str]]] = None,
     ) -> List[int]:
-        """Insert many queries at once (used to pre-load experiment caches)."""
+        """Insert many queries at once (used to pre-load experiment caches).
+
+        The whole batch is embedded with a single encoder call; each entry is
+        then enrolled through :meth:`insert` (one O(1) index append apiece),
+        so pre-loading n queries costs one encode plus O(n) appends instead
+        of the seed's O(n²) matrix rebuilds.
+        """
         if responses is not None and len(responses) != len(queries):
             raise ValueError("responses must align with queries")
         if contexts is not None and len(contexts) != len(queries):
             raise ValueError("contexts must align with queries")
+        queries = require_query_texts(queries)
+        if not queries:
+            return []
+        embeddings = np.atleast_2d(
+            np.asarray(
+                self.encoder.encode(queries, compress=self.config.compressed),
+                dtype=np.float64,
+            )
+        )
         ids: List[int] = []
         for i, query in enumerate(queries):
             response = responses[i] if responses is not None else f"cached response for: {query}"
             context = contexts[i] if contexts is not None else ()
-            ids.append(self.insert(query, response, context=context))
+            ids.append(self.insert(query, response, context=context, embedding=embeddings[i]))
         return ids
 
     def rebuild_embeddings(self) -> None:
@@ -385,13 +484,14 @@ class MeanCache:
         encoder used for probes.
         """
         if not self._entries:
-            self._embeddings = None
+            self._index.clear(reset_ids=False)
             return
-        texts = [e.query for e in self._entries]
+        live = list(self._entries.values())
+        texts = [e.query for e in live]
         embs = self.encoder.encode(texts, compress=self.config.compressed)
         embs = np.atleast_2d(np.asarray(embs, dtype=np.float64))
-        self._embeddings = embs
-        for i, entry in enumerate(self._entries):
+        self._index.rebuild(embs, ids=[e.entry_id for e in live])
+        for i, entry in enumerate(live):
             entry.embedding = embs[i]
             if not entry.context.is_empty:
                 entry.context = self._embed_context(list(entry.context.texts))

@@ -44,6 +44,70 @@ class SearchHit:
     score: float
 
 
+def chunked_topk(
+    normalized_queries: np.ndarray,
+    corpus: np.ndarray,
+    top_k: int,
+    chunk_size: int = 65536,
+    corpus_prenormalized: bool = False,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Chunked top-k merge: the shared core of every cosine search.
+
+    Streams the corpus in ``chunk_size`` row blocks, computes one matmul per
+    block and keeps a running top-k per query, so peak extra memory is bounded
+    by the chunk regardless of corpus size.  Both :func:`semantic_search` and
+    :class:`repro.index.FlatIndex` search through this routine.
+
+    Parameters
+    ----------
+    normalized_queries:
+        ``(q, d)`` array of **unit-norm** query rows.
+    corpus:
+        ``(n, d)`` corpus matrix with ``n >= 1``.
+    top_k:
+        Candidates kept per query (callers cap it at the corpus size).
+    chunk_size:
+        Corpus rows per matmul block.
+    corpus_prenormalized:
+        When True the corpus rows are already unit-norm (the incremental
+        index's invariant) and per-chunk normalization is skipped — this is
+        what removes the per-lookup corpus pass.
+
+    Returns
+    -------
+    ``(scores, indices)`` arrays of shape ``(q, k)`` with
+    ``k = min(top_k, n_corpus)``, each row sorted by descending score.  Every
+    returned score is finite (the ``-inf`` merge sentinel never survives,
+    since k is capped at the corpus size).
+    """
+    n_queries = normalized_queries.shape[0]
+    n_corpus = corpus.shape[0]
+    k = min(top_k, n_corpus)
+    best_scores = np.full((n_queries, k), -np.inf, dtype=np.result_type(normalized_queries, corpus))
+    best_indices = np.zeros((n_queries, k), dtype=np.int64)
+
+    for start in range(0, n_corpus, chunk_size):
+        chunk = corpus[start : start + chunk_size]
+        if not corpus_prenormalized:
+            c_norm = np.linalg.norm(chunk, axis=1, keepdims=True)
+            chunk = chunk / np.where(c_norm > 1e-12, c_norm, 1.0)
+        sims = normalized_queries @ chunk.T  # (q, chunk)
+        # Merge this chunk's candidates with the running best.
+        combined_scores = np.concatenate([best_scores, sims], axis=1)
+        combined_indices = np.concatenate(
+            [best_indices, np.broadcast_to(np.arange(start, start + chunk.shape[0]), sims.shape)],
+            axis=1,
+        )
+        top = np.argpartition(-combined_scores, kth=k - 1, axis=1)[:, :k]
+        rows = np.arange(n_queries)[:, None]
+        best_scores = combined_scores[rows, top]
+        best_indices = combined_indices[rows, top]
+
+    order = np.argsort(-best_scores, axis=1)
+    rows = np.arange(n_queries)[:, None]
+    return best_scores[rows, order], best_indices[rows, order]
+
+
 def semantic_search(
     query_embeddings: np.ndarray,
     corpus_embeddings: np.ndarray,
@@ -52,6 +116,11 @@ def semantic_search(
     chunk_size: int = 65536,
 ) -> List[List[SearchHit]]:
     """Top-k cosine search of query embeddings against a corpus.
+
+    This is the brute-force reference: the corpus is re-normalized on every
+    call, which costs a full extra pass over the matrix.  Long-lived caches
+    should search through :class:`repro.index.FlatIndex`, which keeps rows
+    pre-normalized and skips that pass.
 
     Parameters
     ----------
@@ -85,32 +154,14 @@ def semantic_search(
     q_norm = np.linalg.norm(queries, axis=1, keepdims=True)
     queries_n = queries / np.where(q_norm > 1e-12, q_norm, 1.0)
 
-    n_corpus = corpus.shape[0]
-    k = min(top_k, n_corpus)
-    best_scores = np.full((n_queries, k), -np.inf)
-    best_indices = np.zeros((n_queries, k), dtype=np.int64)
-
-    for start in range(0, n_corpus, chunk_size):
-        chunk = corpus[start : start + chunk_size]
-        c_norm = np.linalg.norm(chunk, axis=1, keepdims=True)
-        chunk_n = chunk / np.where(c_norm > 1e-12, c_norm, 1.0)
-        sims = queries_n @ chunk_n.T  # (q, chunk)
-        # Merge this chunk's candidates with the running best.
-        combined_scores = np.concatenate([best_scores, sims], axis=1)
-        combined_indices = np.concatenate(
-            [best_indices, np.broadcast_to(np.arange(start, start + chunk.shape[0]), sims.shape)],
-            axis=1,
-        )
-        top = np.argpartition(-combined_scores, kth=k - 1, axis=1)[:, :k]
-        rows = np.arange(n_queries)[:, None]
-        best_scores = combined_scores[rows, top]
-        best_indices = combined_indices[rows, top]
+    best_scores, best_indices = chunked_topk(
+        queries_n, corpus, top_k=top_k, chunk_size=chunk_size
+    )
 
     results: List[List[SearchHit]] = []
     for qi in range(n_queries):
-        order = np.argsort(-best_scores[qi])
         hits = []
-        for j in order:
+        for j in range(best_scores.shape[1]):
             score = float(best_scores[qi, j])
             if not np.isfinite(score):
                 continue

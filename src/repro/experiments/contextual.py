@@ -69,13 +69,16 @@ def _evaluate_meancache(
     cache.clear()
     for turn in dataset.cached_turns:
         cache.insert(turn.text, f"cached response for: {turn.text}", context=list(turn.context))
-    predictions = np.zeros(dataset.n_probes, dtype=bool)
-    trap_false_hits = 0
-    for i, probe in enumerate(dataset.probes):
-        decision = cache.lookup(probe.text, context=list(probe.context))
-        predictions[i] = decision.hit
-        if decision.hit and probe.is_context_trap:
-            trap_false_hits += 1
+    decisions = cache.lookup_batch(
+        [probe.text for probe in dataset.probes],
+        contexts=[list(probe.context) for probe in dataset.probes],
+    )
+    predictions = np.array([d.hit for d in decisions], dtype=bool)
+    trap_false_hits = sum(
+        1
+        for probe, decision in zip(dataset.probes, decisions)
+        if decision.hit and probe.is_context_trap
+    )
     cm = confusion_matrix(dataset.true_labels, predictions)
     return ContextualSystemEvaluation(
         system="meancache",
@@ -91,13 +94,14 @@ def _evaluate_gptcache(
 ) -> ContextualSystemEvaluation:
     for turn in dataset.cached_turns:
         cache.insert(turn.text, f"cached response for: {turn.text}")
-    predictions = np.zeros(dataset.n_probes, dtype=bool)
-    trap_false_hits = 0
-    for i, probe in enumerate(dataset.probes):
-        decision = cache.lookup(probe.text)  # context ignored by the baseline
-        predictions[i] = decision.hit
-        if decision.hit and probe.is_context_trap:
-            trap_false_hits += 1
+    # Context is ignored by the baseline, so the whole probe set batches.
+    decisions = cache.lookup_batch([probe.text for probe in dataset.probes])
+    predictions = np.array([d.hit for d in decisions], dtype=bool)
+    trap_false_hits = sum(
+        1
+        for probe, decision in zip(dataset.probes, decisions)
+        if decision.hit and probe.is_context_trap
+    )
     cm = confusion_matrix(dataset.true_labels, predictions)
     return ContextualSystemEvaluation(
         system="gptcache",

@@ -1,0 +1,184 @@
+"""Insert/lookup throughput of the incremental index vs the seed hot path.
+
+The seed cache appended embeddings with a per-insert ``np.vstack`` (O(n) copy
+each, O(n²) enrolment) and re-normalized the whole corpus inside every
+lookup.  This module measures both generations side by side on synthetic
+embeddings — no encoder in the loop, so the numbers isolate the index itself:
+
+* ``seed-style insert``: rebuild a ``(n, d)`` float64 matrix per append;
+* ``index insert``: :meth:`repro.index.FlatIndex.add` per append;
+* ``seed-style lookup``: per-query :func:`semantic_search` over the raw
+  matrix (corpus re-normalized every call);
+* ``index lookup``: per-query and batched :meth:`FlatIndex.search`.
+
+:func:`run_index_bench` backs both the ``benchmarks/test_bench_index.py``
+harness (which records ``BENCH_index.json`` for cross-PR tracking) and the
+"Index microbenchmark" section of the full experiment runner.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.embeddings.similarity import semantic_search
+from repro.index import FlatIndex
+from repro.metrics.reporting import format_table
+
+
+@dataclass(frozen=True)
+class IndexBenchResult:
+    """Wall-clock timings of the seed-style path vs the incremental index."""
+
+    n_entries: int
+    dim: int
+    n_queries: int
+    top_k: int
+    seed_insert_s: float
+    index_insert_s: float
+    seed_lookup_s: float
+    index_lookup_s: float
+    index_lookup_batch_s: float
+
+    # ------------------------------------------------------------------ #
+    @property
+    def seed_insert_throughput(self) -> float:
+        """Seed-style inserts per second."""
+        return self.n_entries / self.seed_insert_s if self.seed_insert_s > 0 else float("inf")
+
+    @property
+    def index_insert_throughput(self) -> float:
+        """Index inserts per second."""
+        return self.n_entries / self.index_insert_s if self.index_insert_s > 0 else float("inf")
+
+    @property
+    def insert_speedup(self) -> float:
+        """Index insert throughput over seed-style insert throughput."""
+        return self.seed_insert_s / self.index_insert_s if self.index_insert_s > 0 else float("inf")
+
+    @property
+    def lookup_speedup(self) -> float:
+        """Per-query index search speedup over the seed-style search."""
+        return self.seed_lookup_s / self.index_lookup_s if self.index_lookup_s > 0 else float("inf")
+
+    @property
+    def batch_speedup(self) -> float:
+        """Batched index search speedup over the seed-style per-query loop."""
+        if self.index_lookup_batch_s <= 0:
+            return float("inf")
+        return self.seed_lookup_s / self.index_lookup_batch_s
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-serializable record (the ``BENCH_index.json`` payload)."""
+        return {
+            "n_entries": self.n_entries,
+            "dim": self.dim,
+            "n_queries": self.n_queries,
+            "top_k": self.top_k,
+            "seed_insert_s": self.seed_insert_s,
+            "index_insert_s": self.index_insert_s,
+            "seed_insert_throughput_per_s": self.seed_insert_throughput,
+            "index_insert_throughput_per_s": self.index_insert_throughput,
+            "insert_speedup": self.insert_speedup,
+            "seed_lookup_s": self.seed_lookup_s,
+            "index_lookup_s": self.index_lookup_s,
+            "index_lookup_batch_s": self.index_lookup_batch_s,
+            "lookup_speedup": self.lookup_speedup,
+            "batch_speedup": self.batch_speedup,
+        }
+
+    def format(self) -> str:
+        """Render the comparison as a report table."""
+        rows = [
+            [
+                "insert (one by one)",
+                f"{self.seed_insert_s:.4f}",
+                f"{self.index_insert_s:.4f}",
+                f"{self.insert_speedup:.1f}x",
+            ],
+            [
+                "lookup (per query)",
+                f"{self.seed_lookup_s:.4f}",
+                f"{self.index_lookup_s:.4f}",
+                f"{self.lookup_speedup:.1f}x",
+            ],
+            [
+                "lookup (batched)",
+                f"{self.seed_lookup_s:.4f}",
+                f"{self.index_lookup_batch_s:.4f}",
+                f"{self.batch_speedup:.1f}x",
+            ],
+        ]
+        return format_table(
+            ["Operation", "Seed path (s)", "FlatIndex (s)", "Speedup"],
+            rows,
+            title=(
+                f"Index microbenchmark: {self.n_entries} entries x {self.dim}d, "
+                f"{self.n_queries} queries, top_k={self.top_k}"
+            ),
+        )
+
+
+def _seed_style_insert(vectors: np.ndarray) -> np.ndarray:
+    """The seed cache's append path: one np.vstack matrix rebuild per entry."""
+    matrix = None
+    for row in vectors:
+        if matrix is None:
+            matrix = row.reshape(1, -1).copy()
+        else:
+            matrix = np.vstack([matrix, row.reshape(1, -1)])
+    return matrix
+
+
+def run_index_bench(
+    n_entries: int = 10_000,
+    dim: int = 64,
+    n_queries: int = 200,
+    top_k: int = 5,
+    seed: int = 0,
+) -> IndexBenchResult:
+    """Time seed-style vs index insert/lookup on random unit-ish embeddings."""
+    if n_entries < 1 or n_queries < 1:
+        raise ValueError("n_entries and n_queries must be >= 1")
+    rng = np.random.default_rng(seed)
+    vectors = rng.normal(size=(n_entries, dim))
+    queries = rng.normal(size=(n_queries, dim))
+
+    start = time.perf_counter()
+    matrix = _seed_style_insert(vectors)
+    seed_insert_s = time.perf_counter() - start
+
+    index = FlatIndex(dim=dim)
+    start = time.perf_counter()
+    for row in vectors:
+        index.add(row)
+    index_insert_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for q in queries:
+        semantic_search(q, matrix, top_k=top_k)
+    seed_lookup_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for q in queries:
+        index.search(q, top_k=top_k)
+    index_lookup_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    index.search(queries, top_k=top_k)
+    index_lookup_batch_s = time.perf_counter() - start
+
+    return IndexBenchResult(
+        n_entries=n_entries,
+        dim=dim,
+        n_queries=n_queries,
+        top_k=top_k,
+        seed_insert_s=seed_insert_s,
+        index_insert_s=index_insert_s,
+        seed_lookup_s=seed_lookup_s,
+        index_lookup_s=index_lookup_s,
+        index_lookup_batch_s=index_lookup_batch_s,
+    )

@@ -29,13 +29,20 @@ from repro.metrics.reporting import format_confusion_matrix, format_metric_compa
 
 @dataclass
 class SystemEvaluation:
-    """Decisions and metrics of one system on one workload."""
+    """Decisions and metrics of one system on one workload.
+
+    ``overhead_mode`` records how ``mean_overhead_s`` was measured:
+    ``"amortized"`` (the default batched evaluation — batch cost split over
+    the probes) or ``"per-request"`` (each probe timed as its own lookup,
+    the seed's semantics; pass ``batched=False`` to the evaluators).
+    """
 
     system: str
     predictions: np.ndarray
     metrics: Dict[str, float]
     matrix: ConfusionMatrix
     mean_overhead_s: float = 0.0
+    overhead_mode: str = "amortized"
 
 
 @dataclass
@@ -68,16 +75,25 @@ def evaluate_meancache_on_workload(
     cache: MeanCache,
     workload: CacheWorkload,
     beta: float = 0.5,
+    batched: bool = True,
 ) -> SystemEvaluation:
-    """Populate ``cache`` with the workload and classify every probe."""
+    """Populate ``cache`` with the workload and classify every probe.
+
+    With ``batched=True`` (default) the whole probe set goes through
+    :meth:`MeanCache.lookup_batch` — one query-encoding call plus one index
+    matmul — so ``mean_overhead_s`` is the batch's amortized per-probe cost.
+    Pass ``batched=False`` to time each probe as its own request (the seed's
+    per-request overhead semantics); hit/miss decisions are identical either
+    way.
+    """
     cache.clear()
     cache.populate(workload.cached_queries)
-    predictions = np.zeros(workload.n_probes, dtype=bool)
-    overheads: List[float] = []
-    for i, probe in enumerate(workload.probes):
-        decision = cache.lookup(probe.text)
-        predictions[i] = decision.hit
-        overheads.append(decision.total_overhead_s)
+    if batched:
+        decisions = cache.lookup_batch([probe.text for probe in workload.probes])
+    else:
+        decisions = [cache.lookup(probe.text) for probe in workload.probes]
+    predictions = np.array([d.hit for d in decisions], dtype=bool)
+    overheads: List[float] = [d.total_overhead_s for d in decisions]
     cm = confusion_matrix(workload.true_labels, predictions)
     return SystemEvaluation(
         system="meancache",
@@ -85,6 +101,7 @@ def evaluate_meancache_on_workload(
         metrics=cm.metrics(beta),
         matrix=cm,
         mean_overhead_s=float(np.mean(overheads)) if overheads else 0.0,
+        overhead_mode="amortized" if batched else "per-request",
     )
 
 
@@ -92,15 +109,20 @@ def evaluate_gptcache_on_workload(
     cache: GPTCache,
     workload: CacheWorkload,
     beta: float = 0.5,
+    batched: bool = True,
 ) -> SystemEvaluation:
-    """Populate the baseline cache with the workload and classify every probe."""
+    """Populate the baseline cache with the workload and classify every probe.
+
+    ``batched`` selects amortized (default) vs per-request overhead timing,
+    as in :func:`evaluate_meancache_on_workload`; decisions are identical.
+    """
     cache.populate(workload.cached_queries)
-    predictions = np.zeros(workload.n_probes, dtype=bool)
-    overheads: List[float] = []
-    for i, probe in enumerate(workload.probes):
-        decision = cache.lookup(probe.text)
-        predictions[i] = decision.hit
-        overheads.append(decision.total_overhead_s)
+    if batched:
+        decisions = cache.lookup_batch([probe.text for probe in workload.probes])
+    else:
+        decisions = [cache.lookup(probe.text) for probe in workload.probes]
+    predictions = np.array([d.hit for d in decisions], dtype=bool)
+    overheads: List[float] = [d.total_overhead_s for d in decisions]
     cm = confusion_matrix(workload.true_labels, predictions)
     return SystemEvaluation(
         system="gptcache",
@@ -108,6 +130,7 @@ def evaluate_gptcache_on_workload(
         metrics=cm.metrics(beta),
         matrix=cm,
         mean_overhead_s=float(np.mean(overheads)) if overheads else 0.0,
+        overhead_mode="amortized" if batched else "per-request",
     )
 
 

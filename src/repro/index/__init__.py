@@ -1,0 +1,19 @@
+"""Incremental vector-index subsystem.
+
+The cache-side replacement for "a numpy array we vstack onto": a contiguous,
+pre-normalized embedding matrix with amortized-O(1) appends, O(d) swap-delete
+and one-matmul batched search.  See ``docs/architecture.md`` for the design
+and ``docs/api.md`` for the public surface.
+
+>>> from repro.index import FlatIndex
+>>> index = FlatIndex(dim=4)
+>>> a = index.add([1.0, 0.0, 0.0, 0.0])
+>>> b = index.add([0.0, 1.0, 0.0, 0.0])
+>>> [hit.id for hit in index.search([1.0, 0.1, 0.0, 0.0], top_k=1)[0]] == [a]
+True
+"""
+
+from repro.index.base import IndexHit, VectorIndex
+from repro.index.flat import FlatIndex
+
+__all__ = ["FlatIndex", "IndexHit", "VectorIndex"]

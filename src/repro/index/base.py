@@ -1,0 +1,102 @@
+"""Abstract interface of the incremental vector index.
+
+A vector index owns the embedding matrix of a cache: entries are added one at
+a time (or in batches) as queries are enrolled, removed when the eviction
+policy picks a victim, and searched on every lookup.  The interface is
+deliberately id-centric — callers hand the index stable integer ids and get
+those same ids back from :meth:`VectorIndex.search`, so the index is free to
+reorder rows internally (e.g. swap-with-last deletion) without the caller
+ever tracking row positions.
+
+:class:`repro.index.FlatIndex` is the concrete implementation; alternative
+backends (IVF, HNSW, a GPU matrix, a sharded remote index) only need to
+honour this contract to slot underneath :class:`repro.core.cache.MeanCache`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class IndexHit:
+    """One search result: the stored entry's id and its cosine score."""
+
+    id: int
+    score: float
+
+
+class VectorIndex(abc.ABC):
+    """Contract for incremental cosine-similarity indexes.
+
+    Implementations must keep ``search`` consistent with brute-force cosine
+    similarity over the currently stored vectors (up to floating-point
+    tolerance; see ``docs/api.md`` for the float32 note).
+    """
+
+    @abc.abstractmethod
+    def add(self, vector: np.ndarray, id: Optional[int] = None) -> int:
+        """Insert one vector; returns its id (auto-assigned when ``id`` is None)."""
+
+    @abc.abstractmethod
+    def add_batch(self, vectors: np.ndarray, ids: Optional[Sequence[int]] = None) -> List[int]:
+        """Insert many vectors at once; returns their ids in order."""
+
+    @abc.abstractmethod
+    def remove(self, id: int) -> None:
+        """Delete one vector by id; raises ``KeyError`` for unknown ids."""
+
+    @abc.abstractmethod
+    def search(
+        self,
+        queries: np.ndarray,
+        top_k: int = 5,
+        score_threshold: Optional[float] = None,
+    ) -> List[List[IndexHit]]:
+        """Batched top-k cosine search; one hit list per query row."""
+
+    @abc.abstractmethod
+    def rebuild(self, vectors: np.ndarray, ids: Sequence[int]) -> None:
+        """Replace the whole index contents (e.g. after re-embedding)."""
+
+    @abc.abstractmethod
+    def get(self, id: int) -> np.ndarray:
+        """Return the stored (un-normalized) vector for ``id``."""
+
+    @abc.abstractmethod
+    def clear(self, reset_ids: bool = True) -> None:
+        """Drop every vector; ``reset_ids=False`` keeps auto-ids monotonic.
+
+        ``MeanCache`` relies on both forms (``reset_ids=False`` during
+        re-embedding), so backends must honour the parameter.
+        """
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of stored vectors."""
+
+    @property
+    @abc.abstractmethod
+    def dim(self) -> Optional[int]:
+        """Vector dimensionality, or None while the index is empty and unset."""
+
+    @property
+    @abc.abstractmethod
+    def ids(self) -> List[int]:
+        """Ids of the stored vectors (internal row order)."""
+
+    @property
+    @abc.abstractmethod
+    def nbytes(self) -> int:
+        """Bytes used by the live rows (matrix + cached norms + ids)."""
+
+    def __contains__(self, id: int) -> bool:
+        try:
+            self.get(id)
+        except KeyError:
+            return False
+        return True
