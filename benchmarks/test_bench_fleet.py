@@ -1,0 +1,45 @@
+"""Benchmark: fleet serving throughput at 100 and 1,000 simulated users.
+
+Replays deterministic multi-user traffic (``repro.serving.WorkloadGenerator``)
+through ``FleetSimulator`` — a local MeanCache per user in front of one
+shared simulated LLM service — and records fleet lookup throughput, hit rate,
+latency and cost in ``BENCH_fleet.json`` at the repo root so later scaling
+PRs can track the trajectory.
+
+Run with ``pytest benchmarks/test_bench_fleet.py -s``.
+"""
+
+import json
+from pathlib import Path
+
+from conftest import emit
+
+from repro.experiments.fleet_bench import run_fleet_bench
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+
+USER_COUNTS = (100, 1000)
+QUERIES_PER_USER = 10
+
+
+def test_fleet_throughput(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fleet_bench(
+            user_counts=USER_COUNTS, queries_per_user=QUERIES_PER_USER, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Fleet serving benchmark", result.format())
+
+    BENCH_JSON.write_text(json.dumps(result.to_dict(), indent=2) + "\n", encoding="utf-8")
+    emit("BENCH_fleet.json", f"written to {BENCH_JSON}")
+
+    for n_users in USER_COUNTS:
+        point = result.point(n_users)
+        assert point.n_lookups == n_users * QUERIES_PER_USER
+        # Sanity floors, not perf assertions: the fleet must actually serve
+        # traffic (some of it from cache) at a non-degenerate rate.
+        assert point.throughput_lookups_per_s > 10.0, point.to_dict()
+        assert 0.0 < point.hit_rate < 1.0, point.to_dict()
+        assert point.total_cost_usd > 0.0, point.to_dict()

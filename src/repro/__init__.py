@@ -18,7 +18,12 @@ The package is organised as a set of substrates plus the core contribution:
 ``repro.core``
     MeanCache itself: the user-side semantic cache with context-chain
     verification, adaptive thresholds, PCA-compressed embeddings, eviction
-    policies and persistent storage.
+    policies, persistent storage, and the shared composable lookup pipeline
+    (``repro.core.pipeline``) every cache variant runs on.
+``repro.serving``
+    Multi-client serving: deterministic fleet workload generation, the
+    fleet simulator (N per-user caches against one shared service) and
+    JSON traffic replay.
 ``repro.metrics``
     Cache-decision evaluation metrics (precision / recall / F-beta / accuracy).
 ``repro.experiments``
@@ -30,6 +35,7 @@ from repro.core.client import MeanCacheClient
 from repro.baselines.gptcache import GPTCache, GPTCacheConfig
 from repro.embeddings.zoo import load_encoder, ENCODER_SPECS
 from repro.llm.service import SimulatedLLMService, LLMServiceConfig
+from repro.serving import FleetSimulator, Trace, WorkloadGenerator
 
 __version__ = "1.0.0"
 
@@ -45,5 +51,8 @@ __all__ = [
     "ENCODER_SPECS",
     "SimulatedLLMService",
     "LLMServiceConfig",
+    "FleetSimulator",
+    "Trace",
+    "WorkloadGenerator",
     "__version__",
 ]

@@ -22,6 +22,17 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.pipeline import (
+    DecideStage,
+    EncoderEmbed,
+    IndexRetrieve,
+    LookupPipeline,
+    NoContextVerify,
+    Probe,
+    Selection,
+    SimilarityThreshold,
+    UnboundedEnroll,
+)
 from repro.core.storage import object_nbytes
 from repro.core.validation import require_query_text, require_query_texts
 from repro.embeddings.model import SiameseEncoder
@@ -60,6 +71,9 @@ class GPTCacheDecision:
     embed_time_s: float = 0.0
     search_time_s: float = 0.0
     network_time_s: float = 0.0
+    #: the probe's embedding from the lookup's Embed stage; pass it to
+    #: ``insert``/``enroll`` on a miss to skip a second encoder forward.
+    embedding: Optional[np.ndarray] = None
 
     @property
     def total_overhead_s(self) -> float:
@@ -98,6 +112,26 @@ class GPTCache:
         self._index = FlatIndex()
         self.lookups = 0
         self.hits = 0
+        self.pipeline = self._build_pipeline()
+
+    def _build_pipeline(self) -> LookupPipeline:
+        """The shared lookup pipeline, GPTCache flavour.
+
+        Identical Embed/Retrieve/Threshold stages to MeanCache, but the
+        ContextVerify stage is dropped (:class:`NoContextVerify` — the
+        baseline ignores conversation state, which is what produces its
+        context-trap false hits) and enrolment never evicts.
+        """
+        return LookupPipeline(
+            # compress=True mirrors the encoder's encode() default; it is a
+            # no-op unless a PCA head is attached to the baseline encoder.
+            embed=EncoderEmbed(self.encoder, compress=True),
+            retrieve=IndexRetrieve(self._index, top_k=lambda: self.config.top_k),
+            threshold=SimilarityThreshold(lambda: self.config.similarity_threshold),
+            context_verify=NoContextVerify(),
+            decide=_GPTCacheDecide(self),
+            enroll=UnboundedEnroll(insert=self.insert),
+        )
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -167,23 +201,14 @@ class GPTCache:
             self.insert(query, response, user_id=user_id, embedding=embeddings[i])
 
     def lookup(self, query: str, context: Sequence[str] = (), user_id: str = "default") -> GPTCacheDecision:
-        """Hit/miss decision; ``context`` is accepted but ignored (no context handling)."""
+        """Hit/miss decision; ``context`` is accepted but ignored (no context handling).
+
+        A single-probe run of the shared lookup pipeline (the ContextVerify
+        stage is :class:`~repro.core.pipeline.NoContextVerify`).
+        """
         require_query_text(query)
         self.lookups += 1
-        embedding, embed_time = self.embed(query)
-        if not self._entries:
-            return GPTCacheDecision(
-                hit=False,
-                query=query,
-                embed_time_s=embed_time,
-                network_time_s=self.config.network_rtt_s,
-            )
-        start = time.perf_counter()
-        hits = self._index.search(
-            embedding, top_k=min(self.config.top_k, len(self._entries))
-        )[0]
-        search_time = time.perf_counter() - start
-        return self._decide(query, hits, embed_time, search_time)
+        return self.pipeline.run_one(query)
 
     def lookup_batch(self, queries: Sequence[str], user_id: str = "default") -> List[GPTCacheDecision]:
         """Vectorized equivalent of calling :meth:`lookup` per query in order.
@@ -194,60 +219,46 @@ class GPTCache:
         queries = require_query_texts(queries)
         if not queries:
             return []
-        n = len(queries)
-        self.lookups += n
-        start = time.perf_counter()
-        embeddings = np.atleast_2d(np.asarray(self.encoder.encode(queries), dtype=np.float64))
-        embed_time = (time.perf_counter() - start) / n
-        if not self._entries:
-            return [
-                GPTCacheDecision(
-                    hit=False,
-                    query=query,
-                    embed_time_s=embed_time,
-                    network_time_s=self.config.network_rtt_s,
-                )
-                for query in queries
-            ]
-        start = time.perf_counter()
-        hit_lists = self._index.search(
-            embeddings, top_k=min(self.config.top_k, len(self._entries))
-        )
-        search_time = (time.perf_counter() - start) / n
-        return [
-            self._decide(query, hit_lists[i], embed_time, search_time)
-            for i, query in enumerate(queries)
-        ]
+        self.lookups += len(queries)
+        return self.pipeline.run([Probe.make(query) for query in queries])
 
-    def _decide(
-        self,
-        query: str,
-        hits: List[IndexHit],
-        embed_time: float,
-        search_time: float,
-    ) -> GPTCacheDecision:
-        """Apply the fixed-threshold hit rule to one query's candidates."""
-        best = hits[0] if hits else None
-        if best is not None and best.score >= self.config.similarity_threshold:
-            entry = self._entries[best.id]
-            self.hits += 1
+
+class _GPTCacheDecide(DecideStage):
+    """Decide stage: the fixed-threshold hit rule plus baseline accounting.
+
+    Candidates arrive ranked by descending similarity, so "first admitted
+    candidate wins" is exactly the seed's "best candidate clears the fixed
+    0.7 threshold" rule.  Every decision carries the modelled network round
+    trip — the central cache is remote even on a hit.
+    """
+
+    def __init__(self, cache: "GPTCache") -> None:
+        self._cache = cache
+
+    def decide(self, selection: Selection) -> GPTCacheDecision:
+        cache = self._cache
+        if selection.best is None:
             return GPTCacheDecision(
-                hit=True,
-                query=query,
-                response=entry.response,
-                matched_query=entry.query,
-                similarity=best.score,
-                candidates=hits,
-                embed_time_s=embed_time,
-                search_time_s=search_time,
-                network_time_s=self.config.network_rtt_s,
+                hit=False,
+                query=selection.probe.query,
+                similarity=selection.top_score,
+                candidates=selection.hits,
+                embed_time_s=selection.embed_time_s,
+                search_time_s=selection.search_time_s,
+                network_time_s=cache.config.network_rtt_s,
+                embedding=selection.embedding,
             )
+        entry = cache._entries[selection.best.id]
+        cache.hits += 1
         return GPTCacheDecision(
-            hit=False,
-            query=query,
-            similarity=best.score if best else 0.0,
-            candidates=hits,
-            embed_time_s=embed_time,
-            search_time_s=search_time,
-            network_time_s=self.config.network_rtt_s,
+            hit=True,
+            query=selection.probe.query,
+            response=entry.response,
+            matched_query=entry.query,
+            similarity=selection.best.score,
+            candidates=selection.hits,
+            embed_time_s=selection.embed_time_s,
+            search_time_s=selection.search_time_s,
+            network_time_s=cache.config.network_rtt_s,
+            embedding=selection.embedding,
         )

@@ -14,6 +14,17 @@ import re
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.pipeline import (
+    AlwaysAdmit,
+    CapacityEnroll,
+    DecideStage,
+    ExactKeyRetrieve,
+    KeyEmbed,
+    LookupPipeline,
+    NoContextVerify,
+    Probe,
+    Selection,
+)
 from repro.core.policy import EvictionPolicy, make_policy
 from repro.core.validation import require_query_text
 from repro.embeddings.tokenizer import DEFAULT_STOPWORDS
@@ -48,6 +59,32 @@ class KeywordCache:
         self._next_id = 0
         self.lookups = 0
         self.hits = 0
+        self.pipeline = self._build_pipeline()
+
+    def _build_pipeline(self) -> LookupPipeline:
+        """The shared lookup pipeline, exact-match flavour.
+
+        The semantic caches' Embed/Retrieve stages are swapped for key
+        normalisation plus dictionary exact matching; an exact match is
+        already binary, so the threshold stage admits everything.
+        """
+        return LookupPipeline(
+            embed=KeyEmbed(self.normalize),
+            retrieve=ExactKeyRetrieve(self._key_ids),
+            threshold=AlwaysAdmit(),
+            context_verify=NoContextVerify(),
+            decide=_KeywordDecide(self),
+            enroll=CapacityEnroll(
+                size=lambda: len(self._data),
+                max_entries=lambda: self.config.max_entries,
+                evict_one=self._evict_one,
+                # Exact matching stores no vectors; context/embedding are
+                # accepted (the uniform enroll surface) and ignored.
+                insert=lambda query, response, context=(), embedding=None: self.insert(
+                    query, response
+                ),
+            ),
+        )
 
     # ------------------------------------------------------------------ #
     def normalize(self, query: str) -> str:
@@ -70,20 +107,22 @@ class KeywordCache:
         return self.normalize(query) in self._data
 
     # ------------------------------------------------------------------ #
+    def _evict_one(self) -> None:
+        victim = self._policy.select_victim()
+        victim_key = self._id_keys.pop(victim)
+        self._key_ids.pop(victim_key, None)
+        self._data.pop(victim_key, None)
+        self._policy.record_remove(victim)
+
     def insert(self, query: str, response: str) -> None:
         """Store a (query, response) pair under the normalised key."""
         require_query_text(query)
         key = self.normalize(query)
-        while len(self._data) >= self.config.max_entries and key not in self._data:
-            victim = self._policy.select_victim()
-            victim_key = self._id_keys.pop(victim)
-            self._key_ids.pop(victim_key, None)
-            self._data.pop(victim_key, None)
-            self._policy.record_remove(victim)
         if key in self._data:
             self._data[key] = (query, response)
             self._policy.record_access(self._key_ids[key])
             return
+        self.pipeline.enroll.ensure_capacity()
         entry_id = self._next_id
         self._next_id += 1
         self._data[key] = (query, response)
@@ -100,15 +139,13 @@ class KeywordCache:
             self.insert(query, response)
 
     def lookup(self, query: str) -> Optional[str]:
-        """Return the cached response for an exact (normalised) match, else None."""
+        """Return the cached response for an exact (normalised) match, else None.
+
+        A single-probe run of the shared lookup pipeline with the Retrieve
+        stage swapped for exact key matching.
+        """
         self.lookups += 1
-        key = self.normalize(query)
-        found = self._data.get(key)
-        if found is None:
-            return None
-        self.hits += 1
-        self._policy.record_access(self._key_ids[key])
-        return found[1]
+        return self.pipeline.run_one(query)
 
     def lookup_batch(self, queries: Sequence[str]) -> List[Optional[str]]:
         """Look up many queries in order (the batched workload entry point).
@@ -118,9 +155,28 @@ class KeywordCache:
         ``GPTCache.lookup_batch`` so workload drivers treat every cache
         uniformly.
         """
-        return [self.lookup(query) for query in queries]
+        if not queries:
+            return []
+        self.lookups += len(queries)
+        return self.pipeline.run([Probe.make(query) for query in queries])
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups that hit."""
         return self.hits / self.lookups if self.lookups else 0.0
+
+
+class _KeywordDecide(DecideStage):
+    """Decide stage: map an exact-match selection to the cached response."""
+
+    def __init__(self, cache: "KeywordCache") -> None:
+        self._cache = cache
+
+    def decide(self, selection: Selection) -> Optional[str]:
+        cache = self._cache
+        if selection.best is None:
+            return None
+        key = cache._id_keys[selection.best.id]
+        cache.hits += 1
+        cache._policy.record_access(selection.best.id)
+        return cache._data[key][1]

@@ -7,6 +7,9 @@
 * :mod:`repro.core.cache` — :class:`MeanCache` implementing Algorithm 1:
   embedding-based semantic matching with an adaptive cosine threshold,
   context-chain verification and PCA-compressed embeddings.
+* :mod:`repro.core.pipeline` — the shared composable lookup pipeline
+  (Embed → Retrieve → Threshold → ContextVerify → Decide → Enroll/Evict)
+  every cache variant runs on.
 * :mod:`repro.core.compression` — cache-level embedding compression utility.
 * :mod:`repro.core.client` — :class:`MeanCacheClient`, the end-user session
   that wires a local MeanCache to the (simulated) LLM web service.
@@ -15,6 +18,7 @@
 from repro.core.cache import MeanCache, MeanCacheConfig, CacheDecision, CacheEntry
 from repro.core.client import MeanCacheClient, ClientQueryResult
 from repro.core.context import ContextChain, context_matches
+from repro.core.pipeline import LookupPipeline, Probe, Selection
 from repro.core.policy import LRUPolicy, LFUPolicy, FIFOPolicy, make_policy
 from repro.core.storage import InMemoryStore, DiskStore
 from repro.core.compression import compress_cache, CompressionReport
@@ -28,6 +32,9 @@ __all__ = [
     "ClientQueryResult",
     "ContextChain",
     "context_matches",
+    "LookupPipeline",
+    "Probe",
+    "Selection",
     "LRUPolicy",
     "LFUPolicy",
     "FIFOPolicy",

@@ -23,7 +23,18 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.context import ContextChain, context_matches
+from repro.core.context import ContextChain
+from repro.core.pipeline import (
+    CapacityEnroll,
+    ChainContextVerify,
+    DecideStage,
+    EncoderEmbed,
+    IndexRetrieve,
+    LookupPipeline,
+    Probe,
+    Selection,
+    SimilarityThreshold,
+)
 from repro.core.policy import EvictionPolicy, make_policy
 from repro.core.storage import BaseStore, object_nbytes
 from repro.core.validation import require_query_text, require_query_texts
@@ -119,6 +130,9 @@ class CacheDecision:
     context_verified: bool = False
     embed_time_s: float = 0.0
     search_time_s: float = 0.0
+    #: the probe's embedding from the lookup's Embed stage; pass it to
+    #: ``insert``/``enroll`` on a miss to skip a second encoder forward.
+    embedding: Optional[np.ndarray] = None
 
     @property
     def total_overhead_s(self) -> float:
@@ -163,6 +177,33 @@ class MeanCache:
         self._policy: EvictionPolicy = make_policy(self.config.eviction_policy)
         self._next_id = 0
         self.stats = CacheStats()
+        self.pipeline = self._build_pipeline()
+
+    def _build_pipeline(self) -> LookupPipeline:
+        """Assemble the shared lookup pipeline from MeanCache's stages.
+
+        Knobs that can change after construction (τ is re-learned via
+        :meth:`set_threshold`) are passed as live callables.
+        """
+        context_verify = ChainContextVerify(
+            embed_context=self._embed_context,
+            entry_context=lambda entry_id: self._entries[entry_id].context,
+            threshold=lambda: self.config.context_threshold,
+            enabled=lambda: self.config.verify_context,
+        )
+        return LookupPipeline(
+            embed=EncoderEmbed(self.encoder, compress=lambda: self.config.compressed),
+            retrieve=IndexRetrieve(self._index, top_k=lambda: self.config.top_k),
+            threshold=SimilarityThreshold(lambda: self.config.similarity_threshold),
+            context_verify=context_verify,
+            decide=_MeanCacheDecide(self),
+            enroll=CapacityEnroll(
+                size=lambda: len(self._entries),
+                max_entries=lambda: self.config.max_entries,
+                evict_one=self._evict_one,
+                insert=self.insert,
+            ),
+        )
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -222,22 +263,14 @@ class MeanCache:
     # Lookup (Algorithm 1, lines 1-7)
     # ------------------------------------------------------------------ #
     def lookup(self, query: str, context: Sequence[str] = ()) -> CacheDecision:
-        """Decide hit/miss for ``query`` under conversational ``context``."""
+        """Decide hit/miss for ``query`` under conversational ``context``.
+
+        A single-probe run of the shared lookup pipeline
+        (Embed → Retrieve → Threshold → ContextVerify → Decide).
+        """
         require_query_text(query)
         self.stats.lookups += 1
-        embedding, embed_time = self.embed(query)
-
-        if not self._entries:
-            self.stats.misses += 1
-            return CacheDecision(hit=False, query=query, embed_time_s=embed_time)
-
-        start = time.perf_counter()
-        hits = self._index.search(
-            embedding,
-            top_k=min(self.config.top_k, len(self._entries)),
-        )[0]
-        search_time = time.perf_counter() - start
-        return self._decide(query, context, hits, embed_time, search_time)
+        return self.pipeline.run_one(query, context)
 
     def lookup_batch(
         self,
@@ -273,99 +306,12 @@ class MeanCache:
             raise ValueError("contexts must align with queries")
         if not queries:
             return []
-
-        n = len(queries)
-        self.stats.lookups += n
-        start = time.perf_counter()
-        embeddings = np.atleast_2d(
-            np.asarray(
-                self.encoder.encode(queries, compress=self.config.compressed),
-                dtype=np.float64,
-            )
-        )
-        embed_time = (time.perf_counter() - start) / n
-
-        if not self._entries:
-            self.stats.misses += n
-            return [
-                CacheDecision(hit=False, query=query, embed_time_s=embed_time)
-                for query in queries
-            ]
-
-        start = time.perf_counter()
-        hit_lists = self._index.search(
-            embeddings,
-            top_k=min(self.config.top_k, len(self._entries)),
-        )
-        search_time = (time.perf_counter() - start) / n
-
-        decisions: List[CacheDecision] = []
-        for i, query in enumerate(queries):
-            context = contexts[i] if contexts is not None else ()
-            decisions.append(
-                self._decide(query, context, hit_lists[i], embed_time, search_time)
-            )
-        return decisions
-
-    def _decide(
-        self,
-        query: str,
-        context: Sequence[str],
-        hits: List[IndexHit],
-        embed_time: float,
-        search_time: float,
-    ) -> CacheDecision:
-        """Threshold + context-verify candidates (Algorithm 1, lines 3-7).
-
-        The probe's context chain is embedded lazily — only when a candidate
-        actually clears the τ threshold and needs verification — so probes
-        that miss outright never pay the context-encoding cost.
-        """
-        query_context: Optional[ContextChain] = None
-        best: Optional[Tuple[IndexHit, CacheEntry]] = None
-        context_checked = False
-        for hit in hits:
-            if hit.score < self.config.similarity_threshold:
-                continue
-            entry = self._entries[hit.id]
-            if self.config.verify_context:
-                context_checked = True
-                if query_context is None:
-                    query_context = self._embed_context(context)
-                if not context_matches(query_context, entry.context, self.config.context_threshold):
-                    continue
-            best = (hit, entry)
-            break
-
-        if best is None:
-            self.stats.misses += 1
-            return CacheDecision(
-                hit=False,
-                query=query,
-                candidates=hits,
-                similarity=hits[0].score if hits else 0.0,
-                context_verified=context_checked,
-                embed_time_s=embed_time,
-                search_time_s=search_time,
-            )
-
-        hit_obj, entry = best
-        entry.hit_count += 1
-        entry.last_accessed = time.time()
-        self._policy.record_access(entry.entry_id)
-        self.stats.hits += 1
-        return CacheDecision(
-            hit=True,
-            query=query,
-            response=entry.response,
-            matched_query=entry.query,
-            entry_id=entry.entry_id,
-            similarity=hit_obj.score,
-            candidates=hits,
-            context_verified=context_checked,
-            embed_time_s=embed_time,
-            search_time_s=search_time,
-        )
+        self.stats.lookups += len(queries)
+        probes = [
+            Probe.make(query, contexts[i] if contexts is not None else ())
+            for i, query in enumerate(queries)
+        ]
+        return self.pipeline.run(probes)
 
     # ------------------------------------------------------------------ #
     # Insertion (Algorithm 1, line 9) and eviction
@@ -388,8 +334,7 @@ class MeanCache:
                 f"{self._index.dim}"
             )
 
-        while len(self._entries) >= self.config.max_entries:
-            self._evict_one()
+        self.pipeline.enroll.ensure_capacity()
 
         entry = CacheEntry(
             query=query,
@@ -509,6 +454,51 @@ class MeanCache:
             max_entries=self.config.max_entries,
             eviction_policy=self.config.eviction_policy,
             compressed=self.config.compressed,
+        )
+
+
+class _MeanCacheDecide(DecideStage):
+    """Decide stage: build the :class:`CacheDecision` and account for it.
+
+    Bookkeeping on a hit (entry hit counters, eviction-policy access
+    recording) matches Algorithm 1's cache-side effects; miss/hit counters
+    land in :attr:`MeanCache.stats`.
+    """
+
+    def __init__(self, cache: "MeanCache") -> None:
+        self._cache = cache
+
+    def decide(self, selection: Selection) -> CacheDecision:
+        cache = self._cache
+        if selection.best is None:
+            cache.stats.misses += 1
+            return CacheDecision(
+                hit=False,
+                query=selection.probe.query,
+                candidates=selection.hits,
+                similarity=selection.top_score,
+                context_verified=selection.context_checked,
+                embed_time_s=selection.embed_time_s,
+                search_time_s=selection.search_time_s,
+                embedding=selection.embedding,
+            )
+        entry = cache._entries[selection.best.id]
+        entry.hit_count += 1
+        entry.last_accessed = time.time()
+        cache._policy.record_access(entry.entry_id)
+        cache.stats.hits += 1
+        return CacheDecision(
+            hit=True,
+            query=selection.probe.query,
+            response=entry.response,
+            matched_query=entry.query,
+            entry_id=entry.entry_id,
+            similarity=selection.best.score,
+            candidates=selection.hits,
+            context_verified=selection.context_checked,
+            embed_time_s=selection.embed_time_s,
+            search_time_s=selection.search_time_s,
+            embedding=selection.embedding,
         )
 
 

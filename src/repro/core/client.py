@@ -105,29 +105,7 @@ class MeanCacheClient:
         context = list(context)
 
         decision = self.cache.lookup(text, context=context)
-        if decision.hit:
-            result = ClientQueryResult(
-                query=text,
-                response=decision.response or "",
-                from_cache=True,
-                decision=decision,
-                llm_latency_s=0.0,
-                cache_overhead_s=decision.total_overhead_s,
-                cost_usd=0.0,
-            )
-        else:
-            llm_response = self.service.query(text, client_id=self.client_id, context=context)
-            if enroll_on_miss:
-                self.cache.insert(text, llm_response.text, context=context)
-            result = ClientQueryResult(
-                query=text,
-                response=llm_response.text,
-                from_cache=False,
-                decision=decision,
-                llm_latency_s=llm_response.latency_s,
-                cache_overhead_s=decision.total_overhead_s,
-                cost_usd=llm_response.cost_usd,
-            )
+        result = self._result_for(text, context, decision, enroll_on_miss)
 
         if is_followup or context:
             self.conversation.add_turn(text)
@@ -136,6 +114,87 @@ class MeanCacheClient:
             self.conversation.add_turn(text)
         self.results.append(result)
         return result
+
+    def query_many(
+        self,
+        texts: Sequence[str],
+        contexts: Optional[Sequence[Sequence[str]]] = None,
+        enroll_on_miss: bool = True,
+    ) -> List[ClientQueryResult]:
+        """Answer a whole probe list through one batched cache lookup.
+
+        All probes go through :meth:`MeanCache.lookup_batch` (one encoder
+        call plus one index matmul); each miss is then forwarded to the LLM
+        service and, when ``enroll_on_miss``, enrolled in the cache.  Every
+        probe gets its own :class:`ClientQueryResult` with the same per-result
+        accounting as :meth:`query`, and results are appended to
+        :attr:`results` in probe order.
+
+        Unlike the sequential :meth:`query` loop, misses are enrolled only
+        *after* the whole batch is classified, so a probe cannot hit an entry
+        enrolled by an earlier probe of the same batch.  The batch also does
+        not advance the rolling conversation state — pass explicit
+        ``contexts`` for contextual probes.
+
+        Parameters
+        ----------
+        texts:
+            The probe queries.
+        contexts:
+            Optional per-probe conversational contexts aligned with
+            ``texts``; ``None`` treats every probe as standalone.
+        enroll_on_miss:
+            Whether to insert each miss's LLM response into the cache.
+        """
+        texts = list(texts)
+        if contexts is not None and len(contexts) != len(texts):
+            raise ValueError("contexts must align with texts")
+        ctx_lists: List[List[str]] = (
+            [list(c) for c in contexts] if contexts is not None else [[] for _ in texts]
+        )
+        decisions = self.cache.lookup_batch(texts, contexts=contexts)
+        batch_results = [
+            self._result_for(text, context, decision, enroll_on_miss)
+            for text, context, decision in zip(texts, ctx_lists, decisions)
+        ]
+        self.results.extend(batch_results)
+        return batch_results
+
+    def _result_for(
+        self,
+        text: str,
+        context: List[str],
+        decision: CacheDecision,
+        enroll_on_miss: bool,
+    ) -> ClientQueryResult:
+        """Resolve one decision: serve a hit locally, fall back to the LLM
+        (enrolling the response when asked) on a miss, with the shared
+        per-result latency/cost accounting."""
+        if decision.hit:
+            return ClientQueryResult(
+                query=text,
+                response=decision.response or "",
+                from_cache=True,
+                decision=decision,
+                llm_latency_s=0.0,
+                cache_overhead_s=decision.total_overhead_s,
+                cost_usd=0.0,
+            )
+        llm_response = self.service.query(text, client_id=self.client_id, context=context)
+        if enroll_on_miss:
+            # Reuse the lookup's embedding so enrolment skips a re-encode.
+            self.cache.insert(
+                text, llm_response.text, context=context, embedding=decision.embedding
+            )
+        return ClientQueryResult(
+            query=text,
+            response=llm_response.text,
+            from_cache=False,
+            decision=decision,
+            llm_latency_s=llm_response.latency_s,
+            cache_overhead_s=decision.total_overhead_s,
+            cost_usd=llm_response.cost_usd,
+        )
 
     # ------------------------------------------------------------------ #
     def new_conversation(self) -> None:

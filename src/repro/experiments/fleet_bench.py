@@ -1,0 +1,173 @@
+"""Fleet-scale serving benchmark: lookup throughput at 100 / 1,000 users.
+
+Generates a deterministic multi-user traffic trace per fleet size
+(:class:`~repro.serving.workload.WorkloadGenerator`), replays it through
+:class:`~repro.serving.fleet.FleetSimulator` — one local MeanCache per user,
+all variants of which share one frozen encoder and one simulated LLM service
+— and reports wall-clock fleet throughput (lookups/s) plus hit-rate, latency
+and cost aggregates.  ``benchmarks/test_bench_fleet.py`` records the result
+in ``BENCH_fleet.json`` so later scaling PRs can track the trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cache import MeanCache, MeanCacheConfig
+from repro.embeddings.model import SiameseEncoder
+from repro.embeddings.zoo import load_encoder
+from repro.llm.service import LLMServiceConfig, SimulatedLLMService
+from repro.metrics.reporting import format_table
+from repro.serving.fleet import FleetConfig, FleetResult, FleetSimulator
+from repro.serving.workload import WorkloadConfig, WorkloadGenerator
+
+
+@dataclass
+class FleetBenchPoint:
+    """One fleet size's measurements."""
+
+    n_users: int
+    n_lookups: int
+    wall_clock_s: float
+    throughput_lookups_per_s: float
+    hit_rate: float
+    mean_latency_s: float
+    total_cost_usd: float
+    virtual_duration_s: float
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-serializable form."""
+        return {
+            "n_users": self.n_users,
+            "n_lookups": self.n_lookups,
+            "wall_clock_s": self.wall_clock_s,
+            "throughput_lookups_per_s": self.throughput_lookups_per_s,
+            "hit_rate": self.hit_rate,
+            "mean_latency_s": self.mean_latency_s,
+            "total_cost_usd": self.total_cost_usd,
+            "virtual_duration_s": self.virtual_duration_s,
+        }
+
+    @classmethod
+    def from_result(cls, result: FleetResult) -> "FleetBenchPoint":
+        """Extract the benchmark quantities from a simulation result."""
+        return cls(
+            n_users=result.n_users,
+            n_lookups=result.lookups,
+            wall_clock_s=result.wall_clock_s,
+            throughput_lookups_per_s=result.throughput_lookups_per_s,
+            hit_rate=result.hit_rate,
+            mean_latency_s=result.mean_latency_s,
+            total_cost_usd=result.total_cost_usd,
+            virtual_duration_s=result.virtual_duration_s,
+        )
+
+
+@dataclass
+class FleetBenchResult:
+    """All fleet sizes' measurements plus the run configuration."""
+
+    points: List[FleetBenchPoint] = field(default_factory=list)
+    encoder_name: str = "albert-sim"
+    queries_per_user: int = 10
+    duplicate_rate: float = 0.3
+    similarity_threshold: float = 0.7
+    batch_window_s: float = 0.25
+    seed: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (the ``BENCH_fleet.json`` payload)."""
+        return {
+            "encoder_name": self.encoder_name,
+            "queries_per_user": self.queries_per_user,
+            "duplicate_rate": self.duplicate_rate,
+            "similarity_threshold": self.similarity_threshold,
+            "batch_window_s": self.batch_window_s,
+            "seed": self.seed,
+            "points": [p.to_dict() for p in self.points],
+        }
+
+    def point(self, n_users: int) -> FleetBenchPoint:
+        """The measurements for one fleet size."""
+        for p in self.points:
+            if p.n_users == n_users:
+                return p
+        raise KeyError(f"no benchmark point for {n_users} users")
+
+    def format(self) -> str:
+        """Render the throughput table."""
+        rows = [
+            [
+                p.n_users,
+                p.n_lookups,
+                p.wall_clock_s,
+                p.throughput_lookups_per_s,
+                p.hit_rate,
+                p.mean_latency_s * 1000.0,
+                p.total_cost_usd,
+            ]
+            for p in self.points
+        ]
+        return format_table(
+            [
+                "Users",
+                "Lookups",
+                "Wall clock (s)",
+                "Lookups/s",
+                "Hit rate",
+                "Mean latency (ms)",
+                "LLM cost ($)",
+            ],
+            rows,
+            title=(
+                "Fleet serving benchmark: per-user MeanCache fleet vs one shared "
+                f"LLM service ({self.encoder_name}, τ={self.similarity_threshold})"
+            ),
+        )
+
+
+def run_fleet_bench(
+    user_counts: Sequence[int] = (100, 1000),
+    queries_per_user: int = 10,
+    duplicate_rate: float = 0.3,
+    similarity_threshold: float = 0.7,
+    batch_window_s: float = 0.25,
+    encoder: Optional[SiameseEncoder] = None,
+    encoder_name: str = "albert-sim",
+    seed: int = 0,
+) -> FleetBenchResult:
+    """Measure fleet lookup throughput at each fleet size.
+
+    One frozen encoder instance is shared by every user's cache (encoding is
+    stateless), matching a deployment where all devices run the same
+    distributed model snapshot.
+    """
+    encoder = encoder or load_encoder(encoder_name)
+    result = FleetBenchResult(
+        encoder_name=encoder_name,
+        queries_per_user=queries_per_user,
+        duplicate_rate=duplicate_rate,
+        similarity_threshold=similarity_threshold,
+        batch_window_s=batch_window_s,
+        seed=seed,
+    )
+    for n_users in user_counts:
+        trace = WorkloadGenerator(
+            WorkloadConfig(
+                n_users=n_users,
+                queries_per_user=queries_per_user,
+                duplicate_rate=duplicate_rate,
+            ),
+            seed=seed,
+        ).generate()
+        simulator = FleetSimulator(
+            cache_factory=lambda user_id: MeanCache(
+                encoder,
+                MeanCacheConfig(similarity_threshold=similarity_threshold),
+            ),
+            service=SimulatedLLMService(LLMServiceConfig(seed=seed)),
+            config=FleetConfig(batch_window_s=batch_window_s),
+        )
+        result.points.append(FleetBenchPoint.from_result(simulator.run(trace)))
+    return result

@@ -253,6 +253,11 @@ class FlatIndex(VectorIndex):
             return
         if V.shape[0] != len(ids):
             raise ValueError("ids must align with vectors")
+        if self._constructor_dim is not None and V.shape[1] != self._constructor_dim:
+            raise ValueError(
+                f"vector dim {V.shape[1]} does not match index dim "
+                f"{self._constructor_dim}"
+            )
         self.clear(reset_ids=False)
         self._dim = int(V.shape[1])
         self.add_batch(V, ids=ids)

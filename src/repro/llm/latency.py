@@ -15,6 +15,7 @@ quantities — they are reported as such, never measured wall-clock.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Optional
 
@@ -49,10 +50,21 @@ class LatencyModel:
 
     def __init__(self, config: Optional[LatencyModelConfig] = None, seed: int = 0) -> None:
         self.config = config or LatencyModelConfig()
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
 
-    def sample(self, prompt_tokens: int, response_tokens: int) -> float:
-        """Return one simulated end-to-end latency (seconds)."""
+    def sample(
+        self, prompt_tokens: int, response_tokens: int, key: Optional[str] = None
+    ) -> float:
+        """Return one simulated end-to-end latency (seconds).
+
+        With ``key=None`` (the historical behaviour) jitter is drawn from the
+        model's shared sequential RNG, so the latency of request *i* depends
+        on how many requests preceded it.  Passing a ``key`` derives the
+        jitter from a hash of (seed, key) instead: the same request always
+        gets the same latency, regardless of arrival order or interleaving —
+        which is what makes fleet simulations replayable under reordering.
+        """
         if prompt_tokens < 0 or response_tokens < 0:
             raise ValueError("token counts must be non-negative")
         cfg = self.config
@@ -61,8 +73,18 @@ class LatencyModel:
             + cfg.prefill_per_token * prompt_tokens
             + cfg.decode_per_token * response_tokens
         )
-        jitter = float(self._rng.normal(0.0, cfg.jitter_std)) if cfg.jitter_std else 0.0
+        if not cfg.jitter_std:
+            jitter = 0.0
+        elif key is None:
+            jitter = float(self._rng.normal(0.0, cfg.jitter_std))
+        else:
+            jitter = float(self._keyed_rng(key).normal(0.0, cfg.jitter_std))
         return max(cfg.min_latency, base + jitter)
+
+    def _keyed_rng(self, key: str) -> np.random.Generator:
+        """An RNG seeded from a stable hash of (model seed, request key)."""
+        digest = hashlib.sha256(f"{self._seed}\x1f{key}".encode("utf-8")).digest()
+        return np.random.default_rng(int.from_bytes(digest[:8], "little"))
 
     def expected(self, prompt_tokens: int, response_tokens: int) -> float:
         """The deterministic (jitter-free) latency for given token counts."""
@@ -76,4 +98,5 @@ class LatencyModel:
 
     def reseed(self, seed: int) -> None:
         """Reset the jitter RNG (used to replay identical traces)."""
+        self._seed = seed
         self._rng = np.random.default_rng(seed)

@@ -34,6 +34,13 @@ class LLMServiceConfig:
         approximate public per-token API pricing.
     seed:
         Seed for latency jitter.
+    jitter_mode:
+        ``"hashed"`` (default) derives each request's latency jitter from a
+        hash of ``(client_id, prompt)``, so a given request costs the same
+        simulated latency no matter how fleet traffic interleaves —
+        simulation results become independent of arrival order.
+        ``"sequential"`` restores the historical behaviour: jitter drawn
+        from one shared RNG in request order.
     """
 
     response_tokens: int = 50
@@ -41,6 +48,11 @@ class LLMServiceConfig:
     price_per_1k_prompt_tokens: float = 0.0005
     price_per_1k_response_tokens: float = 0.0015
     seed: int = 0
+    jitter_mode: str = "hashed"
+
+    def __post_init__(self) -> None:
+        if self.jitter_mode not in ("hashed", "sequential"):
+            raise ValueError("jitter_mode must be 'hashed' or 'sequential'")
 
 
 @dataclass(frozen=True)
@@ -103,7 +115,10 @@ class SimulatedLLMService:
         prompt_tokens = count_tokens(full_prompt)
         text = self._responses.generate(prompt, response_tokens)
         resp_tokens = count_tokens(text)
-        latency = self._latency.sample(prompt_tokens, resp_tokens)
+        jitter_key = (
+            f"{client_id}\x1f{prompt}" if self.config.jitter_mode == "hashed" else None
+        )
+        latency = self._latency.sample(prompt_tokens, resp_tokens, key=jitter_key)
         cost = (
             prompt_tokens / 1000.0 * self.config.price_per_1k_prompt_tokens
             + resp_tokens / 1000.0 * self.config.price_per_1k_response_tokens

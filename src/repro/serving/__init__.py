@@ -1,0 +1,37 @@
+"""Multi-client serving: fleet workload generation, simulation and replay.
+
+The paper evaluates one client at a time; this package scales the setting to
+the fleet the paper actually describes — many user devices, each with a local
+cache, sharing one LLM web service:
+
+* :mod:`repro.serving.workload` — :class:`WorkloadGenerator` produces
+  deterministic, seeded multi-user traffic traces (Poisson arrivals,
+  per-user domain mixes, conversations/follow-ups, paraphrase duplicates);
+  :class:`Trace` serializes to JSON for traffic replay.
+* :mod:`repro.serving.fleet` — :class:`FleetSimulator` replays a trace over
+  N per-user caches (any variant on the shared lookup pipeline) against one
+  shared :class:`~repro.llm.service.SimulatedLLMService` on a virtual event
+  clock, with batched lookup scheduling and per-fleet/per-user hit-rate,
+  latency and cost aggregation.
+"""
+
+from repro.serving.fleet import (
+    FleetConfig,
+    FleetResult,
+    FleetSimulator,
+    LookupOutcome,
+    UserStats,
+)
+from repro.serving.workload import Trace, WorkloadConfig, WorkloadEvent, WorkloadGenerator
+
+__all__ = [
+    "FleetConfig",
+    "FleetResult",
+    "FleetSimulator",
+    "LookupOutcome",
+    "UserStats",
+    "Trace",
+    "WorkloadConfig",
+    "WorkloadEvent",
+    "WorkloadGenerator",
+]

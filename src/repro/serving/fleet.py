@@ -1,0 +1,365 @@
+"""Fleet simulation: N per-user caches against one shared LLM service.
+
+:class:`FleetSimulator` replays a :class:`~repro.serving.workload.Trace`
+on a virtual event clock: every arrival is looked up in its user's *local*
+cache; misses are forwarded to the shared :class:`SimulatedLLMService` and
+(optionally) enrolled.  Events that arrive within one ``batch_window_s`` are
+scheduled together — each cache's queries in the window go through a single
+``lookup_batch`` call, so the per-query embed/search overhead amortizes the
+way a deployed batching frontend would.
+
+Windowed batching has the standard batched-lookup semantics: all of a
+window's lookups complete before any of its misses enrol, so an entry
+enrolled in window *k* is visible from window *k+1* on.  Duplicate queries
+that miss inside the *same* window therefore each pay the LLM and each
+enrol (where a fully sequential replay would serve the second as a hit);
+narrow the window — ``batch_window_s=0`` batches only simultaneous
+arrivals — to approach sequential semantics, or widen it to favour
+amortization.
+
+Any cache variant rides along: the simulator adapts MeanCache-style decision
+objects, GPTCache-style decisions and KeywordCache's plain ``Optional[str]``
+responses to one outcome shape (see :class:`LookupOutcome`), and enrolment
+goes through the variant's pipeline Enroll/Evict stage.  A ``cache_factory``
+returning the *same* object for every user models a central shared cache
+(the GPTCache deployment); returning fresh instances models the paper's
+per-device fleet.
+
+With the service's default hashed latency jitter, a replayed trace produces
+identical per-user results regardless of how fleet traffic interleaves.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.llm.service import SimulatedLLMService
+from repro.serving.workload import Trace, WorkloadEvent
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Fleet scheduling and enrolment knobs.
+
+    Attributes
+    ----------
+    batch_window_s:
+        Width of the virtual batching window: arrivals within one window are
+        grouped per cache and classified with one ``lookup_batch`` call
+        before any of the window's misses enrol.  Wider windows amortize
+        more but defer enrolment visibility to the next window (intra-window
+        duplicate misses each pay the LLM); ``0`` batches only simultaneous
+        arrivals, approaching sequential semantics.
+    enroll_on_miss:
+        Whether misses enrol the LLM's response in the user's cache.
+    """
+
+    batch_window_s: float = 0.25
+    enroll_on_miss: bool = True
+
+    def __post_init__(self) -> None:
+        if self.batch_window_s < 0:
+            raise ValueError("batch_window_s must be >= 0")
+
+
+@dataclass
+class LookupOutcome:
+    """Variant-agnostic result of one fleet lookup."""
+
+    event: WorkloadEvent
+    hit: bool
+    response: Optional[str]
+    cache_overhead_s: float = 0.0
+    llm_latency_s: float = 0.0
+    cost_usd: float = 0.0
+    #: probe embedding from the lookup (reused by enrolment; None for
+    #: non-vector variants)
+    embedding: Optional[object] = None
+
+    @property
+    def total_latency_s(self) -> float:
+        """Latency the user experienced for this query."""
+        return self.cache_overhead_s + self.llm_latency_s
+
+
+@dataclass
+class UserStats:
+    """Per-user aggregation over one simulation run."""
+
+    lookups: int = 0
+    hits: int = 0
+    llm_requests: int = 0
+    cache_overhead_s: float = 0.0
+    llm_latency_s: float = 0.0
+    cost_usd: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of this user's lookups served locally."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def total_latency_s(self) -> float:
+        """Cache overhead plus simulated LLM latency, summed."""
+        return self.cache_overhead_s + self.llm_latency_s
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean end-to-end latency per query."""
+        return self.total_latency_s / self.lookups if self.lookups else 0.0
+
+    def record(self, outcome: LookupOutcome) -> None:
+        """Fold one lookup outcome into the totals."""
+        self.lookups += 1
+        self.hits += int(outcome.hit)
+        self.llm_requests += int(not outcome.hit)
+        self.cache_overhead_s += outcome.cache_overhead_s
+        self.llm_latency_s += outcome.llm_latency_s
+        self.cost_usd += outcome.cost_usd
+
+
+@dataclass
+class FleetResult:
+    """Fleet-wide and per-user aggregation of one simulation run."""
+
+    n_users: int
+    n_events: int
+    virtual_duration_s: float
+    wall_clock_s: float
+    per_user: Dict[str, UserStats] = field(default_factory=dict)
+    outcomes: List[LookupOutcome] = field(default_factory=list)
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups across the fleet."""
+        return sum(u.lookups for u in self.per_user.values())
+
+    @property
+    def hits(self) -> int:
+        """Total cache hits across the fleet."""
+        return sum(u.hits for u in self.per_user.values())
+
+    @property
+    def hit_rate(self) -> float:
+        """Fleet-wide hit rate."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean end-to-end latency per query across the fleet."""
+        lookups = self.lookups
+        if not lookups:
+            return 0.0
+        return sum(u.total_latency_s for u in self.per_user.values()) / lookups
+
+    @property
+    def total_cost_usd(self) -> float:
+        """Total simulated LLM spend across the fleet."""
+        return float(sum(u.cost_usd for u in self.per_user.values()))
+
+    @property
+    def throughput_lookups_per_s(self) -> float:
+        """Fleet lookup throughput against measured wall-clock time."""
+        if self.wall_clock_s <= 0:
+            return 0.0
+        return self.lookups / self.wall_clock_s
+
+    def format(self) -> str:
+        """One-paragraph text summary of the run."""
+        return (
+            f"fleet of {self.n_users} users — {self.n_events} lookups in "
+            f"{self.wall_clock_s:.2f}s wall-clock "
+            f"({self.throughput_lookups_per_s:,.0f} lookups/s); "
+            f"hit rate {self.hit_rate:.3f}, "
+            f"mean latency {self.mean_latency_s * 1000:.1f} ms, "
+            f"LLM spend ${self.total_cost_usd:.4f}, "
+            f"virtual duration {self.virtual_duration_s:.1f}s"
+        )
+
+
+class _CacheAdapter:
+    """Normalises any cache variant to one batched lookup/enroll surface."""
+
+    def __init__(self, cache) -> None:
+        self.cache = cache
+        params = inspect.signature(cache.lookup_batch).parameters
+        self._accepts_contexts = "contexts" in params
+
+    def lookup_batch(
+        self,
+        queries: Sequence[str],
+        contexts: Sequence[Sequence[str]],
+    ) -> List[Tuple[bool, Optional[str], float, Optional[object]]]:
+        """Batched lookup returning (hit, response, overhead_s, embedding).
+
+        Decision objects must expose ``hit``/``response``/``total_overhead_s``
+        (attribute errors surface loudly rather than skewing aggregates with
+        silent defaults); a bare ``str | None`` is the exact-match shape.
+        """
+        if self._accepts_contexts:
+            raw = self.cache.lookup_batch(list(queries), contexts=[list(c) for c in contexts])
+        else:
+            raw = self.cache.lookup_batch(list(queries))
+        outcomes: List[Tuple[bool, Optional[str], float, Optional[object]]] = []
+        for item in raw:
+            if item is None or isinstance(item, str):
+                # KeywordCache-style: the response itself (or None on miss).
+                outcomes.append((item is not None, item, 0.0, None))
+            else:
+                outcomes.append(
+                    (
+                        bool(item.hit),
+                        item.response,
+                        float(item.total_overhead_s),
+                        getattr(item, "embedding", None),
+                    )
+                )
+        return outcomes
+
+    def enroll(
+        self,
+        query: str,
+        response: str,
+        context: Sequence[str],
+        user_id: str,
+        embedding: Optional[object] = None,
+    ) -> None:
+        """Enrol through the variant's pipeline Enroll/Evict stage.
+
+        ``user_id`` keeps per-user attribution in central shared caches
+        (per-device caches ignore it); ``embedding`` reuses the lookup's
+        Embed-stage output so enrolment skips a second encoder forward.
+        """
+        pipeline = getattr(self.cache, "pipeline", None)
+        if pipeline is not None and pipeline.enroll is not None:
+            pipeline.enroll.enroll(
+                query, response, context=context, user_id=user_id, embedding=embedding
+            )
+        else:  # pragma: no cover - every repo variant has a pipeline
+            self.cache.insert(query, response)
+
+
+class FleetSimulator:
+    """Runs a traffic trace over N per-user caches and one shared service."""
+
+    def __init__(
+        self,
+        cache_factory: Callable[[str], object],
+        service: Optional[SimulatedLLMService] = None,
+        config: Optional[FleetConfig] = None,
+    ) -> None:
+        self.cache_factory = cache_factory
+        self.service = service or SimulatedLLMService()
+        self.config = config or FleetConfig()
+        self.caches: Dict[str, _CacheAdapter] = {}
+
+    # ------------------------------------------------------------------ #
+    def _adapter(self, user_id: str) -> _CacheAdapter:
+        adapter = self.caches.get(user_id)
+        if adapter is None:
+            adapter = _CacheAdapter(self.cache_factory(user_id))
+            self.caches[user_id] = adapter
+        return adapter
+
+    @staticmethod
+    def _windows(trace: Trace, width: float):
+        """Split the event stream into batching windows.
+
+        The stream is re-sorted by arrival time first: the windowing and the
+        "enrolments become visible next window" invariant both assume time
+        order, and a hand-merged replay file may not provide it.
+        """
+        events = sorted(trace.events, key=lambda e: (e.time_s, e.user_id))
+        window: List[WorkloadEvent] = []
+        window_end = None
+        for event in events:
+            if window_end is None:
+                window_end = event.time_s + width
+            if event.time_s <= window_end:
+                window.append(event)
+            else:
+                yield window
+                window = [event]
+                window_end = event.time_s + width
+        if window:
+            yield window
+
+    def run(self, trace: Trace, collect_outcomes: bool = False) -> FleetResult:
+        """Replay ``trace`` through the fleet and aggregate the results.
+
+        Parameters
+        ----------
+        trace:
+            The time-ordered traffic trace (generated or loaded for replay).
+        collect_outcomes:
+            Also retain every per-event :class:`LookupOutcome` on the result
+            (off by default: at fleet scale the aggregate is the product).
+        """
+        per_user: Dict[str, UserStats] = {}
+        outcomes: List[LookupOutcome] = []
+        virtual_end = 0.0
+        start = time.perf_counter()
+        for window in self._windows(trace, self.config.batch_window_s):
+            # Phase 1 — lookups.  Group the window's arrivals by *underlying
+            # cache object* (per-user fleets: one group per user; a shared
+            # central cache: one group for the whole window), preserving
+            # arrival order within each group, and classify each group with
+            # one lookup_batch call.
+            by_cache: Dict[int, Tuple[_CacheAdapter, List[WorkloadEvent]]] = {}
+            for event in window:
+                adapter = self._adapter(event.user_id)
+                by_cache.setdefault(id(adapter.cache), (adapter, []))[1].append(event)
+            looked_up: Dict[int, Tuple[bool, Optional[str], float, Optional[object]]] = {}
+            for adapter, events in by_cache.values():
+                results = adapter.lookup_batch(
+                    [e.query for e in events], [e.context for e in events]
+                )
+                for event, result in zip(events, results):
+                    looked_up[id(event)] = result
+            # Phase 2 — misses and enrolment, in arrival order.  All window
+            # lookups complete before any enrolment, so a decision can only
+            # depend on entries enrolled in *previous* windows — no event can
+            # hit an entry enrolled by a later-arriving event, even on a
+            # shared cache, and results are independent of grouping order.
+            for event in window:
+                hit, response, overhead, embedding = looked_up[id(event)]
+                outcome = LookupOutcome(
+                    event=event,
+                    hit=hit,
+                    response=response,
+                    cache_overhead_s=overhead,
+                    embedding=embedding,
+                )
+                if not hit:
+                    llm = self.service.query(
+                        event.query, client_id=event.user_id, context=list(event.context)
+                    )
+                    outcome.response = llm.text
+                    outcome.llm_latency_s = llm.latency_s
+                    outcome.cost_usd = llm.cost_usd
+                    if self.config.enroll_on_miss:
+                        self._adapter(event.user_id).enroll(
+                            event.query,
+                            llm.text,
+                            event.context,
+                            event.user_id,
+                            embedding=embedding,
+                        )
+                stats = per_user.setdefault(event.user_id, UserStats())
+                stats.record(outcome)
+                virtual_end = max(virtual_end, event.time_s + outcome.total_latency_s)
+                if collect_outcomes:
+                    outcomes.append(outcome)
+        wall_clock = time.perf_counter() - start
+        return FleetResult(
+            n_users=trace.n_users,
+            n_events=len(trace),
+            virtual_duration_s=virtual_end,
+            wall_clock_s=wall_clock,
+            per_user=per_user,
+            outcomes=outcomes,
+        )

@@ -300,3 +300,45 @@ class TestMeanCacheClient:
         client.query("first question about python")
         client.new_conversation()
         assert client.conversation.turns == []
+
+    def test_query_many_batched_accounting(self, trained_encoder):
+        cache = MeanCache(trained_encoder, MeanCacheConfig(similarity_threshold=0.8))
+        client = MeanCacheClient(cache, SimulatedLLMService(), client_id="batch-user")
+        cache.populate(["How can I sort a list in python?"])
+        results = client.query_many(
+            [
+                "What is the best way to order a python list?",
+                "How do I plan a trip to japan?",
+            ]
+        )
+        assert [r.from_cache for r in results] == [True, False]
+        assert results[0].cost_usd == 0.0 and results[0].llm_latency_s == 0.0
+        assert results[1].cost_usd > 0 and results[1].llm_latency_s > 0
+        # Per-result accounting feeds the same aggregate properties as query().
+        assert client.results == results
+        assert client.hit_rate == pytest.approx(0.5)
+        assert client.total_cost_usd == pytest.approx(results[1].cost_usd)
+        # The miss was enrolled.
+        assert len(cache) == 2
+
+    def test_query_many_matches_sequential_decisions(self, trained_encoder):
+        probes = [
+            "What is the best way to order a python list?",
+            "How do I plan a trip to japan?",
+            "how can I reverse a string in python",
+        ]
+        cache_a = MeanCache(trained_encoder.clone(), MeanCacheConfig(similarity_threshold=0.8))
+        cache_b = MeanCache(trained_encoder.clone(), MeanCacheConfig(similarity_threshold=0.8))
+        for cache in (cache_a, cache_b):
+            cache.populate(["How can I sort a list in python?"])
+        client_a = MeanCacheClient(cache_a, SimulatedLLMService())
+        client_b = MeanCacheClient(cache_b, SimulatedLLMService())
+        sequential = [client_a.query(p, enroll_on_miss=False) for p in probes]
+        batched = client_b.query_many(probes, enroll_on_miss=False)
+        assert [r.from_cache for r in sequential] == [r.from_cache for r in batched]
+        assert [r.response for r in sequential] == [r.response for r in batched]
+
+    def test_query_many_context_alignment_validated(self, tiny_encoder):
+        client = MeanCacheClient(MeanCache(tiny_encoder), SimulatedLLMService())
+        with pytest.raises(ValueError):
+            client.query_many(["a query"], contexts=[["ctx"], ["extra"]])

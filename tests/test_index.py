@@ -200,6 +200,19 @@ class TestFlatIndexParity:
         assert len(index) == 15 and index.dim == 32
         assert_parity(index, Y, ids, rng.normal(size=(4, 32)), top_k=3)
 
+    def test_rebuild_respects_constructor_dim(self, rng):
+        """A constructor-pinned dim constrains rebuild, matching clear()."""
+        index = FlatIndex(dim=4)
+        index.add_batch(rng.normal(size=(3, 4)))
+        with pytest.raises(ValueError):
+            index.rebuild(rng.normal(size=(2, 3)), ids=[0, 1])
+        assert index.dim == 4
+        # A data-driven dim may still change across rebuilds.
+        free = FlatIndex()
+        free.add_batch(rng.normal(size=(3, 4)))
+        free.rebuild(rng.normal(size=(2, 7)), ids=[0, 1])
+        assert free.dim == 7
+
     def test_rebuild_to_empty(self, rng):
         index = FlatIndex()
         index.add_batch(rng.normal(size=(5, 8)))

@@ -198,3 +198,38 @@ class TestSimulatedService:
         service.query("a")
         service.reset_stats()
         assert service.stats.n_requests == 0
+
+    def test_hashed_jitter_independent_of_arrival_order(self):
+        requests = [("u1", "sort a python list"), ("u2", "plan a trip"), ("u1", "bake bread")]
+        forward = SimulatedLLMService(LLMServiceConfig(seed=0))
+        reordered = SimulatedLLMService(LLMServiceConfig(seed=0))
+        lat_fwd = {req: forward.query(req[1], client_id=req[0]).latency_s for req in requests}
+        lat_rev = {
+            req: reordered.query(req[1], client_id=req[0]).latency_s
+            for req in reversed(requests)
+        }
+        assert lat_fwd == lat_rev
+
+    def test_sequential_jitter_depends_on_arrival_order(self):
+        config = LLMServiceConfig(seed=0, jitter_mode="sequential")
+        requests = [("u1", "sort a python list"), ("u2", "plan a trip")]
+        forward = SimulatedLLMService(config)
+        reordered = SimulatedLLMService(config)
+        lat_fwd = {req: forward.query(req[1], client_id=req[0]).latency_s for req in requests}
+        lat_rev = {
+            req: reordered.query(req[1], client_id=req[0]).latency_s
+            for req in reversed(requests)
+        }
+        # The shared RNG hands out jitter in request order, so swapping the
+        # arrival order reassigns latencies (the defect the hashed mode fixes).
+        assert lat_fwd != lat_rev
+
+    def test_hashed_jitter_distinguishes_clients(self):
+        service = SimulatedLLMService(LLMServiceConfig(seed=0))
+        a = service.query("identical prompt", client_id="client-a").latency_s
+        b = service.query("identical prompt", client_id="client-b").latency_s
+        assert a != b
+
+    def test_invalid_jitter_mode_rejected(self):
+        with pytest.raises(ValueError):
+            LLMServiceConfig(jitter_mode="bogus")

@@ -1,0 +1,270 @@
+"""Tests for the serving subsystem (workload generation, fleet simulation, replay)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import make_tiny_encoder
+
+from repro.baselines.gptcache import GPTCache, GPTCacheConfig
+from repro.baselines.keyword_cache import KeywordCache
+from repro.core.cache import MeanCache, MeanCacheConfig
+from repro.experiments.fleet_bench import run_fleet_bench
+from repro.llm.service import LLMServiceConfig, SimulatedLLMService
+from repro.serving import (
+    FleetConfig,
+    FleetSimulator,
+    Trace,
+    WorkloadConfig,
+    WorkloadEvent,
+    WorkloadGenerator,
+)
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    config = WorkloadConfig(
+        n_users=6, queries_per_user=12, duplicate_rate=0.4, followup_rate=0.3
+    )
+    return WorkloadGenerator(config, seed=42).generate()
+
+
+def _meancache_factory(encoder, threshold=0.8):
+    return lambda user_id: MeanCache(
+        encoder, MeanCacheConfig(similarity_threshold=threshold)
+    )
+
+
+class TestWorkloadGenerator:
+    def test_trace_shape_and_order(self, small_trace):
+        assert len(small_trace) == 6 * 12
+        assert small_trace.n_users == 6
+        times = [e.time_s for e in small_trace]
+        assert times == sorted(times)
+        assert len(small_trace.user_ids) == 6
+
+    def test_deterministic_generation(self, small_trace):
+        config = WorkloadConfig(
+            n_users=6, queries_per_user=12, duplicate_rate=0.4, followup_rate=0.3
+        )
+        again = WorkloadGenerator(config, seed=42).generate()
+        assert again.to_dict() == small_trace.to_dict()
+
+    def test_per_user_streams_independent_of_fleet_size(self):
+        """User k's stream must not change when more users join the fleet."""
+        small = WorkloadGenerator(WorkloadConfig(n_users=3, queries_per_user=8), seed=7)
+        large = WorkloadGenerator(WorkloadConfig(n_users=10, queries_per_user=8), seed=7)
+        uid = small.user_id(2)
+        events_small = small.generate().events_for_user(uid)
+        events_large = large.generate().events_for_user(uid)
+        assert [e.to_dict() for e in events_small] == [e.to_dict() for e in events_large]
+
+    def test_duplicate_and_followup_traffic_present(self, small_trace):
+        kinds = {e.kind for e in small_trace}
+        assert kinds == {"unique", "duplicate"}
+        followups = [e for e in small_trace if e.is_followup]
+        assert followups, "expected some conversational follow-ups"
+        for event in followups:
+            assert event.context  # follow-ups carry their chain
+            assert len(event.context) <= 3
+
+    def test_duplicates_reask_past_intents(self, small_trace):
+        for uid in small_trace.user_ids:
+            seen = set()
+            for event in small_trace.events_for_user(uid):
+                if event.kind == "duplicate":
+                    assert event.intent_key in seen
+                seen.add(event.intent_key)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(n_users=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(duplicate_rate=1.5)
+        with pytest.raises(ValueError):
+            WorkloadConfig(arrival_rate_qps=0.0)
+
+    def test_trace_json_roundtrip(self, small_trace, tmp_path):
+        path = small_trace.save(tmp_path / "trace.json")
+        loaded = Trace.load(path)
+        assert loaded.to_dict() == small_trace.to_dict()
+        assert loaded.duration_s == small_trace.duration_s
+
+
+class TestFleetSimulator:
+    def test_per_user_and_fleet_aggregation(self, small_trace, tiny_encoder):
+        service = SimulatedLLMService(LLMServiceConfig(seed=0))
+        simulator = FleetSimulator(_meancache_factory(tiny_encoder), service)
+        result = simulator.run(small_trace)
+        assert result.n_events == len(small_trace)
+        assert set(result.per_user) == set(small_trace.user_ids)
+        assert result.lookups == len(small_trace)
+        assert result.hits == sum(u.hits for u in result.per_user.values())
+        assert 0.0 <= result.hit_rate < 1.0
+        assert result.total_cost_usd > 0
+        assert result.throughput_lookups_per_s > 0
+        assert result.virtual_duration_s >= small_trace.duration_s
+        # Misses (and only misses) reached the shared service.
+        assert service.stats.n_requests == result.lookups - result.hits
+
+    def test_replay_is_deterministic(self, small_trace, tiny_encoder):
+        def run_once():
+            simulator = FleetSimulator(
+                _meancache_factory(tiny_encoder),
+                SimulatedLLMService(LLMServiceConfig(seed=0)),
+            )
+            return simulator.run(small_trace)
+
+        a, b = run_once(), run_once()
+        assert a.hit_rate == b.hit_rate
+        assert a.total_cost_usd == b.total_cost_usd
+        for uid in a.per_user:
+            assert a.per_user[uid].llm_latency_s == b.per_user[uid].llm_latency_s
+            assert a.per_user[uid].hits == b.per_user[uid].hits
+
+    def test_batch_window_does_not_change_classification(self, small_trace, tiny_encoder):
+        """Batched scheduling is an amortization, not a semantics change.
+
+        With enrolment off, a lookup is pure classification and must be
+        identical under any window width.  (With enrolment *on*, windowing
+        legitimately delays intra-window enrolment — a probe cannot hit an
+        entry enrolled by an earlier probe of the same window — so decisions
+        there are only window-invariant when no such pair occurs.)
+        """
+
+        def run_with_window(width):
+            simulator = FleetSimulator(
+                _meancache_factory(tiny_encoder),
+                SimulatedLLMService(LLMServiceConfig(seed=0)),
+                FleetConfig(batch_window_s=width, enroll_on_miss=False),
+            )
+            return simulator.run(small_trace, collect_outcomes=True)
+
+        tight = run_with_window(0.0)
+        wide = run_with_window(5.0)
+        # Compare per-event hit decisions keyed by (user, time): grouping
+        # differs, decisions must not (per-user caches, hashed jitter).
+        key = lambda o: (o.event.user_id, o.event.time_s)
+        tight_hits = {key(o): o.hit for o in tight.outcomes}
+        wide_hits = {key(o): o.hit for o in wide.outcomes}
+        assert tight_hits == wide_hits
+        assert tight.total_cost_usd == pytest.approx(wide.total_cost_usd)
+
+    def test_enroll_on_miss_populates_user_caches(self, small_trace, tiny_encoder):
+        caches = {}
+
+        def factory(user_id):
+            caches[user_id] = MeanCache(
+                tiny_encoder, MeanCacheConfig(similarity_threshold=0.8)
+            )
+            return caches[user_id]
+
+        simulator = FleetSimulator(factory, SimulatedLLMService(LLMServiceConfig(seed=0)))
+        result = simulator.run(small_trace)
+        assert set(caches) == set(small_trace.user_ids)
+        for uid, cache in caches.items():
+            stats = result.per_user[uid]
+            assert len(cache) == stats.llm_requests  # every miss was enrolled
+
+        no_enroll = FleetSimulator(
+            _meancache_factory(tiny_encoder),
+            SimulatedLLMService(LLMServiceConfig(seed=0)),
+            FleetConfig(enroll_on_miss=False),
+        )
+        empty_result = no_enroll.run(small_trace)
+        assert empty_result.hits == 0  # nothing ever cached
+
+    def test_enrolment_reuses_lookup_embeddings(self):
+        """A miss's enrolment reuses the Embed stage's output — no re-encode."""
+
+        class CountingEncoder:
+            def __init__(self, inner):
+                self.inner = inner
+                self.calls = 0
+
+            def __getattr__(self, name):
+                return getattr(self.inner, name)
+
+            def encode(self, texts, compress=True):
+                self.calls += 1
+                return self.inner.encode(texts, compress=compress)
+
+        encoder = CountingEncoder(make_tiny_encoder())
+        cache = MeanCache(encoder, MeanCacheConfig(similarity_threshold=0.8))
+        decision = cache.lookup("how can i sort a list in python")
+        assert not decision.hit and decision.embedding is not None
+        assert encoder.calls == 1
+        cache.pipeline.enroll.enroll(
+            decision.query, "use sorted()", embedding=decision.embedding
+        )
+        assert encoder.calls == 1  # enrolment did not re-encode
+        assert len(cache) == 1
+        assert cache.lookup("how can i sort a list in python").hit
+
+    def test_keyword_variant_rides_along(self, small_trace):
+        simulator = FleetSimulator(
+            lambda uid: KeywordCache(), SimulatedLLMService(LLMServiceConfig(seed=0))
+        )
+        result = simulator.run(small_trace)
+        assert result.lookups == len(small_trace)
+        assert 0.0 <= result.hit_rate <= 1.0
+
+    def test_shared_central_cache_variant(self, small_trace, tiny_encoder):
+        """One GPTCache instance for the whole fleet (central deployment)."""
+        central = GPTCache(tiny_encoder, GPTCacheConfig(similarity_threshold=0.8))
+        simulator = FleetSimulator(
+            lambda uid: central, SimulatedLLMService(LLMServiceConfig(seed=0))
+        )
+        result = simulator.run(small_trace)
+        assert result.lookups == len(small_trace)
+        assert len(central) == result.lookups - result.hits
+        # Central enrolment keeps per-user attribution (who asked what).
+        assert set(central.users()) == {
+            uid for uid, stats in result.per_user.items() if stats.llm_requests
+        }
+
+    def test_no_causality_inversion_on_shared_cache(self, tiny_encoder):
+        """An event must never hit an entry enrolled by a later arrival.
+
+        All of a window's lookups complete before any of its misses enrol,
+        so B's t=0.02 probe cannot match the entry A enrols at t=0.24 even
+        though both land in the same batch window of a shared cache.
+        """
+        q = "how can i sort a list in python"
+        events = [
+            WorkloadEvent(time_s=0.01, user_id="user-a", query="plan a trip to japan"),
+            WorkloadEvent(time_s=0.02, user_id="user-b", query=q),
+            WorkloadEvent(time_s=0.24, user_id="user-a", query=q),
+        ]
+        trace = Trace(events=events, n_users=2)
+        central = GPTCache(tiny_encoder, GPTCacheConfig(similarity_threshold=0.8))
+        simulator = FleetSimulator(
+            lambda uid: central,
+            SimulatedLLMService(LLMServiceConfig(seed=0)),
+            FleetConfig(batch_window_s=0.25),
+        )
+        result = simulator.run(trace, collect_outcomes=True)
+        assert [o.hit for o in result.outcomes] == [False, False, False]
+        assert len(central) == 3  # every miss enrolled, duplicates included
+
+
+class TestFleetBench:
+    def test_small_fleet_bench_points(self):
+        result = run_fleet_bench(
+            user_counts=(3, 5),
+            queries_per_user=4,
+            encoder=make_tiny_encoder(),
+            encoder_name="tiny",
+            seed=0,
+        )
+        assert [p.n_users for p in result.points] == [3, 5]
+        for point in result.points:
+            assert point.n_lookups == point.n_users * 4
+            assert point.throughput_lookups_per_s > 0
+        assert "Fleet serving benchmark" in result.format()
+        payload = result.to_dict()
+        assert payload["encoder_name"] == "tiny"
+        assert len(payload["points"]) == 2
+        with pytest.raises(KeyError):
+            result.point(99)
