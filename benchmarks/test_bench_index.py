@@ -1,12 +1,15 @@
-"""Benchmark: incremental index insert/lookup throughput vs the seed path.
+"""Benchmark: index throughput vs the seed path + the ANN backend sweep.
 
-The seed cache rebuilt its embedding matrix with ``np.vstack`` on every
-insert and re-normalized the whole corpus on every lookup; ``repro.index``
-replaces both with amortized-O(1) appends into a pre-normalized float32
-matrix and a single matmul per (batched) search.  This benchmark times both
-generations on synthetic embeddings and records the results in
-``BENCH_index.json`` at the repo root so later PRs can track the perf
-trajectory.
+Two index benchmarks are recorded into ``BENCH_index.json`` at the repo root
+(field reference in ``docs/benchmarks.md``) so later PRs can track the perf
+trajectory:
+
+* ``microbench`` — the incremental :class:`repro.index.FlatIndex` against
+  the seed cache's hot path (per-insert ``np.vstack`` rebuild, per-lookup
+  corpus re-normalization);
+* ``backends`` — recall@k vs lookup throughput of the approximate backends
+  (IVF inverted lists, multi-probe LSH) against exact flat search at 10k
+  and 100k entries on the standard clustered paraphrase workload.
 
 Run with ``pytest benchmarks/test_bench_index.py -s``.
 """
@@ -16,7 +19,7 @@ from pathlib import Path
 
 from conftest import emit
 
-from repro.experiments.index_bench import run_index_bench
+from repro.experiments.index_bench import run_backend_sweep, run_index_bench
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_index.json"
 
@@ -24,6 +27,26 @@ N_ENTRIES = 10_000
 DIM = 64
 N_QUERIES = 200
 TOP_K = 5
+
+SWEEP_SIZES = (10_000, 100_000)
+APPROX_BACKENDS = ("ivf", "lsh")
+MIN_RECALL = 0.9
+MIN_BATCH_SPEEDUP_AT_100K = 10.0
+
+
+def _write_payload(update):
+    """Merge one benchmark's section into BENCH_index.json."""
+    payload = {}
+    if BENCH_JSON.exists():
+        try:
+            payload = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            payload = {}
+    if "microbench" not in payload and "n_entries" in payload:
+        # Pre-sweep layout: the microbench dict was the whole file.
+        payload = {"microbench": payload}
+    payload.update(update)
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
 
 def test_index_insert_and_lookup_throughput(benchmark):
@@ -36,8 +59,8 @@ def test_index_insert_and_lookup_throughput(benchmark):
     )
     emit("Index microbenchmark", result.format())
 
-    BENCH_JSON.write_text(json.dumps(result.to_dict(), indent=2) + "\n", encoding="utf-8")
-    emit("BENCH_index.json", f"written to {BENCH_JSON}")
+    _write_payload({"microbench": result.to_dict()})
+    emit("BENCH_index.json", f"microbench section written to {BENCH_JSON}")
 
     # Acceptance floor: at 10k entries the incremental index must enrol at
     # least 5x faster than the seed's per-insert np.vstack rebuild.  (In
@@ -50,3 +73,30 @@ def test_index_insert_and_lookup_throughput(benchmark):
     # (It is not asserted against the per-query *index* loop: at this corpus
     # size both are dominated by the same matmul and differ only by noise.)
     assert result.batch_speedup >= 1.0, result.to_dict()
+
+
+def test_backend_recall_throughput_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_backend_sweep(
+            sizes=SWEEP_SIZES, dim=DIM, n_queries=N_QUERIES, top_k=TOP_K, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("ANN backend sweep", result.format())
+
+    _write_payload({"backends": result.to_dict()})
+    emit("BENCH_index.json", f"backends section written to {BENCH_JSON}")
+
+    for backend in APPROX_BACKENDS:
+        for n_entries in SWEEP_SIZES:
+            point = result.point(backend, n_entries)
+            # Approximate search must keep at least 90% of the exact top-k
+            # on the standard paraphrase workload at every size.
+            assert point.recall_at_k >= MIN_RECALL, point.to_dict()
+        # At 100k entries sublinear probing must buy an order of magnitude
+        # of lookup throughput on the batched (fleet/serving) path.
+        at_100k = result.point(backend, 100_000)
+        assert at_100k.batch_speedup_vs_flat >= MIN_BATCH_SPEEDUP_AT_100K, (
+            at_100k.to_dict()
+        )

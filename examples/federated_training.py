@@ -15,6 +15,8 @@ and compares it against the fixed-threshold GPTCache baseline.
 
 from __future__ import annotations
 
+import os
+
 from repro.baselines.gptcache import GPTCache, GPTCacheConfig
 from repro.core.cache import MeanCache, MeanCacheConfig
 from repro.datasets.semantic_pairs import generate_cache_workload, generate_pair_dataset
@@ -23,17 +25,24 @@ from repro.experiments.table1 import evaluate_gptcache_on_workload, evaluate_mea
 from repro.federated.simulation import FLSimulation, SimulationConfig
 
 
+# REPRO_SMOKE=1 shrinks the run so CI can execute every example quickly
+# (unset or "0" means a full run).
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+
+
 def main() -> None:
     # Synthetic "user query history": labelled duplicate / non-duplicate pairs.
-    pairs = generate_pair_dataset(n_pairs=1200, duplicate_fraction=0.5, seed=0)
+    pairs = generate_pair_dataset(
+        n_pairs=300 if SMOKE else 1200, duplicate_fraction=0.5, seed=0
+    )
     train, val, test = pairs.split(0.7, 0.15, seed=1)
 
     config = SimulationConfig(
         encoder_name="mpnet-sim",
-        n_clients=10,
-        n_rounds=8,
-        clients_per_round=4,
-        local_epochs=3,
+        n_clients=4 if SMOKE else 10,
+        n_rounds=2 if SMOKE else 8,
+        clients_per_round=2 if SMOKE else 4,
+        local_epochs=1 if SMOKE else 3,
         seed=0,
     )
     print(f"Running FL: {config.n_clients} clients, {config.n_rounds} rounds, "
@@ -54,7 +63,10 @@ def main() -> None:
 
     # Deploy: the FL-trained encoder + learned threshold power the local cache.
     trained_encoder = simulation.trained_encoder()
-    workload = generate_cache_workload(n_cached=400, n_probes=400, duplicate_fraction=0.3, seed=7)
+    scale = 100 if SMOKE else 400
+    workload = generate_cache_workload(
+        n_cached=scale, n_probes=scale, duplicate_fraction=0.3, seed=7
+    )
 
     meancache = MeanCache(
         trained_encoder, MeanCacheConfig(similarity_threshold=result.final_threshold)

@@ -14,6 +14,7 @@ traffic-replay workflow used to compare cache variants on equal traffic.
 
 from __future__ import annotations
 
+import os
 import tempfile
 from pathlib import Path
 
@@ -32,13 +33,18 @@ def make_simulator(encoder) -> FleetSimulator:
     )
 
 
+# REPRO_SMOKE=1 shrinks the run so CI can execute every example quickly
+# (unset or "0" means a full run).
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+
+
 def main() -> None:
     # 1. Generate the fleet's traffic: 25 users, 20 queries each, 35% of
     #    queries re-asking (paraphrased) something the user asked before.
     generator = WorkloadGenerator(
         WorkloadConfig(
-            n_users=25,
-            queries_per_user=20,
+            n_users=8 if SMOKE else 25,
+            queries_per_user=8 if SMOKE else 20,
             duplicate_rate=0.35,
             followup_rate=0.25,
         ),

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -37,17 +37,26 @@ from repro.core.storage import object_nbytes
 from repro.core.validation import require_query_text, require_query_texts
 from repro.embeddings.model import SiameseEncoder
 from repro.embeddings.zoo import load_encoder
-from repro.index import FlatIndex, IndexHit
+from repro.index import IndexHit, VectorIndex
+from repro.index.registry import resolve_index, validate_backend
 
 
 @dataclass(frozen=True)
 class GPTCacheConfig:
-    """Baseline configuration (paper §IV-A: ALBERT encoder, τ = 0.7)."""
+    """Baseline configuration (paper §IV-A: ALBERT encoder, τ = 0.7).
+
+    ``index_backend``/``index_params`` pick the vector-index backend through
+    :func:`repro.index.make_index` — a central never-evicting cache is
+    exactly where the corpus outgrows exact scans, so the approximate
+    backends (``"ivf"``, ``"lsh"``) matter most here.
+    """
 
     similarity_threshold: float = 0.7
     top_k: int = 1
     encoder_name: str = "albert-sim"
     network_rtt_s: float = 0.03
+    index_backend: str = "flat"
+    index_params: Optional[Mapping[str, object]] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.similarity_threshold <= 1.0:
@@ -56,6 +65,7 @@ class GPTCacheConfig:
             raise ValueError("top_k must be >= 1")
         if self.network_rtt_s < 0:
             raise ValueError("network_rtt_s must be >= 0")
+        validate_backend(self.index_backend)
 
 
 @dataclass
@@ -104,12 +114,17 @@ class GPTCache:
         self,
         encoder: Optional[SiameseEncoder] = None,
         config: Optional[GPTCacheConfig] = None,
+        index: Optional[VectorIndex] = None,
     ) -> None:
         self.config = config or GPTCacheConfig()
         self.encoder = encoder or load_encoder(self.config.encoder_name)
         self._entries: List[_StoredEntry] = []
-        # The baseline never evicts, so index ids coincide with list positions.
-        self._index = FlatIndex()
+        # The baseline never evicts, so index ids coincide with list
+        # positions.  An explicit (empty) ``index`` instance wins over the
+        # config's backend name — see resolve_index for the shared invariant.
+        self._index = resolve_index(
+            index, self.config.index_backend, self.config.index_params
+        )
         self.lookups = 0
         self.hits = 0
         self.pipeline = self._build_pipeline()
@@ -141,6 +156,11 @@ class GPTCache:
     def entries(self) -> List[_StoredEntry]:
         """All cached entries across every user (central cache)."""
         return list(self._entries)
+
+    @property
+    def index(self) -> VectorIndex:
+        """The vector index holding the cached query embeddings."""
+        return self._index
 
     def users(self) -> List[str]:
         """Distinct user ids whose queries are stored centrally."""

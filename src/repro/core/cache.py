@@ -18,8 +18,8 @@ and its context chain.  On a lookup the cache:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,7 +39,8 @@ from repro.core.policy import EvictionPolicy, make_policy
 from repro.core.storage import BaseStore, object_nbytes
 from repro.core.validation import require_query_text, require_query_texts
 from repro.embeddings.model import SiameseEncoder
-from repro.index import FlatIndex, IndexHit
+from repro.index import IndexHit, VectorIndex
+from repro.index.registry import resolve_index, validate_backend
 
 
 @dataclass(frozen=True)
@@ -66,6 +67,14 @@ class MeanCacheConfig:
     compressed:
         Whether embeddings stored in the cache are PCA-compressed (the
         encoder must have a PCA head attached).
+    index_backend:
+        Vector-index backend name resolved through
+        :func:`repro.index.make_index` — ``"flat"`` (exact, the default),
+        ``"ivf"`` or ``"lsh"`` (sublinear approximate search for large
+        caches; see ``docs/api.md`` for the choosing guide).
+    index_params:
+        Extra keyword parameters for the backend constructor (e.g.
+        ``{"nprobe": 16}`` for IVF).
     """
 
     similarity_threshold: float = 0.7
@@ -75,6 +84,8 @@ class MeanCacheConfig:
     max_entries: int = 100_000
     eviction_policy: str = "lru"
     compressed: bool = False
+    index_backend: str = "flat"
+    index_params: Optional[Mapping[str, object]] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.similarity_threshold <= 1.0:
@@ -85,6 +96,7 @@ class MeanCacheConfig:
             raise ValueError("top_k must be >= 1")
         if self.max_entries < 1:
             raise ValueError("max_entries must be >= 1")
+        validate_backend(self.index_backend)
 
 
 @dataclass
@@ -164,6 +176,7 @@ class MeanCache:
         encoder: SiameseEncoder,
         config: Optional[MeanCacheConfig] = None,
         store: Optional[BaseStore] = None,
+        index: Optional[VectorIndex] = None,
     ) -> None:
         self.encoder = encoder
         self.config = config or MeanCacheConfig()
@@ -173,7 +186,11 @@ class MeanCache:
             )
         self.store = store
         self._entries: Dict[int, CacheEntry] = {}  # entry_id -> entry, insertion order
-        self._index = FlatIndex()
+        # An explicit (empty) ``index`` instance wins over the config's
+        # backend name — see resolve_index for the shared invariant.
+        self._index = resolve_index(
+            index, self.config.index_backend, self.config.index_params
+        )
         self._policy: EvictionPolicy = make_policy(self.config.eviction_policy)
         self._next_id = 0
         self.stats = CacheStats()
@@ -217,8 +234,12 @@ class MeanCache:
         return list(self._entries.values())
 
     @property
-    def index(self) -> FlatIndex:
-        """The vector index holding the cached query embeddings."""
+    def index(self) -> VectorIndex:
+        """The vector index holding the cached query embeddings.
+
+        Concrete type depends on ``config.index_backend`` (or the instance
+        passed at construction): :class:`~repro.index.FlatIndex` by default.
+        """
         return self._index
 
     @property
@@ -446,15 +467,7 @@ class MeanCache:
         if not 0.0 <= threshold <= 1.0:
             raise ValueError("threshold must be in [0, 1]")
         # MeanCacheConfig is frozen; replace it wholesale.
-        self.config = MeanCacheConfig(
-            similarity_threshold=threshold,
-            context_threshold=self.config.context_threshold,
-            top_k=self.config.top_k,
-            verify_context=self.config.verify_context,
-            max_entries=self.config.max_entries,
-            eviction_policy=self.config.eviction_policy,
-            compressed=self.config.compressed,
-        )
+        self.config = replace(self.config, similarity_threshold=threshold)
 
 
 class _MeanCacheDecide(DecideStage):

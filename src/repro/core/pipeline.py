@@ -110,6 +110,7 @@ class EmbedStage:
     """
 
     def encode_batch(self, queries: Sequence[str]) -> Sequence:
+        """Encode the whole query batch in one call (one repr per query)."""
         raise NotImplementedError
 
 
@@ -121,10 +122,12 @@ class EncoderEmbed(EmbedStage):
         encoder,
         compress: "Union[Callable[[], bool], bool]" = False,
     ) -> None:
+        """``compress`` (value or live callable) gates PCA compression."""
         self.encoder = encoder
         self._compress = _live(compress)
 
     def encode_batch(self, queries: Sequence[str]) -> np.ndarray:
+        """One encoder forward for the batch; returns an ``(n, d)`` matrix."""
         embs = self.encoder.encode(list(queries), compress=bool(self._compress()))
         return np.atleast_2d(np.asarray(embs, dtype=np.float64))
 
@@ -133,9 +136,11 @@ class KeyEmbed(EmbedStage):
     """Maps queries to normalised exact-match keys (the keyword variant)."""
 
     def __init__(self, normalize: Callable[[str], str]) -> None:
+        """``normalize`` canonicalises a query string into its match key."""
         self.normalize = normalize
 
     def encode_batch(self, queries: Sequence[str]) -> List[str]:
+        """Normalise every query into its exact-match key."""
         return [self.normalize(q) for q in queries]
 
 
@@ -150,24 +155,35 @@ class RetrieveStage:
         raise NotImplementedError
 
     def retrieve_batch(self, reprs: Sequence) -> List[List[IndexHit]]:
+        """One ranked candidate list per probe representation, in order."""
         raise NotImplementedError
 
 
 class IndexRetrieve(RetrieveStage):
-    """Top-k cosine retrieval from a vector index (one matmul per batch)."""
+    """Top-k cosine retrieval from a vector index (one call per batch).
+
+    Backend-agnostic: ``index`` is any :class:`~repro.index.VectorIndex` —
+    the exact :class:`~repro.index.FlatIndex` or a sublinear approximate
+    backend built via :func:`repro.index.make_index` (``"ivf"``/``"lsh"``).
+    The caches thread their ``index_backend`` config through here, so the
+    retrieval stage never knows which backend is underneath.
+    """
 
     def __init__(
         self,
         index: VectorIndex,
         top_k: "Union[Callable[[], int], int]" = 5,
     ) -> None:
+        """``top_k`` (value or live callable) caps candidates per probe."""
         self.index = index
         self._top_k = _live(top_k)
 
     def is_empty(self) -> bool:
+        """True while the backing index holds no vectors."""
         return len(self.index) == 0
 
     def retrieve_batch(self, reprs: np.ndarray) -> List[List[IndexHit]]:
+        """Batched top-k search (one index call for the whole probe set)."""
         return self.index.search(reprs, top_k=min(int(self._top_k()), len(self.index)))
 
 
@@ -179,12 +195,15 @@ class ExactKeyRetrieve(RetrieveStage):
     """
 
     def __init__(self, key_to_id: Dict[str, int]) -> None:
+        """``key_to_id`` is the cache's live key → entry-id dictionary."""
         self._key_to_id = key_to_id
 
     def is_empty(self) -> bool:
+        """True while no keys are stored."""
         return len(self._key_to_id) == 0
 
     def retrieve_batch(self, reprs: Sequence[str]) -> List[List[IndexHit]]:
+        """Dictionary probe per key; a present key scores 1.0."""
         results: List[List[IndexHit]] = []
         for key in reprs:
             entry_id = self._key_to_id.get(key)
@@ -199,6 +218,7 @@ class ThresholdStage:
     """Admits or rejects one retrieved candidate."""
 
     def admit(self, hit: IndexHit) -> bool:
+        """Whether this candidate may proceed to context verification."""
         raise NotImplementedError
 
 
@@ -206,9 +226,11 @@ class SimilarityThreshold(ThresholdStage):
     """The adaptive cosine threshold τ (read live — FL re-learns it)."""
 
     def __init__(self, threshold: "Union[Callable[[], float], float]") -> None:
+        """``threshold`` is τ — a plain value or a live callable."""
         self._threshold = _live(threshold)
 
     def admit(self, hit: IndexHit) -> bool:
+        """Admit candidates scoring at least the current τ."""
         return hit.score >= float(self._threshold())
 
 
@@ -216,6 +238,7 @@ class AlwaysAdmit(ThresholdStage):
     """Admits every retrieved candidate (exact matching is already binary)."""
 
     def admit(self, hit: IndexHit) -> bool:
+        """Every candidate passes."""
         return True
 
 
@@ -234,9 +257,11 @@ class ContextVerifyStage:
     enabled: bool = True
 
     def embed_probe_context(self, context: Sequence[str]) -> ContextChain:
+        """Embed the probe's conversational context into a chain."""
         raise NotImplementedError
 
     def matches(self, probe_chain: ContextChain, candidate_id: int) -> bool:
+        """Whether the candidate's stored chain matches the probe's."""
         raise NotImplementedError
 
 
@@ -246,9 +271,11 @@ class NoContextVerify(ContextVerifyStage):
     enabled = False
 
     def embed_probe_context(self, context: Sequence[str]) -> ContextChain:
+        """Never called while disabled; returns the empty chain."""
         return ContextChain.empty()
 
     def matches(self, probe_chain: ContextChain, candidate_id: int) -> bool:
+        """Every candidate matches (the stage is off)."""
         return True
 
 
@@ -268,6 +295,12 @@ class ChainContextVerify(ContextVerifyStage):
         threshold: "Union[Callable[[], float], float]" = 0.7,
         enabled: "Union[Callable[[], bool], bool]" = True,
     ) -> None:
+        """Wire the cache's context embedding/storage accessors in.
+
+        ``embed_context`` embeds a probe's context texts into a chain;
+        ``entry_context`` fetches a cached entry's stored chain by id;
+        ``threshold`` and ``enabled`` may be live callables.
+        """
         self._embed_context = embed_context
         self._entry_context = entry_context
         self._threshold = _live(threshold)
@@ -275,12 +308,15 @@ class ChainContextVerify(ContextVerifyStage):
 
     @property
     def enabled(self) -> bool:
+        """Live read of the ablation switch."""
         return bool(self._enabled())
 
     def embed_probe_context(self, context: Sequence[str]) -> ContextChain:
+        """Embed the probe's context texts with the cache's encoder."""
         return self._embed_context(context)
 
     def matches(self, probe_chain: ContextChain, candidate_id: int) -> bool:
+        """Compare the probe's chain against the candidate's stored chain."""
         return context_matches(
             probe_chain, self._entry_context(candidate_id), float(self._threshold())
         )
@@ -298,6 +334,7 @@ class DecideStage:
     """
 
     def decide(self, selection: Selection):
+        """Build the variant's decision object and record its accounting."""
         raise NotImplementedError
 
 
@@ -340,12 +377,14 @@ class CapacityEnroll(EnrollStage):
         evict_one: Callable[[], None],
         insert: Callable[..., object],
     ) -> None:
+        """Wire the cache's size/limit accessors and mutation callables in."""
         self._size = size
         self._max_entries = _live(max_entries)
         self._evict_one = evict_one
         self._insert = insert
 
     def ensure_capacity(self) -> int:
+        """Evict policy-chosen victims until one more entry fits."""
         evicted = 0
         while self._size() >= int(self._max_entries()):
             self._evict_one()
@@ -360,6 +399,7 @@ class CapacityEnroll(EnrollStage):
         user_id: Optional[str] = None,
         embedding: Optional[np.ndarray] = None,
     ) -> None:
+        """Insert via the cache's ``insert`` (which enforces capacity)."""
         self._insert(query, response, context=context, embedding=embedding)
 
 
@@ -367,9 +407,11 @@ class UnboundedEnroll(EnrollStage):
     """Enrolment for caches that never evict (the central GPTCache baseline)."""
 
     def __init__(self, insert: Callable[..., object]) -> None:
+        """``insert`` is the cache's raw insertion callable."""
         self._insert = insert
 
     def ensure_capacity(self) -> int:
+        """Nothing to evict — the cache is unbounded."""
         return 0
 
     def enroll(
@@ -380,6 +422,7 @@ class UnboundedEnroll(EnrollStage):
         user_id: Optional[str] = None,
         embedding: Optional[np.ndarray] = None,
     ) -> None:
+        """Insert unconditionally, attributing ``user_id`` when given."""
         kwargs = {} if user_id is None else {"user_id": user_id}
         self._insert(query, response, embedding=embedding, **kwargs)
 
@@ -405,6 +448,7 @@ class LookupPipeline:
         decide: DecideStage,
         enroll: Optional[EnrollStage] = None,
     ) -> None:
+        """Compose the six stage slots (``enroll`` optional for read-only use)."""
         self.embed = embed
         self.retrieve = retrieve
         self.threshold = threshold

@@ -74,6 +74,8 @@ class FleetBenchResult:
     duplicate_rate: float = 0.3
     similarity_threshold: float = 0.7
     batch_window_s: float = 0.25
+    index_backend: str = "flat"
+    index_params: Optional[Dict[str, object]] = None
     seed: int = 0
 
     def to_dict(self) -> Dict[str, object]:
@@ -84,6 +86,8 @@ class FleetBenchResult:
             "duplicate_rate": self.duplicate_rate,
             "similarity_threshold": self.similarity_threshold,
             "batch_window_s": self.batch_window_s,
+            "index_backend": self.index_backend,
+            "index_params": dict(self.index_params or {}),
             "seed": self.seed,
             "points": [p.to_dict() for p in self.points],
         }
@@ -135,13 +139,17 @@ def run_fleet_bench(
     batch_window_s: float = 0.25,
     encoder: Optional[SiameseEncoder] = None,
     encoder_name: str = "albert-sim",
+    index_backend: str = "flat",
+    index_params: Optional[Dict[str, object]] = None,
     seed: int = 0,
 ) -> FleetBenchResult:
     """Measure fleet lookup throughput at each fleet size.
 
     One frozen encoder instance is shared by every user's cache (encoding is
     stateless), matching a deployment where all devices run the same
-    distributed model snapshot.
+    distributed model snapshot.  ``index_backend``/``index_params`` select
+    each cache's vector-index backend (any :func:`repro.index.make_index`
+    name), so the same trace can be replayed over flat/IVF/LSH fleets.
     """
     encoder = encoder or load_encoder(encoder_name)
     result = FleetBenchResult(
@@ -150,7 +158,14 @@ def run_fleet_bench(
         duplicate_rate=duplicate_rate,
         similarity_threshold=similarity_threshold,
         batch_window_s=batch_window_s,
+        index_backend=index_backend,
+        index_params=dict(index_params or {}),
         seed=seed,
+    )
+    cache_config = MeanCacheConfig(
+        similarity_threshold=similarity_threshold,
+        index_backend=index_backend,
+        index_params=dict(index_params or {}),
     )
     for n_users in user_counts:
         trace = WorkloadGenerator(
@@ -162,10 +177,7 @@ def run_fleet_bench(
             seed=seed,
         ).generate()
         simulator = FleetSimulator(
-            cache_factory=lambda user_id: MeanCache(
-                encoder,
-                MeanCacheConfig(similarity_threshold=similarity_threshold),
-            ),
+            cache_factory=lambda user_id: MeanCache(encoder, cache_config),
             service=SimulatedLLMService(LLMServiceConfig(seed=seed)),
             config=FleetConfig(batch_window_s=batch_window_s),
         )

@@ -1,31 +1,34 @@
-"""Insert/lookup throughput of the incremental index vs the seed hot path.
+"""Index benchmarks: seed-path comparison and the ANN backend sweep.
 
-The seed cache appended embeddings with a per-insert ``np.vstack`` (O(n) copy
-each, O(n²) enrolment) and re-normalized the whole corpus inside every
-lookup.  This module measures both generations side by side on synthetic
-embeddings — no encoder in the loop, so the numbers isolate the index itself:
+Two measurements live here, both backing ``benchmarks/test_bench_index.py``
+(which records ``BENCH_index.json`` for cross-PR tracking; field reference
+in ``docs/benchmarks.md``) and the "Index microbenchmark" section of the
+full experiment runner:
 
-* ``seed-style insert``: rebuild a ``(n, d)`` float64 matrix per append;
-* ``index insert``: :meth:`repro.index.FlatIndex.add` per append;
-* ``seed-style lookup``: per-query :func:`semantic_search` over the raw
-  matrix (corpus re-normalized every call);
-* ``index lookup``: per-query and batched :meth:`FlatIndex.search`.
+1. :func:`run_index_bench` — the original microbenchmark of the incremental
+   :class:`~repro.index.FlatIndex` against the seed cache's hot path (the
+   per-insert ``np.vstack`` rebuild and per-lookup corpus re-normalization).
+   Synthetic embeddings, no encoder in the loop, so the numbers isolate the
+   index itself.
 
-:func:`run_index_bench` backs both the ``benchmarks/test_bench_index.py``
-harness (which records ``BENCH_index.json`` for cross-PR tracking) and the
-"Index microbenchmark" section of the full experiment runner.
+2. :func:`run_backend_sweep` — the recall/throughput trade-off of every
+   registered approximate backend (IVF, LSH) against exact flat search at
+   several corpus sizes, on :func:`make_ann_workload`'s paraphrase-style
+   clustered workload.  Exact search is O(n·d) per query, so it loses
+   ground as the cache grows; the sweep pins how much lookup throughput the
+   sublinear backends buy back and how much recall they give up.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.embeddings.similarity import semantic_search
-from repro.index import FlatIndex
+from repro.index import FlatIndex, make_index
 from repro.metrics.reporting import format_table
 
 
@@ -182,3 +185,266 @@ def run_index_bench(
         index_lookup_s=index_lookup_s,
         index_lookup_batch_s=index_lookup_batch_s,
     )
+
+
+# --------------------------------------------------------------------------- #
+# ANN backend sweep: recall vs lookup throughput per backend and corpus size
+# --------------------------------------------------------------------------- #
+def make_ann_workload(
+    n_entries: int,
+    dim: int = 64,
+    n_queries: int = 200,
+    paraphrases_per_intent: int = 8,
+    intent_spread: float = 0.35,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The standard clustered workload for index recall measurements.
+
+    Models semantic-cache traffic rather than worst-case uniform noise:
+    the corpus holds ``n_entries / paraphrases_per_intent`` *intents* (unit
+    vectors) with ``paraphrases_per_intent`` noisy paraphrases each, and
+    every query is a fresh paraphrase of a stored intent — the repeated
+    traffic a cache exists to convert into hits.  ``intent_spread`` is the
+    expected L2 norm of the paraphrase noise; 0.35 puts sibling cosine
+    similarity around 0.89–0.94, matching the τ-band the caches operate in.
+
+    Returns ``(vectors, queries)``; a vector's true nearest neighbours are
+    dominated by its intent's other paraphrases, so ground-truth top-k from
+    exact search measures exactly what an approximate cache backend must
+    not lose.
+    """
+    if n_entries < 1 or n_queries < 1:
+        raise ValueError("n_entries and n_queries must be >= 1")
+    if paraphrases_per_intent < 1:
+        raise ValueError("paraphrases_per_intent must be >= 1")
+    rng = np.random.default_rng(seed)
+    n_intents = max(1, n_entries // paraphrases_per_intent)
+    intents = rng.normal(size=(n_intents, dim))
+    intents /= np.linalg.norm(intents, axis=1, keepdims=True)
+    sigma = intent_spread / np.sqrt(dim)
+    vectors = intents[rng.integers(0, n_intents, n_entries)] + sigma * rng.normal(
+        size=(n_entries, dim)
+    )
+    queries = intents[rng.integers(0, n_intents, n_queries)] + sigma * rng.normal(
+        size=(n_queries, dim)
+    )
+    return vectors, queries
+
+
+@dataclass(frozen=True)
+class BackendBenchPoint:
+    """One (backend, corpus size) cell of the sweep."""
+
+    backend: str
+    n_entries: int
+    dim: int
+    n_queries: int
+    top_k: int
+    params: Mapping[str, object]
+    build_s: float
+    lookup_s: float
+    lookup_batch_s: float
+    flat_lookup_s: float
+    flat_lookup_batch_s: float
+    recall_at_k: float
+
+    @property
+    def lookup_throughput(self) -> float:
+        """Sequential (per-query) lookups per second."""
+        return self.n_queries / self.lookup_s if self.lookup_s > 0 else float("inf")
+
+    @property
+    def lookup_batch_throughput(self) -> float:
+        """Batched lookups per second (the fleet/serving hot path)."""
+        if self.lookup_batch_s <= 0:
+            return float("inf")
+        return self.n_queries / self.lookup_batch_s
+
+    @property
+    def speedup_vs_flat(self) -> float:
+        """Per-query lookup speedup over exact flat search."""
+        return self.flat_lookup_s / self.lookup_s if self.lookup_s > 0 else float("inf")
+
+    @property
+    def batch_speedup_vs_flat(self) -> float:
+        """Batched lookup speedup over exact flat search (one call each)."""
+        if self.lookup_batch_s <= 0:
+            return float("inf")
+        return self.flat_lookup_batch_s / self.lookup_batch_s
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable record (one ``backends`` row of BENCH_index.json)."""
+        return {
+            "backend": self.backend,
+            "n_entries": self.n_entries,
+            "dim": self.dim,
+            "n_queries": self.n_queries,
+            "top_k": self.top_k,
+            "params": dict(self.params),
+            "build_s": self.build_s,
+            "lookup_s": self.lookup_s,
+            "lookup_batch_s": self.lookup_batch_s,
+            "lookup_throughput_per_s": self.lookup_throughput,
+            "lookup_batch_throughput_per_s": self.lookup_batch_throughput,
+            "speedup_vs_flat": self.speedup_vs_flat,
+            "batch_speedup_vs_flat": self.batch_speedup_vs_flat,
+            "recall_at_k": self.recall_at_k,
+        }
+
+
+@dataclass
+class BackendSweepResult:
+    """All (backend, size) measurements of one sweep run."""
+
+    points: List[BackendBenchPoint] = field(default_factory=list)
+    top_k: int = 5
+    dim: int = 64
+    n_queries: int = 200
+    seed: int = 0
+
+    def point(self, backend: str, n_entries: int) -> BackendBenchPoint:
+        """The cell for one backend at one corpus size."""
+        for p in self.points:
+            if p.backend == backend and p.n_entries == n_entries:
+                return p
+        raise KeyError(f"no sweep point for backend {backend!r} at {n_entries} entries")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (the ``backends`` block of BENCH_index.json)."""
+        return {
+            "top_k": self.top_k,
+            "dim": self.dim,
+            "n_queries": self.n_queries,
+            "seed": self.seed,
+            "points": [p.to_dict() for p in self.points],
+        }
+
+    def format(self) -> str:
+        """Render the recall/throughput trade-off table."""
+        rows = [
+            [
+                p.backend,
+                p.n_entries,
+                f"{p.recall_at_k:.3f}",
+                f"{p.lookup_s * 1e6 / p.n_queries:.0f}",
+                f"{p.speedup_vs_flat:.1f}x",
+                f"{p.batch_speedup_vs_flat:.1f}x",
+                f"{p.build_s:.2f}",
+            ]
+            for p in self.points
+        ]
+        return format_table(
+            [
+                "Backend",
+                "Entries",
+                f"Recall@{self.top_k}",
+                "Lookup (µs/query)",
+                "Speedup",
+                "Batch speedup",
+                "Build (s)",
+            ],
+            rows,
+            title=(
+                "ANN backend sweep: recall vs lookup throughput "
+                f"(dim={self.dim}, {self.n_queries} queries, top_k={self.top_k})"
+            ),
+        )
+
+
+def _recall_against(
+    truth: Sequence[Sequence], got: Sequence[Sequence]
+) -> float:
+    """Mean fraction of the exact top-k ids each approximate result kept."""
+    fractions = []
+    for true_hits, got_hits in zip(truth, got):
+        if not true_hits:
+            continue
+        true_ids = {h.id for h in true_hits}
+        got_ids = {h.id for h in got_hits}
+        fractions.append(len(true_ids & got_ids) / len(true_ids))
+    return float(np.mean(fractions)) if fractions else 1.0
+
+
+def run_backend_sweep(
+    sizes: Sequence[int] = (10_000, 100_000),
+    dim: int = 64,
+    n_queries: int = 200,
+    top_k: int = 5,
+    backends: Optional[Mapping[str, Mapping[str, object]]] = None,
+    seed: int = 0,
+) -> BackendSweepResult:
+    """Measure every backend's recall and lookup throughput at each size.
+
+    For each corpus size an exact :class:`FlatIndex` provides ground-truth
+    top-k and the baseline timings; each approximate backend is then built
+    on the same vectors (build time includes IVF's k-means training) and
+    timed on the same queries, sequentially (one ``search`` per query — the
+    interactive-lookup path) and batched (one call for all queries — the
+    fleet path).  ``backends`` maps backend name → constructor params and
+    defaults to IVF and LSH with their registry defaults.
+    """
+    if backends is None:
+        backends = {"ivf": {}, "lsh": {}}
+    result = BackendSweepResult(top_k=top_k, dim=dim, n_queries=n_queries, seed=seed)
+    for n_entries in sizes:
+        vectors, queries = make_ann_workload(
+            n_entries, dim=dim, n_queries=n_queries, seed=seed
+        )
+        flat = FlatIndex(dim=dim)
+        start = time.perf_counter()
+        flat.add_batch(vectors)
+        flat_build_s = time.perf_counter() - start
+        truth = flat.search(queries, top_k=top_k)
+
+        start = time.perf_counter()
+        for q in queries:
+            flat.search(q, top_k=top_k)
+        flat_lookup_s = time.perf_counter() - start
+        start = time.perf_counter()
+        flat.search(queries, top_k=top_k)
+        flat_lookup_batch_s = time.perf_counter() - start
+
+        result.points.append(
+            BackendBenchPoint(
+                backend="flat",
+                n_entries=n_entries,
+                dim=dim,
+                n_queries=n_queries,
+                top_k=top_k,
+                params={},
+                build_s=flat_build_s,
+                lookup_s=flat_lookup_s,
+                lookup_batch_s=flat_lookup_batch_s,
+                flat_lookup_s=flat_lookup_s,
+                flat_lookup_batch_s=flat_lookup_batch_s,
+                recall_at_k=1.0,
+            )
+        )
+        for name, params in backends.items():
+            index = make_index(name, dim=dim, **dict(params))
+            start = time.perf_counter()
+            index.add_batch(vectors)
+            build_s = time.perf_counter() - start
+            start = time.perf_counter()
+            got = [index.search(q, top_k=top_k)[0] for q in queries]
+            lookup_s = time.perf_counter() - start
+            start = time.perf_counter()
+            index.search(queries, top_k=top_k)
+            lookup_batch_s = time.perf_counter() - start
+            result.points.append(
+                BackendBenchPoint(
+                    backend=name,
+                    n_entries=n_entries,
+                    dim=dim,
+                    n_queries=n_queries,
+                    top_k=top_k,
+                    params=dict(params),
+                    build_s=build_s,
+                    lookup_s=lookup_s,
+                    lookup_batch_s=lookup_batch_s,
+                    flat_lookup_s=flat_lookup_s,
+                    flat_lookup_batch_s=flat_lookup_batch_s,
+                    recall_at_k=_recall_against(truth, got),
+                )
+            )
+    return result

@@ -2,11 +2,15 @@
 
 The cache-side replacement for "a numpy array we vstack onto": a contiguous,
 pre-normalized embedding matrix with amortized-O(1) appends, O(d) swap-delete
-and one-matmul batched search.  See ``docs/architecture.md`` for the design
-and ``docs/api.md`` for the public surface.
+and one-matmul batched search — plus sublinear approximate backends (IVF
+inverted lists, random-hyperplane LSH) behind the same :class:`VectorIndex`
+contract, selected by name through :func:`make_index`.  See
+``docs/architecture.md`` for the design, ``docs/api.md`` for the public
+surface and ``docs/benchmarks.md`` for the measured recall/throughput
+trade-off.
 
->>> from repro.index import FlatIndex
->>> index = FlatIndex(dim=4)
+>>> from repro.index import make_index
+>>> index = make_index("flat", dim=4)
 >>> a = index.add([1.0, 0.0, 0.0, 0.0])
 >>> b = index.add([0.0, 1.0, 0.0, 0.0])
 >>> [hit.id for hit in index.search([1.0, 0.1, 0.0, 0.0], top_k=1)[0]] == [a]
@@ -15,5 +19,17 @@ True
 
 from repro.index.base import IndexHit, VectorIndex
 from repro.index.flat import FlatIndex
+from repro.index.ivf import IVFIndex
+from repro.index.lsh import LSHIndex
+from repro.index.registry import available_backends, make_index, register_index
 
-__all__ = ["FlatIndex", "IndexHit", "VectorIndex"]
+__all__ = [
+    "FlatIndex",
+    "IVFIndex",
+    "IndexHit",
+    "LSHIndex",
+    "VectorIndex",
+    "available_backends",
+    "make_index",
+    "register_index",
+]

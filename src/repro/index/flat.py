@@ -102,6 +102,15 @@ class FlatIndex(VectorIndex):
 
     @property
     def nbytes(self) -> int:
+        """Bytes held by the *live* rows: matrix + cached norms + id column.
+
+        Exactly ``len(self) * (dim * itemsize + itemsize + 8)`` — the norm
+        column is counted once (neither omitted nor folded into the matrix
+        term) and :attr:`matrix_nbytes` is always ``nbytes`` minus the norm
+        and id columns; ``tests/test_index.py`` pins both identities.  The
+        backing arrays are over-allocated for amortized-O(1) appends, so the
+        process-level footprint is :attr:`allocated_nbytes`.
+        """
         if self._matrix is None:
             return 0
         return int(
@@ -109,6 +118,13 @@ class FlatIndex(VectorIndex):
             + self._norms[: self._size].nbytes
             + self._ids[: self._size].nbytes
         )
+
+    @property
+    def allocated_nbytes(self) -> int:
+        """Bytes actually allocated (capacity rows, not just live ones)."""
+        if self._matrix is None:
+            return 0
+        return int(self._matrix.nbytes + self._norms.nbytes + self._ids.nbytes)
 
     @property
     def matrix_nbytes(self) -> int:
@@ -196,6 +212,7 @@ class FlatIndex(VectorIndex):
         self._ids[row] = id
         self._id_to_row[id] = row
         self._size += 1
+        self._post_add(np.asarray([id], dtype=np.int64), row)
         return id
 
     def add_batch(self, vectors: np.ndarray, ids: Optional[Sequence[int]] = None) -> List[int]:
@@ -225,13 +242,16 @@ class FlatIndex(VectorIndex):
             self._id_to_row[i] = start + offset
         self._size += n
         self._next_id = max(self._next_id, max(ids) + 1)
+        self._post_add(np.asarray(ids, dtype=np.int64), start)
         return list(ids)
 
     def remove(self, id: int) -> None:
-        row = self._id_to_row.pop(int(id), None)
+        id = int(id)
+        row = self._id_to_row.pop(id, None)
         if row is None:
             raise KeyError(f"no vector with id {id}")
         last = self._size - 1
+        moved_id: Optional[int] = None
         if row != last:
             # Swap-with-last: O(d) instead of an O(n·d) matrix compaction.
             self._matrix[row] = self._matrix[last]
@@ -240,6 +260,7 @@ class FlatIndex(VectorIndex):
             self._ids[row] = moved_id
             self._id_to_row[moved_id] = row
         self._size -= 1
+        self._post_remove(id, row, moved_id)
 
     def rebuild(self, vectors: np.ndarray, ids: Sequence[int]) -> None:
         ids = [int(i) for i in ids]
@@ -274,6 +295,29 @@ class FlatIndex(VectorIndex):
         self._dim = self._constructor_dim
         if reset_ids:
             self._next_id = 0
+        self._post_clear()
+
+    # ------------------------------------------------------------------ #
+    # Subclass hooks
+    # ------------------------------------------------------------------ #
+    # Approximate backends (repro.index.ivf / repro.index.lsh) keep routing
+    # structures — inverted lists, hash buckets — alongside the flat row
+    # storage.  These hooks fire after every structural mutation so a
+    # subclass can keep those structures consistent without re-implementing
+    # the storage layer.  The base implementations are no-ops.
+
+    def _post_add(self, ids: np.ndarray, start_row: int) -> None:
+        """Called after ``len(ids)`` rows were written at ``start_row``."""
+
+    def _post_remove(self, id: int, row: int, moved_id: Optional[int]) -> None:
+        """Called after ``id`` was swap-deleted from ``row``.
+
+        ``moved_id`` is the id of the former last row that now occupies
+        ``row`` (``None`` when the victim itself was last).
+        """
+
+    def _post_clear(self) -> None:
+        """Called after the index was emptied (clear / rebuild)."""
 
     # ------------------------------------------------------------------ #
     # Search

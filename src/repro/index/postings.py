@@ -1,0 +1,280 @@
+"""Internal building blocks shared by the bucketed ANN backends.
+
+:class:`repro.index.ivf.IVFIndex` and :class:`repro.index.lsh.LSHIndex` both
+route a query to a small subset of the stored rows (an inverted list, a hash
+bucket) and brute-force only that subset.  Two pieces of bookkeeping are
+common to every such backend and live here:
+
+* :class:`Postings` — a growable, swap-deletable ``int64`` id array, the
+  representation of one inverted list / one hash bucket.  Appends are
+  amortized O(1) (capacity doubling, like the index matrix itself), removal
+  is swap-with-last, and ``view()`` exposes the live ids as a numpy slice so
+  search-side gathers never copy per element.
+* :class:`RowMap` — a vectorized id → row mapping (a dense ``int64`` array
+  indexed by id, ``-1`` for absent ids).  The flat storage layer keeps a
+  Python dict for one-at-a-time operations; candidate gathering in a search
+  needs thousands of translations per query, which this answers with a
+  single fancy-index instead of a dict-lookup loop.
+
+Both classes are internal: ids handed to them must already be validated by
+the owning index.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.index.base import IndexHit
+
+_MIN_POSTING_CAPACITY = 8
+
+
+class Postings:
+    """One bucket's ids: growable int64 array with swap-with-last removal."""
+
+    __slots__ = ("_ids", "_size")
+
+    def __init__(self) -> None:
+        self._ids = np.empty(_MIN_POSTING_CAPACITY, dtype=np.int64)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes allocated for this bucket's id storage."""
+        return int(self._ids.nbytes)
+
+    def view(self) -> np.ndarray:
+        """The live ids as a (read-mostly) numpy slice — no copy."""
+        return self._ids[: self._size]
+
+    def _ensure(self, extra: int) -> None:
+        needed = self._size + extra
+        capacity = self._ids.shape[0]
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        grown = np.empty(capacity, dtype=np.int64)
+        grown[: self._size] = self._ids[: self._size]
+        self._ids = grown
+
+    def append(self, id: int) -> None:
+        """Add one id (amortized O(1))."""
+        self._ensure(1)
+        self._ids[self._size] = id
+        self._size += 1
+
+    def extend(self, ids: np.ndarray) -> None:
+        """Add a block of ids in one write."""
+        n = int(ids.shape[0])
+        if n == 0:
+            return
+        self._ensure(n)
+        self._ids[self._size : self._size + n] = ids
+        self._size += n
+
+    def discard(self, id: int) -> bool:
+        """Remove ``id`` by scanning the bucket (buckets are small); True if found."""
+        live = self._ids[: self._size]
+        hits = np.nonzero(live == id)[0]
+        if hits.size == 0:
+            return False
+        pos = int(hits[0])
+        last = self._size - 1
+        if pos != last:
+            self._ids[pos] = self._ids[last]
+        self._size -= 1
+        return True
+
+
+class RowMap:
+    """Dense id → row translation supporting vectorized candidate gathers.
+
+    Storage is an array indexed by ``id − base``.  Cache entry ids grow
+    monotonically and are never reused, so without the ``base`` offset a
+    bounded cache under eviction churn would grow this table with the
+    *lifetime-maximum* id forever; :meth:`maybe_compact` re-anchors the
+    table to the live id span (old ids are evicted first, so the span stays
+    near the live count).  The owning index calls it on an amortized
+    schedule — every id handed to the map after a compaction is ≥ the base
+    by the monotonic-id invariant.
+    """
+
+    __slots__ = ("_rows", "_base", "_countdown", "_live")
+
+    def __init__(self) -> None:
+        self._rows = np.full(64, -1, dtype=np.int64)
+        self._base = 0
+        self._countdown = 256
+        self._live = 0  # mapped ids; lets an empty map re-anchor freely
+
+    def _ensure(self, max_id: int) -> None:
+        slot = max_id - self._base
+        capacity = self._rows.shape[0]
+        if slot < capacity:
+            return
+        while capacity <= slot:
+            capacity *= 2
+        grown = np.full(capacity, -1, dtype=np.int64)
+        grown[: self._rows.shape[0]] = self._rows
+        self._rows = grown
+
+    def _rebase(self, new_base: int) -> None:
+        """Lower ``base`` (an explicit id below it was inserted after a
+        compaction re-anchored the table), shifting the existing slots up."""
+        shift = self._base - new_base
+        capacity = self._rows.shape[0]
+        while capacity < self._rows.shape[0] + shift:
+            capacity *= 2
+        grown = np.full(capacity, -1, dtype=np.int64)
+        grown[shift : shift + self._rows.shape[0]] = self._rows
+        self._rows = grown
+        self._base = new_base
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes allocated for the id → row table."""
+        return int(self._rows.nbytes)
+
+    @property
+    def slots(self) -> int:
+        """Allocated table slots (compaction-trigger input)."""
+        return int(self._rows.shape[0])
+
+    def set_block(self, ids: np.ndarray, start_row: int) -> None:
+        """Map ``ids`` to the consecutive rows starting at ``start_row``.
+
+        Every id in the block must be new to the map (the owning index
+        already rejects duplicate ids).
+        """
+        if ids.size == 0:
+            return
+        lowest = int(ids.min())
+        if self._live == 0:
+            # Empty map (fresh, cleared, or fully drained): anchor to the
+            # incoming block so allocation tracks the id *span*, not the
+            # absolute magnitude monotonic ids have reached.  Every slot is
+            # -1 when nothing is live, so moving the base is free.
+            self._base = lowest
+        elif lowest < self._base:
+            self._rebase(lowest)
+        self._ensure(int(ids.max()))
+        self._rows[ids - self._base] = np.arange(
+            start_row, start_row + ids.shape[0], dtype=np.int64
+        )
+        self._live += int(ids.size)
+
+    def move(self, id: int, row: int) -> None:
+        """Point ``id`` at a new row (after a swap-with-last delete)."""
+        if id < self._base:
+            self._rebase(id)
+        self._ensure(id)
+        self._rows[id - self._base] = row
+
+    def unset(self, id: int) -> None:
+        """Drop ``id`` from the mapping."""
+        slot = id - self._base
+        if 0 <= slot < self._rows.shape[0] and self._rows[slot] != -1:
+            self._rows[slot] = -1
+            self._live -= 1
+
+    def rows(self, ids: np.ndarray) -> np.ndarray:
+        """Vectorized translation of an id array to its current rows."""
+        return self._rows[ids - self._base]
+
+    def compaction_due(self, live_size: int) -> bool:
+        """Amortized O(1) removal-path trigger for :meth:`maybe_compact`.
+
+        Counts down so the O(n) compaction attempt runs at most once per
+        ``max(256, live_size)`` removals, and only when the allocation
+        exceeds 4× the live count (i.e. is mostly tombstones).
+        """
+        self._countdown -= 1
+        if self._countdown > 0:
+            return False
+        self._countdown = max(256, live_size)
+        return self.slots > 4 * max(64, live_size)
+
+    def maybe_compact(self, ids_by_row: np.ndarray) -> bool:
+        """Re-anchor the table to the live id span if that would shrink it.
+
+        ``ids_by_row`` is the owner's live id column (row order); row ``r``
+        maps back to ``ids_by_row[r]``.  No-op (returns False) when the
+        compacted table would not be smaller than the current allocation.
+        """
+        if ids_by_row.size == 0:
+            if self._rows.shape[0] == 64 and self._base == 0:
+                return False
+            self.clear()
+            return True
+        base = int(ids_by_row.min())
+        span = int(ids_by_row.max()) - base + 1
+        capacity = 64
+        while capacity < span:
+            capacity *= 2
+        if capacity >= self._rows.shape[0]:
+            return False
+        self._rows = np.full(capacity, -1, dtype=np.int64)
+        self._base = base
+        self._rows[ids_by_row - base] = np.arange(ids_by_row.shape[0], dtype=np.int64)
+        return True
+
+    def clear(self) -> None:
+        """Forget every mapping and return to the minimal allocation."""
+        self._rows = np.full(64, -1, dtype=np.int64)
+        self._base = 0
+        self._live = 0
+
+
+def topk_hits(
+    candidate_ids: np.ndarray,
+    scores: np.ndarray,
+    top_k: int,
+    score_threshold: Optional[float],
+    max_duplicates: int = 1,
+) -> List[IndexHit]:
+    """Rank one query's scored candidates into a descending hit list.
+
+    Shared tail of every bucketed search: partial-select the top scores,
+    order them, clip float32 rounding back into the valid cosine range and
+    apply the optional score floor.
+
+    ``max_duplicates`` is the maximum multiplicity of one id in
+    ``candidate_ids`` (LSH probes several tables, so an id can be scored
+    once per table).  Selecting ``(top_k − 1) · max_duplicates + 1``
+    elements is guaranteed to contain ``top_k`` distinct ids when they
+    exist, which lets callers skip a per-query ``np.unique`` over the whole
+    candidate set — the dedup happens here, on the handful of winners.
+    """
+    n = scores.shape[0]
+    k = min(top_k if max_duplicates <= 1 else (top_k - 1) * max_duplicates + 1, n)
+    if k < n:
+        top = np.argpartition(-scores, kth=k - 1)[:k]
+        sel = top[np.argsort(-scores[top])]
+    else:
+        sel = np.argsort(-scores)
+    ranked_scores = np.clip(scores[sel], -1.0, 1.0)
+    ranked_ids = candidate_ids[sel]
+    if score_threshold is not None:
+        keep = ranked_scores >= score_threshold
+        ranked_scores = ranked_scores[keep]
+        ranked_ids = ranked_ids[keep]
+    hits: List[IndexHit] = []
+    if max_duplicates <= 1:
+        for id, score in zip(ranked_ids.tolist(), ranked_scores.tolist()):
+            hits.append(IndexHit(id=id, score=score))
+        return hits
+    seen = set()
+    for id, score in zip(ranked_ids.tolist(), ranked_scores.tolist()):
+        if id in seen:
+            continue
+        seen.add(id)
+        hits.append(IndexHit(id=id, score=score))
+        if len(hits) == top_k:
+            break
+    return hits

@@ -1,0 +1,113 @@
+"""String-keyed factory registry for vector-index backends.
+
+Everything that owns a :class:`~repro.index.base.VectorIndex` — the caches,
+the pipeline's retrieve stage, the fleet benchmark — selects its backend
+through :func:`make_index`, so swapping exact search for IVF or LSH is a
+configuration change (``MeanCacheConfig(index_backend="ivf")``) rather than
+a code change:
+
+>>> from repro.index import make_index
+>>> index = make_index("ivf", dim=64, nprobe=16)
+>>> type(index).__name__
+'IVFIndex'
+
+Built-in backends: ``"flat"`` (exact), ``"ivf"`` (k-means inverted lists),
+``"lsh"`` (random-hyperplane hashing).  Out-of-tree backends (a GPU matrix,
+a remote shard) register themselves with :func:`register_index` and become
+addressable from every cache config in the process.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.index.base import VectorIndex
+from repro.index.flat import FlatIndex
+from repro.index.ivf import IVFIndex
+from repro.index.lsh import LSHIndex
+
+_FACTORIES: Dict[str, Callable[..., VectorIndex]] = {}
+
+
+def register_index(
+    name: str, factory: Callable[..., VectorIndex], overwrite: bool = False
+) -> None:
+    """Register a backend factory under ``name`` (case-insensitive).
+
+    ``factory`` is any callable returning a :class:`VectorIndex` when called
+    with ``dim=...`` plus backend-specific keyword parameters.  Re-registering
+    an existing name raises unless ``overwrite=True``.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("backend name must be non-empty")
+    if key in _FACTORIES and not overwrite:
+        raise ValueError(f"index backend {key!r} is already registered")
+    _FACTORIES[key] = factory
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The registered backend names, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def validate_backend(backend: str) -> str:
+    """Normalise a backend name, raising ``ValueError`` for unknown ones.
+
+    Shared by :func:`make_index` and the cache configs
+    (``MeanCacheConfig`` / ``GPTCacheConfig``) so the lookup rule and the
+    error message cannot drift between them.  Returns the normalised key.
+    """
+    key = str(backend).strip().lower()
+    if key not in _FACTORIES:
+        raise ValueError(
+            f"unknown index backend {backend!r}; available: "
+            + ", ".join(available_backends())
+        )
+    return key
+
+
+def make_index(backend: str = "flat", **params) -> VectorIndex:
+    """Build a vector index by backend name.
+
+    Parameters
+    ----------
+    backend:
+        A registered name — ``"flat"``, ``"ivf"`` or ``"lsh"`` out of the
+        box (case-insensitive).
+    **params:
+        Passed through to the backend constructor (``dim``, ``dtype``, and
+        the backend's own knobs: ``nlist``/``nprobe`` for IVF,
+        ``n_tables``/``n_bits``/``multiprobe`` for LSH, …).
+
+    Raises
+    ------
+    ValueError
+        For an unknown backend name (the message lists what is available).
+    """
+    return _FACTORIES[validate_backend(backend)](**params)
+
+
+def resolve_index(
+    index: Optional[VectorIndex],
+    backend: str,
+    params: Optional[Mapping[str, object]] = None,
+) -> VectorIndex:
+    """The caches' index-resolution rule, shared so it cannot drift.
+
+    An explicitly injected ``index`` instance wins over the ``backend``
+    name; it must be **empty**, because cache entry ids and index ids are
+    one namespace — pre-existing vectors would be unreachable by the
+    cache's entry lookups.  With no instance, the backend is built via
+    :func:`make_index`.
+    """
+    if index is not None:
+        if len(index) != 0:
+            raise ValueError("an explicitly injected index must be empty")
+        return index
+    return make_index(backend, **dict(params or {}))
+
+
+register_index("flat", FlatIndex)
+register_index("ivf", IVFIndex)
+register_index("lsh", LSHIndex)

@@ -185,6 +185,7 @@ class _CacheAdapter:
     """Normalises any cache variant to one batched lookup/enroll surface."""
 
     def __init__(self, cache) -> None:
+        """Wrap ``cache`` and sniff whether its lookups accept contexts."""
         self.cache = cache
         params = inspect.signature(cache.lookup_batch).parameters
         self._accepts_contexts = "contexts" in params
@@ -252,6 +253,14 @@ class FleetSimulator:
         service: Optional[SimulatedLLMService] = None,
         config: Optional[FleetConfig] = None,
     ) -> None:
+        """``cache_factory(user_id)`` supplies each user's cache instance.
+
+        Return fresh instances for the paper's per-device fleet, or one
+        shared object to model a central cache.  The cache's index backend
+        is the factory's choice — e.g.
+        ``MeanCacheConfig(index_backend="ivf")`` puts every device on
+        sublinear approximate search.
+        """
         self.cache_factory = cache_factory
         self.service = service or SimulatedLLMService()
         self.config = config or FleetConfig()
@@ -259,6 +268,7 @@ class FleetSimulator:
 
     # ------------------------------------------------------------------ #
     def _adapter(self, user_id: str) -> _CacheAdapter:
+        """The user's cache adapter, creating it via the factory on first use."""
         adapter = self.caches.get(user_id)
         if adapter is None:
             adapter = _CacheAdapter(self.cache_factory(user_id))

@@ -136,6 +136,32 @@ class TestFlatIndexBasics:
         assert index.matrix_nbytes == 10 * 8 * 4  # float32 rows only
         assert index.nbytes > index.matrix_nbytes  # norms + ids on top
 
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_nbytes_accounting_pinned(self, rng, dtype):
+        """nbytes = matrix + one norm + one id per live row — exactly.
+
+        Pins the storage-accounting identity so the norm column can neither
+        be double-counted (inside the matrix term) nor silently dropped, for
+        both storage dtypes and across growth and deletion.
+        """
+        dim, itemsize = 8, np.dtype(dtype).itemsize
+        index = FlatIndex(dim=dim, dtype=dtype, initial_capacity=4)
+        per_row = dim * itemsize + itemsize + 8  # row + norm + int64 id
+        for n in (3, 4, 9, 64, 100):  # crosses several capacity doublings
+            while len(index) < n:
+                index.add(rng.normal(size=dim))
+            assert index.nbytes == n * per_row
+            assert index.matrix_nbytes == n * dim * itemsize
+            assert index.nbytes - index.matrix_nbytes == n * (itemsize + 8)
+        index.remove(index.ids[0])
+        assert index.nbytes == 99 * per_row
+        # The allocation itself is larger (capacity doubling) but must obey
+        # the same per-row formula at capacity rows.
+        assert index.allocated_nbytes == index.capacity * per_row
+        assert index.allocated_nbytes >= index.nbytes
+        index.clear()
+        assert index.nbytes == 0 and index.allocated_nbytes == 0
+
 
 class TestFlatIndexParity:
     def test_matches_brute_force_on_random_corpus(self, rng):

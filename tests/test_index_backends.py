@@ -1,0 +1,409 @@
+"""Cross-backend tests: registry, shared edge cases, recall floors.
+
+Three layers:
+
+* the backend registry (``make_index`` / ``register_index``) resolves names,
+  rejects unknowns and accepts out-of-tree factories;
+* every backend (flat / ivf / lsh) honours the same ``VectorIndex`` edge
+  cases — empty-index lookups, remove-then-add id reuse, dim mismatches,
+  ``rebuild`` round-trips — via one parametrized suite;
+* the approximate backends keep recall@k ≥ 0.9 against exact flat search on
+  the standard clustered paraphrase workload (the parity-style floor the
+  benchmark sweep also enforces at scale).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gptcache import GPTCache, GPTCacheConfig
+from repro.core.cache import MeanCache, MeanCacheConfig
+from repro.experiments.index_bench import make_ann_workload
+from repro.index import (
+    FlatIndex,
+    IVFIndex,
+    LSHIndex,
+    VectorIndex,
+    available_backends,
+    make_index,
+    register_index,
+)
+from repro.index.registry import _FACTORIES
+
+from conftest import make_tiny_encoder
+
+BACKENDS = ["flat", "ivf", "lsh"]
+
+# Small-corpus parameters that still exercise the approximate routing
+# structures: IVF trains after 8 vectors and probes every cell, LSH uses
+# wide buckets (4 bits) with directed multi-probe.
+SMALL_PARAMS = {
+    "flat": {},
+    "ivf": {"min_train_size": 8, "nlist": 4, "nprobe": 4},
+    "lsh": {"n_tables": 8, "n_bits": 4, "multiprobe": 2},
+}
+
+
+def small_index(backend: str, dim=8, **overrides) -> VectorIndex:
+    params = dict(SMALL_PARAMS[backend])
+    params.update(overrides)
+    return make_index(backend, dim=dim, **params)
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert set(BACKENDS) <= set(available_backends())
+
+    def test_make_index_types(self):
+        assert isinstance(make_index("flat"), FlatIndex)
+        assert isinstance(make_index("ivf"), IVFIndex)
+        assert isinstance(make_index("lsh"), LSHIndex)
+
+    def test_case_and_whitespace_insensitive(self):
+        assert isinstance(make_index("  IVF "), IVFIndex)
+
+    def test_params_forwarded(self):
+        index = make_index("ivf", dim=16, nprobe=3)
+        assert index.dim == 16
+        assert index.nprobe == 3
+        lsh = make_index("lsh", n_tables=2, n_bits=6)
+        assert (lsh.n_tables, lsh.n_bits) == (2, 6)
+
+    def test_unknown_backend_lists_available(self):
+        with pytest.raises(ValueError, match="flat"):
+            make_index("hnsw")
+
+    def test_register_duplicate_rejected_unless_overwrite(self):
+        with pytest.raises(ValueError):
+            register_index("flat", FlatIndex)
+
+    def test_register_custom_backend(self):
+        register_index("flat64", lambda **kw: FlatIndex(dtype=np.float64, **kw))
+        try:
+            index = make_index("flat64", dim=4)
+            assert isinstance(index, FlatIndex)
+            assert index.dtype == np.float64
+        finally:
+            _FACTORIES.pop("flat64", None)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_index("  ", FlatIndex)
+
+
+# --------------------------------------------------------------------------- #
+# Shared edge cases, parametrized over every backend
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBackendEdgeCases:
+    def test_is_a_vector_index(self, backend, rng):
+        assert isinstance(small_index(backend), VectorIndex)
+
+    def test_empty_index_lookup(self, backend, rng):
+        index = small_index(backend)
+        assert len(index) == 0
+        assert index.search(np.ones(8), top_k=3) == [[]]
+        assert index.search(np.ones((4, 8)), top_k=3) == [[], [], [], []]
+        assert index.ids == []
+        assert index.nbytes == 0
+
+    def test_self_search_top1(self, backend, rng):
+        index = small_index(backend)
+        V = rng.normal(size=(32, 8))
+        ids = index.add_batch(V)
+        hits = index.search(V, top_k=1)
+        assert [h[0].id for h in hits] == ids
+        for h in hits:
+            assert h[0].score == pytest.approx(1.0, abs=1e-5)
+
+    def test_remove_then_add_id_reuse(self, backend, rng):
+        index = small_index(backend)
+        V = rng.normal(size=(24, 8))
+        index.add_batch(V)
+        index.remove(5)
+        assert 5 not in index
+        assert len(index) == 23
+        replacement = rng.normal(size=8)
+        assert index.add(replacement, id=5) == 5
+        assert 5 in index
+        np.testing.assert_allclose(index.get(5), replacement, atol=1e-6)
+        # The reused id must be searchable and resolve to the new vector.
+        hits = index.search(replacement, top_k=1)[0]
+        assert hits and hits[0].id == 5
+
+    def test_remove_unknown_raises(self, backend, rng):
+        index = small_index(backend)
+        index.add(rng.normal(size=8))
+        with pytest.raises(KeyError):
+            index.remove(99)
+
+    def test_dim_mismatch_rejected(self, backend, rng):
+        index = small_index(backend)
+        index.add(rng.normal(size=8))
+        with pytest.raises(ValueError):
+            index.add(rng.normal(size=9))
+        with pytest.raises(ValueError):
+            index.search(rng.normal(size=9))
+        with pytest.raises(ValueError):
+            index.add_batch(rng.normal(size=(3, 9)))
+
+    def test_rebuild_round_trip(self, backend, rng):
+        index = small_index(backend)
+        index.add_batch(rng.normal(size=(20, 8)))
+        new_vectors = rng.normal(size=(12, 8))
+        new_ids = list(range(100, 112))
+        index.rebuild(new_vectors, ids=new_ids)
+        assert len(index) == 12
+        assert sorted(index.ids) == new_ids
+        for i, id in enumerate(new_ids):
+            np.testing.assert_allclose(index.get(id), new_vectors[i], atol=1e-6)
+        hits = index.search(new_vectors, top_k=1)
+        assert [h[0].id for h in hits] == new_ids
+        # Round-trip again with the original contract: rebuild to empty.
+        index.rebuild(np.empty((0, 8)), ids=[])
+        assert len(index) == 0
+        assert index.search(np.ones(8)) == [[]]
+
+    def test_clear_and_reuse(self, backend, rng):
+        index = small_index(backend)
+        index.add_batch(rng.normal(size=(16, 8)))
+        index.clear()
+        assert len(index) == 0
+        assert index.add(rng.normal(size=8)) == 0  # ids reset
+        index.clear(reset_ids=False)
+        assert index.add(rng.normal(size=8)) == 1  # ids keep counting
+
+    def test_score_threshold_filters(self, backend, rng):
+        index = small_index(backend)
+        V = rng.normal(size=(16, 8))
+        index.add_batch(V)
+        hits = index.search(V[3], top_k=8, score_threshold=0.999)[0]
+        assert hits and all(h.score >= 0.999 for h in hits)
+        assert hits[0].id == 3
+
+    def test_churn_consistency(self, backend, rng):
+        """Random add/remove churn never desynchronises search from storage."""
+        index = small_index(backend)
+        V = rng.normal(size=(60, 8))
+        live = {}
+        for i in range(40):
+            live[index.add(V[i])] = V[i]
+        for id in list(live)[::3]:
+            index.remove(id)
+            del live[id]
+        for i in range(40, 60):
+            live[index.add(V[i])] = V[i]
+        assert len(index) == len(live)
+        assert sorted(index.ids) == sorted(live)
+        for id, vec in live.items():
+            hits = index.search(vec, top_k=1)[0]
+            assert hits and hits[0].id == id
+
+
+# --------------------------------------------------------------------------- #
+# Recall floors on the standard workload (the parity-style test)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend", ["ivf", "lsh"])
+def test_recall_at_least_090_vs_flat(backend):
+    n, dim, n_queries, top_k = 4_000, 32, 100, 5
+    vectors, queries = make_ann_workload(n, dim=dim, n_queries=n_queries, seed=3)
+    flat = FlatIndex(dim=dim)
+    flat.add_batch(vectors)
+    truth = flat.search(queries, top_k=top_k)
+    index = make_index(backend, dim=dim)
+    index.add_batch(vectors)
+    got = index.search(queries, top_k=top_k)
+    fractions = []
+    for true_hits, got_hits in zip(truth, got):
+        true_ids = {h.id for h in true_hits}
+        fractions.append(len(true_ids & {h.id for h in got_hits}) / len(true_ids))
+    assert float(np.mean(fractions)) >= 0.9
+
+
+def test_ivf_untrained_matches_flat_exactly(rng=np.random.default_rng(11)):
+    V = rng.normal(size=(50, 16))
+    Q = rng.normal(size=(10, 16))
+    flat = FlatIndex(dim=16)
+    ivf = IVFIndex(dim=16, min_train_size=1_000)  # stays untrained
+    flat.add_batch(V)
+    ivf.add_batch(V)
+    assert not ivf.is_trained
+    for f_hits, i_hits in zip(flat.search(Q, top_k=5), ivf.search(Q, top_k=5)):
+        assert [h.id for h in f_hits] == [h.id for h in i_hits]
+        np.testing.assert_allclose(
+            [h.score for h in f_hits], [h.score for h in i_hits], atol=1e-7
+        )
+
+
+def test_ivf_trains_and_repartitions(rng=np.random.default_rng(12)):
+    ivf = IVFIndex(dim=8, min_train_size=32, nlist=4, nprobe=4, repartition_growth=2.0)
+    ivf.add_batch(rng.normal(size=(31, 8)))
+    assert not ivf.is_trained
+    ivf.add(rng.normal(size=8))
+    assert ivf.is_trained and ivf.nlist == 4
+    # Growing past repartition_growth × trained size must retrain cleanly.
+    ivf.add_batch(rng.normal(size=(40, 8)))
+    assert ivf.is_trained
+    assert len(ivf) == 72
+    hits = ivf.search(ivf.get(0), top_k=1)[0]
+    assert hits and hits[0].id == 0
+
+
+def test_ivf_repartitions_under_plateau_churn(rng=np.random.default_rng(14)):
+    """Eviction-style churn at constant size must still trigger retraining."""
+    ivf = IVFIndex(dim=8, min_train_size=16, nlist=4, nprobe=4, repartition_growth=2.0)
+    ids = ivf.add_batch(rng.normal(size=(16, 8)))
+    assert ivf.is_trained
+    first_training_marker = ivf._trained_size
+    # Replace the whole corpus several times over without growing it.
+    next_vecs = rng.normal(size=(64, 8))
+    for i, vec in enumerate(next_vecs):
+        ivf.remove(ids.pop(0))
+        ids.append(ivf.add(vec))
+    assert len(ivf) == 16
+    # Mutations (64 adds + 64 removes) far exceed 2× the trained size, so
+    # at least one retraining must have happened since the first.
+    assert ivf._mutations_since_train < 32
+    assert first_training_marker == 16  # sanity: the first training was at 16
+    hits = ivf.search(next_vecs[-1], top_k=1)[0]
+    assert hits and hits[0].id == ids[-1]
+
+
+@pytest.mark.parametrize("backend", ["ivf", "lsh"])
+def test_row_map_stays_bounded_under_churn(backend):
+    """Monotonic entry ids must not grow the id→row table without bound."""
+    rng = np.random.default_rng(15)
+    index = small_index(backend)
+    ids = index.add_batch(rng.normal(size=(64, 8)))
+    # Sustained evict-oldest/insert-newest churn: ids only ever increase.
+    for _ in range(5_000):
+        index.remove(ids.pop(0))
+        ids.append(index.add(rng.normal(size=8)))
+    assert len(index) == 64
+    # Lifetime-max id is ~5k, but the live span is 64 — the map must have
+    # re-anchored instead of keeping a slot for every id ever issued.
+    assert index._row_of.slots <= 4 * 1024
+    for id in (ids[0], ids[-1]):
+        hits = index.search(index.get(id), top_k=1)[0]
+        assert hits and hits[0].id == id
+
+
+@pytest.mark.parametrize("backend", ["ivf", "lsh"])
+def test_row_map_handles_id_reuse_below_compacted_base(backend):
+    """Explicit re-adds of old (low) ids stay correct after map compaction."""
+    rng = np.random.default_rng(16)
+    index = small_index(backend)
+    ids = index.add_batch(rng.normal(size=(64, 8)))
+    for _ in range(2_000):  # churn enough to re-anchor the map upward
+        index.remove(ids.pop(0))
+        ids.append(index.add(rng.normal(size=8)))
+    low_vec = rng.normal(size=8)
+    assert index.add(low_vec, id=0) == 0  # id 0 is far below any live id
+    hits = index.search(low_vec, top_k=1)[0]
+    assert hits and hits[0].id == 0
+    for id in (0, ids[-1]):  # older entries must remain reachable too
+        got = index.search(index.get(id), top_k=1)[0]
+        assert got and got[0].id == id
+
+
+def test_lsh_is_deterministic_per_seed(rng=np.random.default_rng(13)):
+    V = rng.normal(size=(64, 8))
+    Q = rng.normal(size=(8, 8))
+    a = LSHIndex(dim=8, n_tables=4, n_bits=6, seed=9)
+    b = LSHIndex(dim=8, n_tables=4, n_bits=6, seed=9)
+    a.add_batch(V)
+    b.add_batch(V)
+    for ha, hb in zip(a.search(Q, top_k=3), b.search(Q, top_k=3)):
+        assert [(h.id, h.score) for h in ha] == [(h.id, h.score) for h in hb]
+
+
+# --------------------------------------------------------------------------- #
+# Caches on approximate backends
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_meancache_runs_on_any_backend(backend):
+    encoder = make_tiny_encoder()
+    cache = MeanCache(
+        encoder,
+        MeanCacheConfig(
+            similarity_threshold=0.8,
+            index_backend=backend,
+            index_params=SMALL_PARAMS[backend],
+        ),
+    )
+    cache.insert("how do I sort a list in python", "use sorted()")
+    cache.insert("what is the capital of france", "paris")
+    hit = cache.lookup("how do I sort a list in python")
+    assert hit.hit and hit.response == "use sorted()"
+    miss = cache.lookup("completely unrelated gardening question")
+    assert not miss.hit
+    assert type(cache.index).__name__ == {
+        "flat": "FlatIndex", "ivf": "IVFIndex", "lsh": "LSHIndex"
+    }[backend]
+
+
+def test_meancache_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="available"):
+        MeanCacheConfig(index_backend="bogus")
+
+
+def test_gptcache_runs_on_approximate_backend():
+    cache = GPTCache(
+        make_tiny_encoder(),
+        GPTCacheConfig(index_backend="lsh", index_params=SMALL_PARAMS["lsh"]),
+    )
+    cache.insert("what's the weather like today", "sunny", user_id="u1")
+    decision = cache.lookup("what's the weather like today")
+    assert decision.hit
+    assert type(cache.index).__name__ == "LSHIndex"
+
+
+def test_gptcache_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="available"):
+        GPTCacheConfig(index_backend="bogus")
+
+
+def test_explicit_index_instance_wins_over_config():
+    prebuilt = IVFIndex(dim=None, min_train_size=8, nlist=2, nprobe=2)
+    cache = MeanCache(
+        make_tiny_encoder(),
+        MeanCacheConfig(index_backend="flat"),
+        index=prebuilt,
+    )
+    assert cache.index is prebuilt
+
+
+def test_injected_index_must_be_empty():
+    """Cache entry ids and index ids share a namespace, so a pre-populated
+    index would hold vectors unreachable by entry lookups — rejected."""
+    populated = FlatIndex(dim=4)
+    populated.add([1.0, 0.0, 0.0, 0.0])
+    with pytest.raises(ValueError, match="empty"):
+        MeanCache(make_tiny_encoder(), index=populated)
+    with pytest.raises(ValueError, match="empty"):
+        GPTCache(make_tiny_encoder(), index=populated)
+
+
+def test_lsh_stored_keys_do_not_pin_the_batch_matrix():
+    """Per-id key rows must own their memory: a view into the add_batch key
+    matrix would keep the whole batch allocation alive while any single id
+    from the batch survives eviction."""
+    index = make_index("lsh", dim=8, **SMALL_PARAMS["lsh"])
+    index.add_batch(np.random.default_rng(17).normal(size=(32, 8)))
+    assert all(keys.base is None for keys in index._keys_of.values())
+
+
+def test_row_map_anchors_after_clear_with_high_ids():
+    """A rebuild late in a cache's life re-adds with large monotonic ids;
+    the freshly cleared map must size by id span, not id magnitude."""
+    rng = np.random.default_rng(18)
+    index = make_index("lsh", dim=8, **SMALL_PARAMS["lsh"])
+    index.add_batch(rng.normal(size=(32, 8)))
+    high_ids = list(range(10_000_000, 10_000_032))
+    index.rebuild(rng.normal(size=(32, 8)), ids=high_ids)
+    assert sorted(index.ids) == high_ids
+    assert index._row_of.slots <= 64
+    hits = index.search(index.get(high_ids[0]), top_k=1)[0]
+    assert hits and hits[0].id == high_ids[0]
