@@ -7,9 +7,11 @@ trajectory:
 * ``microbench`` — the incremental :class:`repro.index.FlatIndex` against
   the seed cache's hot path (per-insert ``np.vstack`` rebuild, per-lookup
   corpus re-normalization);
-* ``backends`` — recall@k vs lookup throughput of the approximate backends
-  (IVF inverted lists, multi-probe LSH) against exact flat search at 10k
-  and 100k entries on the standard clustered paraphrase workload.
+* ``backends`` — recall@k vs lookup throughput vs bytes-per-entry of the
+  approximate and quantized backends (IVF inverted lists, multi-probe LSH,
+  int8 scalar quantization, product quantization, IVF-routed SQ8) against
+  exact flat search at 10k and 100k entries on the standard clustered
+  paraphrase workload.
 
 Run with ``pytest benchmarks/test_bench_index.py -s``.
 """
@@ -30,8 +32,17 @@ TOP_K = 5
 
 SWEEP_SIZES = (10_000, 100_000)
 APPROX_BACKENDS = ("ivf", "lsh")
+QUANTIZED_BACKENDS = ("sq8", "pq")
+ROUTED_QUANTIZED_BACKENDS = ("ivf+sq8",)
 MIN_RECALL = 0.9
 MIN_BATCH_SPEEDUP_AT_100K = 10.0
+# Quantized floors (ISSUE 4 acceptance): at 100k entries the memory-tier
+# backends must keep >= 90% of the exact top-k while storing at most 0.30x
+# of flat's bytes-per-entry (rows + routing + codec all counted).
+MAX_QUANTIZED_BYTES_RATIO_AT_100K = 0.30
+# The routed composition trades some of the memory win (inverted lists,
+# row map) for sublinear scans; it must still beat flat's batched path.
+MIN_ROUTED_QUANTIZED_BATCH_SPEEDUP_AT_100K = 2.0
 
 
 def _write_payload(update):
@@ -100,3 +111,24 @@ def test_backend_recall_throughput_sweep(benchmark):
         assert at_100k.batch_speedup_vs_flat >= MIN_BATCH_SPEEDUP_AT_100K, (
             at_100k.to_dict()
         )
+
+    for backend in QUANTIZED_BACKENDS + ROUTED_QUANTIZED_BACKENDS:
+        for n_entries in SWEEP_SIZES:
+            point = result.point(backend, n_entries)
+            # Quantized scoring must stay inside the recall band the caches
+            # operate in at every size.
+            assert point.recall_at_k >= MIN_RECALL, point.to_dict()
+    for backend in QUANTIZED_BACKENDS:
+        # The memory floor is pinned at 100k, where fixed codec tables have
+        # amortized away (at 10k a PQ codebook alone is ~6 bytes/entry).
+        at_100k = result.point(backend, 100_000)
+        assert (
+            at_100k.bytes_per_entry_vs_flat <= MAX_QUANTIZED_BYTES_RATIO_AT_100K
+        ), at_100k.to_dict()
+    for backend in ROUTED_QUANTIZED_BACKENDS:
+        # Routing over quantized rows must also buy back lookup throughput.
+        at_100k = result.point(backend, 100_000)
+        assert (
+            at_100k.batch_speedup_vs_flat
+            >= MIN_ROUTED_QUANTIZED_BATCH_SPEEDUP_AT_100K
+        ), at_100k.to_dict()

@@ -16,8 +16,10 @@ from the cache when the best cosine similarity reaches a fixed threshold of
 
 from __future__ import annotations
 
+import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
@@ -39,6 +41,16 @@ from repro.embeddings.model import SiameseEncoder
 from repro.embeddings.zoo import load_encoder
 from repro.index import IndexHit, VectorIndex
 from repro.index.registry import resolve_index, validate_backend
+from repro.index.snapshot import (
+    SnapshotError,
+    load_index,
+    read_manifest,
+    write_manifest,
+)
+
+#: Snapshot format tag / version of ``GPTCache.save`` directories.
+GPTCACHE_FORMAT = "repro-gptcache"
+GPTCACHE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -241,6 +253,98 @@ class GPTCache:
             return []
         self.lookups += len(queries)
         return self.pipeline.run([Probe.make(query) for query in queries])
+
+    # ------------------------------------------------------------------ #
+    # Persistence (versioned npz + JSON manifest snapshot)
+    # ------------------------------------------------------------------ #
+    def save(self, path: "str | Path") -> Path:
+        """Snapshot the central cache to a directory (see ``MeanCache.save``).
+
+        Stores the config, hit counters, every entry's texts/user id, the
+        float64 embeddings and the vector index's own snapshot.
+        """
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        meta = [
+            {"query": e.query, "response": e.response, "user_id": e.user_id}
+            for e in self._entries
+        ]
+        (path / "entries.json").write_text(
+            json.dumps(meta, indent=1) + "\n", encoding="utf-8"
+        )
+        embeddings = (
+            np.stack([e.embedding for e in self._entries])
+            if self._entries
+            else np.zeros((0, self._index.dim or 0), dtype=np.float64)
+        )
+        np.savez(path / "arrays.npz", embeddings=embeddings)
+        self._index.save(path / "index")
+        config = asdict(self.config)
+        config["index_params"] = (
+            dict(self.config.index_params) if self.config.index_params else None
+        )
+        write_manifest(
+            path,
+            {
+                "format": GPTCACHE_FORMAT,
+                "version": GPTCACHE_VERSION,
+                "config": config,
+                "lookups": int(self.lookups),
+                "hits": int(self.hits),
+            },
+        )
+        return path
+
+    @classmethod
+    def load(
+        cls, path: "str | Path", encoder: Optional[SiameseEncoder] = None
+    ) -> "GPTCache":
+        """Rebuild a central cache from a :meth:`save` snapshot.
+
+        ``encoder`` defaults to the zoo encoder named in the saved config;
+        pass the instance the saved cache used when decisions must reproduce
+        byte-exactly.
+        """
+        path = Path(path)
+        manifest = read_manifest(path, GPTCACHE_FORMAT, GPTCACHE_VERSION)
+        try:
+            config = GPTCacheConfig(**manifest["config"])
+            lookups = int(manifest["lookups"])
+            hits = int(manifest["hits"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(
+                f"snapshot at {path} has a corrupted manifest payload: {exc}"
+            ) from exc
+        cache = cls(encoder=encoder, config=config)
+        cache._index = load_index(path / "index")
+        cache.pipeline = cache._build_pipeline()
+        meta = json.loads((path / "entries.json").read_text(encoding="utf-8"))
+        with np.load(path / "arrays.npz") as data:
+            embeddings = np.asarray(data["embeddings"], dtype=np.float64)
+        if len(meta) != embeddings.shape[0]:
+            raise SnapshotError(
+                f"snapshot at {path} is inconsistent: {len(meta)} entry records "
+                f"vs {embeddings.shape[0]} embeddings"
+            )
+        # The baseline never evicts, so index ids must be exactly the list
+        # positions — anything else is a corrupted/mixed snapshot.
+        if cache._index.ids != list(range(len(meta))):
+            raise SnapshotError(
+                f"snapshot at {path} is inconsistent: index ids and entry "
+                "positions differ"
+            )
+        cache._entries = [
+            _StoredEntry(
+                query=record["query"],
+                response=record["response"],
+                embedding=embedding,
+                user_id=record["user_id"],
+            )
+            for record, embedding in zip(meta, embeddings)
+        ]
+        cache.lookups = lookups
+        cache.hits = hits
+        return cache
 
 
 class _GPTCacheDecide(DecideStage):

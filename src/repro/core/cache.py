@@ -17,8 +17,10 @@ and its context chain.  On a lookup the cache:
 
 from __future__ import annotations
 
+import json
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -41,6 +43,16 @@ from repro.core.validation import require_query_text, require_query_texts
 from repro.embeddings.model import SiameseEncoder
 from repro.index import IndexHit, VectorIndex
 from repro.index.registry import resolve_index, validate_backend
+from repro.index.snapshot import (
+    SnapshotError,
+    load_index,
+    read_manifest,
+    write_manifest,
+)
+
+#: Snapshot format tag / version of ``MeanCache.save`` directories.
+MEANCACHE_FORMAT = "repro-meancache"
+MEANCACHE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -468,6 +480,185 @@ class MeanCache:
             raise ValueError("threshold must be in [0, 1]")
         # MeanCacheConfig is frozen; replace it wholesale.
         self.config = replace(self.config, similarity_threshold=threshold)
+
+    # ------------------------------------------------------------------ #
+    # Persistence (versioned npz + JSON manifest snapshot)
+    # ------------------------------------------------------------------ #
+    def save(self, path: "str | Path") -> Path:
+        """Snapshot the whole cache state to a directory.
+
+        The snapshot holds ``manifest.json`` (config, stats, eviction-policy
+        state, next entry id), ``entries.json`` (texts and per-entry
+        metadata), ``arrays.npz`` (entry and context-chain embeddings) and
+        an ``index/`` subdirectory with the vector index's own snapshot.
+        :meth:`load` rebuilds a cache whose lookup decisions are
+        byte-identical to this one's.  The encoder is *not* serialized —
+        model weights are distributed by the FL pipeline, so ``load`` takes
+        the encoder as an argument.
+        """
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        entries = list(self._entries.values())
+        meta = [
+            {
+                "entry_id": int(e.entry_id),
+                "query": e.query,
+                "response": e.response,
+                "context": list(e.context.texts),
+                "created_at": float(e.created_at),
+                "last_accessed": float(e.last_accessed),
+                "hit_count": int(e.hit_count),
+            }
+            for e in entries
+        ]
+        (path / "entries.json").write_text(
+            json.dumps(meta, indent=1) + "\n", encoding="utf-8"
+        )
+        dim = entries[0].embedding.shape[0] if entries else (self._index.dim or 0)
+        embeddings = (
+            np.stack([e.embedding for e in entries])
+            if entries
+            else np.zeros((0, dim), dtype=np.float64)
+        )
+        ctx_ids = [int(e.entry_id) for e in entries if e.context.embedding is not None]
+        ctx_embeddings = (
+            np.stack(
+                [e.context.embedding for e in entries if e.context.embedding is not None]
+            )
+            if ctx_ids
+            else np.zeros((0, dim), dtype=np.float64)
+        )
+        np.savez(
+            path / "arrays.npz",
+            embeddings=embeddings,
+            entry_ids=np.asarray([int(e.entry_id) for e in entries], dtype=np.int64),
+            ctx_entry_ids=np.asarray(ctx_ids, dtype=np.int64),
+            ctx_embeddings=ctx_embeddings,
+        )
+        self._index.save(path / "index")
+        config = asdict(self.config)
+        config["index_params"] = (
+            dict(self.config.index_params) if self.config.index_params else None
+        )
+        write_manifest(
+            path,
+            {
+                "format": MEANCACHE_FORMAT,
+                "version": MEANCACHE_VERSION,
+                "config": config,
+                "next_id": int(self._next_id),
+                "stats": asdict(self.stats),
+                "policy": {
+                    "name": self.config.eviction_policy,
+                    "state": self._policy.state_dict(),
+                },
+                "embedding_dim": int(dim) if dim else None,
+            },
+        )
+        return path
+
+    @classmethod
+    def load(
+        cls,
+        path: "str | Path",
+        encoder: SiameseEncoder,
+        store: Optional[BaseStore] = None,
+    ) -> "MeanCache":
+        """Rebuild a cache from a :meth:`save` snapshot.
+
+        ``encoder`` must be configured like the saved cache's encoder (same
+        weights, and a PCA head attached when the saved config used
+        ``compressed=True``) for lookups to reproduce the saved decisions.
+        Raises :class:`~repro.index.SnapshotError` for missing, corrupted,
+        foreign-format or future-version snapshots.
+        """
+        path = Path(path)
+        manifest = read_manifest(path, MEANCACHE_FORMAT, MEANCACHE_VERSION)
+        try:
+            config = MeanCacheConfig(**manifest["config"])
+            next_id = int(manifest["next_id"])
+            stats = CacheStats(**manifest["stats"])
+            policy_name = manifest["policy"]["name"]
+            policy_state = manifest["policy"]["state"]
+        except (KeyError, TypeError, ValueError) as exc:
+            # Keep the documented exception contract: a manifest whose
+            # format/version pass but whose payload is truncated or renamed
+            # is still a corrupted snapshot, not a caller bug.
+            raise SnapshotError(
+                f"snapshot at {path} has a corrupted manifest payload: {exc}"
+            ) from exc
+        cache = cls(encoder, config, store=store)
+        cache._index = load_index(path / "index")
+        saved_dim = manifest.get("embedding_dim")
+        if (
+            saved_dim is not None
+            and cache._index.dim is not None
+            and int(saved_dim) != int(cache._index.dim)
+        ):
+            raise SnapshotError(
+                f"snapshot at {path} is inconsistent: manifest embedding_dim "
+                f"{saved_dim} vs index dim {cache._index.dim}"
+            )
+        # The pipeline's retrieve stage captured the constructor-built index;
+        # rebuild it over the loaded one.
+        cache.pipeline = cache._build_pipeline()
+        meta = json.loads((path / "entries.json").read_text(encoding="utf-8"))
+        with np.load(path / "arrays.npz") as data:
+            embeddings = np.asarray(data["embeddings"], dtype=np.float64)
+            entry_ids = [int(i) for i in data["entry_ids"]]
+            ctx_embedding_of = {
+                int(i): np.asarray(emb, dtype=np.float64)
+                for i, emb in zip(data["ctx_entry_ids"], data["ctx_embeddings"])
+            }
+        if len(meta) != len(entry_ids):
+            raise SnapshotError(
+                f"snapshot at {path} is inconsistent: {len(meta)} entry records "
+                f"vs {len(entry_ids)} embeddings"
+            )
+        entries: Dict[int, CacheEntry] = {}
+        for record, entry_id, embedding in zip(meta, entry_ids, embeddings):
+            if int(record["entry_id"]) != entry_id:
+                raise SnapshotError(
+                    f"snapshot at {path} is inconsistent: entries.json and "
+                    "arrays.npz disagree on entry ids"
+                )
+            entries[entry_id] = CacheEntry(
+                query=record["query"],
+                response=record["response"],
+                embedding=embedding,
+                context=ContextChain(
+                    texts=tuple(record["context"]),
+                    embedding=ctx_embedding_of.get(entry_id),
+                ),
+                entry_id=entry_id,
+                created_at=float(record["created_at"]),
+                last_accessed=float(record["last_accessed"]),
+                hit_count=int(record["hit_count"]),
+            )
+        if set(entries) != set(cache._index.ids):
+            raise SnapshotError(
+                f"snapshot at {path} is inconsistent: entry ids and index ids differ"
+            )
+        cache._entries = entries
+        cache._next_id = next_id
+        cache.stats = stats
+        cache._policy = make_policy(policy_name)
+        cache._policy.load_state_dict(policy_state)
+        if store is not None:
+            # Backfill the write-through mirror so external store readers
+            # see the same entries the cache serves (insert() mirrors every
+            # later entry the same way).
+            for entry in entries.values():
+                store.set(
+                    f"entry:{entry.entry_id}",
+                    {
+                        "query": entry.query,
+                        "response": entry.response,
+                        "embedding": entry.embedding,
+                        "context": list(entry.context.texts),
+                    },
+                )
+        return cache
 
 
 class _MeanCacheDecide(DecideStage):

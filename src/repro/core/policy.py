@@ -39,6 +39,18 @@ class EvictionPolicy:
     def __len__(self) -> int:
         raise NotImplementedError
 
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of the policy's ordering state.
+
+        Cache persistence (``MeanCache.save``) stores this so a reloaded
+        cache evicts in exactly the order the saved one would have.
+        """
+        raise NotImplementedError
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Reinstate a :meth:`state_dict` snapshot (replacing current state)."""
+        raise NotImplementedError
+
 
 class LRUPolicy(EvictionPolicy):
     """Least-recently-used eviction (the paper's default)."""
@@ -64,6 +76,12 @@ class LRUPolicy(EvictionPolicy):
 
     def __len__(self) -> int:
         return len(self._order)
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"order": [int(i) for i in self._order]}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self._order = OrderedDict((int(i), None) for i in state["order"])
 
 
 class LFUPolicy(EvictionPolicy):
@@ -100,6 +118,17 @@ class LFUPolicy(EvictionPolicy):
     def __len__(self) -> int:
         return len(self._counts)
 
+    def state_dict(self) -> Dict[str, object]:
+        # Counts as [id, count] pairs: JSON object keys would stringify ids.
+        return {
+            "recency": [int(i) for i in self._recency],
+            "counts": [[int(i), int(c)] for i, c in self._counts.items()],
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self._counts = {int(i): int(c) for i, c in state["counts"]}
+        self._recency = OrderedDict((int(i), None) for i in state["recency"])
+
 
 class FIFOPolicy(EvictionPolicy):
     """First-in-first-out eviction (insertion order, accesses ignored)."""
@@ -125,6 +154,12 @@ class FIFOPolicy(EvictionPolicy):
 
     def __len__(self) -> int:
         return len(self._order)
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"order": [int(i) for i in self._order]}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self._order = OrderedDict((int(i), None) for i in state["order"])
 
 
 _POLICIES = {

@@ -149,9 +149,20 @@ def run_fleet_bench(
     stateless), matching a deployment where all devices run the same
     distributed model snapshot.  ``index_backend``/``index_params`` select
     each cache's vector-index backend (any :func:`repro.index.make_index`
-    name), so the same trace can be replayed over flat/IVF/LSH fleets.
+    name), so the same trace can be replayed over flat/IVF/LSH/quantized
+    fleets.
+
+    Every RNG in the run derives from ``seed``: the workload generator, the
+    simulated LLM service, and — unless ``index_params`` pins one — each
+    cache index's internal seed, so BENCH_fleet.json deltas are
+    attributable to code changes rather than run-to-run noise.
     """
+    from repro.index.registry import seeded_params
+
     encoder = encoder or load_encoder(encoder_name)
+    # Thread the benchmark seed into the backend when its constructor takes
+    # one (flat does not; all randomized backends do).
+    resolved_params = seeded_params(index_backend, index_params or {}, seed)
     result = FleetBenchResult(
         encoder_name=encoder_name,
         queries_per_user=queries_per_user,
@@ -159,13 +170,13 @@ def run_fleet_bench(
         similarity_threshold=similarity_threshold,
         batch_window_s=batch_window_s,
         index_backend=index_backend,
-        index_params=dict(index_params or {}),
+        index_params=dict(resolved_params),
         seed=seed,
     )
     cache_config = MeanCacheConfig(
         similarity_threshold=similarity_threshold,
         index_backend=index_backend,
-        index_params=dict(index_params or {}),
+        index_params=dict(resolved_params),
     )
     for n_users in user_counts:
         trace = WorkloadGenerator(

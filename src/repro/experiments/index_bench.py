@@ -11,12 +11,15 @@ full experiment runner:
    Synthetic embeddings, no encoder in the loop, so the numbers isolate the
    index itself.
 
-2. :func:`run_backend_sweep` — the recall/throughput trade-off of every
-   registered approximate backend (IVF, LSH) against exact flat search at
-   several corpus sizes, on :func:`make_ann_workload`'s paraphrase-style
-   clustered workload.  Exact search is O(n·d) per query, so it loses
-   ground as the cache grows; the sweep pins how much lookup throughput the
-   sublinear backends buy back and how much recall they give up.
+2. :func:`run_backend_sweep` — the recall/throughput/memory trade-off of
+   the approximate and quantized backends (IVF, LSH, SQ8, PQ, IVF+SQ8)
+   against exact flat search at several corpus sizes, on
+   :func:`make_ann_workload`'s paraphrase-style clustered workload.  Exact
+   search is O(n·d) per query and O(4d) bytes per entry, so it loses ground
+   as the cache grows; the sweep pins how much lookup throughput and memory
+   the sublinear/quantized backends buy back and how much recall they give
+   up (bytes-per-entry lands in the ``backends`` section of
+   BENCH_index.json).
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ import numpy as np
 
 from repro.embeddings.similarity import semantic_search
 from repro.index import FlatIndex, make_index
+from repro.index.registry import seeded_params
 from repro.metrics.reporting import format_table
 
 
@@ -233,7 +237,13 @@ def make_ann_workload(
 
 @dataclass(frozen=True)
 class BackendBenchPoint:
-    """One (backend, corpus size) cell of the sweep."""
+    """One (backend, corpus size) cell of the sweep.
+
+    ``nbytes`` is the backend's *total* footprint for the corpus: live row
+    storage plus, where the backend has them, routing structures and codec
+    tables (quantized backends) — the honest per-entry cost of choosing it.
+    ``flat_nbytes`` is exact float32 storage for the same corpus.
+    """
 
     backend: str
     n_entries: int
@@ -247,6 +257,8 @@ class BackendBenchPoint:
     flat_lookup_s: float
     flat_lookup_batch_s: float
     recall_at_k: float
+    nbytes: int = 0
+    flat_nbytes: int = 0
 
     @property
     def lookup_throughput(self) -> float:
@@ -272,6 +284,18 @@ class BackendBenchPoint:
             return float("inf")
         return self.flat_lookup_batch_s / self.lookup_batch_s
 
+    @property
+    def bytes_per_entry(self) -> float:
+        """Total index bytes (rows + routing + codec) per stored vector."""
+        return self.nbytes / self.n_entries if self.n_entries else 0.0
+
+    @property
+    def bytes_per_entry_vs_flat(self) -> float:
+        """Memory ratio against exact float32 storage (< 1 is a win)."""
+        if self.flat_nbytes <= 0:
+            return float("inf")
+        return self.nbytes / self.flat_nbytes
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable record (one ``backends`` row of BENCH_index.json)."""
         return {
@@ -289,6 +313,9 @@ class BackendBenchPoint:
             "speedup_vs_flat": self.speedup_vs_flat,
             "batch_speedup_vs_flat": self.batch_speedup_vs_flat,
             "recall_at_k": self.recall_at_k,
+            "nbytes": self.nbytes,
+            "bytes_per_entry": self.bytes_per_entry,
+            "bytes_per_entry_vs_flat": self.bytes_per_entry_vs_flat,
         }
 
 
@@ -320,7 +347,7 @@ class BackendSweepResult:
         }
 
     def format(self) -> str:
-        """Render the recall/throughput trade-off table."""
+        """Render the recall/throughput/memory trade-off table."""
         rows = [
             [
                 p.backend,
@@ -329,6 +356,8 @@ class BackendSweepResult:
                 f"{p.lookup_s * 1e6 / p.n_queries:.0f}",
                 f"{p.speedup_vs_flat:.1f}x",
                 f"{p.batch_speedup_vs_flat:.1f}x",
+                f"{p.bytes_per_entry:.0f}",
+                f"{p.bytes_per_entry_vs_flat:.2f}x",
                 f"{p.build_s:.2f}",
             ]
             for p in self.points
@@ -341,11 +370,13 @@ class BackendSweepResult:
                 "Lookup (µs/query)",
                 "Speedup",
                 "Batch speedup",
+                "B/entry",
+                "Mem vs flat",
                 "Build (s)",
             ],
             rows,
             title=(
-                "ANN backend sweep: recall vs lookup throughput "
+                "ANN backend sweep: recall vs lookup throughput vs memory "
                 f"(dim={self.dim}, {self.n_queries} queries, top_k={self.top_k})"
             ),
         )
@@ -365,6 +396,45 @@ def _recall_against(
     return float(np.mean(fractions)) if fractions else 1.0
 
 
+def _total_nbytes(index) -> int:
+    """The backend's whole footprint: rows + routing + codec tables."""
+    return (
+        int(index.nbytes)
+        + int(getattr(index, "routing_nbytes", 0))
+        + int(getattr(index, "codec_nbytes", 0))
+    )
+
+
+def _build_backend(backend: str, dim: int, params: Mapping[str, object], seed: int):
+    """Build a sweep backend, threading the sweep seed into its RNGs.
+
+    Every randomized backend (IVF/LSH/SQ8/PQ and compositions) takes a
+    ``seed`` kwarg; injecting the sweep's seed (via the registry's shared
+    :func:`~repro.index.registry.seeded_params` rule) makes
+    BENCH_index.json deltas attributable to code changes, not to run-to-run
+    k-means/hyperplane noise.
+    """
+    return make_index(backend, dim=dim, **seeded_params(backend, params, seed))
+
+
+def default_sweep_backends(dim: int) -> Mapping[str, Mapping[str, object]]:
+    """The standard sweep configurations for a ``dim``-dimensional workload.
+
+    Sublinear routing (ivf/lsh), quantized storage (sq8/pq) and the
+    routed-quantized composition.  PQ runs at ``m = dim`` (scalar
+    subspaces) — the configuration that keeps recall in the τ-band the
+    caches need while still storing ~0.29x of flat; IVF+SQ8 probes 16 cells
+    to hold recall with quantized scoring.
+    """
+    return {
+        "ivf": {},
+        "lsh": {},
+        "sq8": {},
+        "pq": {"m": dim},
+        "ivf+sq8": {"nprobe": 16},
+    }
+
+
 def run_backend_sweep(
     sizes: Sequence[int] = (10_000, 100_000),
     dim: int = 64,
@@ -373,18 +443,22 @@ def run_backend_sweep(
     backends: Optional[Mapping[str, Mapping[str, object]]] = None,
     seed: int = 0,
 ) -> BackendSweepResult:
-    """Measure every backend's recall and lookup throughput at each size.
+    """Measure every backend's recall, lookup throughput and memory per size.
 
     For each corpus size an exact :class:`FlatIndex` provides ground-truth
     top-k and the baseline timings; each approximate backend is then built
-    on the same vectors (build time includes IVF's k-means training) and
-    timed on the same queries, sequentially (one ``search`` per query — the
-    interactive-lookup path) and batched (one call for all queries — the
-    fleet path).  ``backends`` maps backend name → constructor params and
-    defaults to IVF and LSH with their registry defaults.
+    on the same vectors (build time includes IVF's k-means training and the
+    quantized backends' codec training + encoding) and timed on the same
+    queries, sequentially (one ``search`` per query — the interactive-lookup
+    path) and batched (one call for all queries — the fleet path).  Each
+    point also records the backend's total bytes (rows + routing + codec)
+    for the memory column.  ``backends`` maps backend name → constructor
+    params and defaults to :func:`default_sweep_backends` for the sweep's
+    ``dim``.  The ``seed`` kwarg drives the workload *and* every backend's
+    internal RNG, so a sweep is deterministic end to end.
     """
     if backends is None:
-        backends = {"ivf": {}, "lsh": {}}
+        backends = default_sweep_backends(dim)
     result = BackendSweepResult(top_k=top_k, dim=dim, n_queries=n_queries, seed=seed)
     for n_entries in sizes:
         vectors, queries = make_ann_workload(
@@ -404,6 +478,7 @@ def run_backend_sweep(
         flat.search(queries, top_k=top_k)
         flat_lookup_batch_s = time.perf_counter() - start
 
+        flat_nbytes = _total_nbytes(flat)
         result.points.append(
             BackendBenchPoint(
                 backend="flat",
@@ -418,10 +493,12 @@ def run_backend_sweep(
                 flat_lookup_s=flat_lookup_s,
                 flat_lookup_batch_s=flat_lookup_batch_s,
                 recall_at_k=1.0,
+                nbytes=flat_nbytes,
+                flat_nbytes=flat_nbytes,
             )
         )
         for name, params in backends.items():
-            index = make_index(name, dim=dim, **dict(params))
+            index = _build_backend(name, dim, params, seed)
             start = time.perf_counter()
             index.add_batch(vectors)
             build_s = time.perf_counter() - start
@@ -445,6 +522,8 @@ def run_backend_sweep(
                     flat_lookup_s=flat_lookup_s,
                     flat_lookup_batch_s=flat_lookup_batch_s,
                     recall_at_k=_recall_against(truth, got),
+                    nbytes=_total_nbytes(index),
+                    flat_nbytes=flat_nbytes,
                 )
             )
     return result

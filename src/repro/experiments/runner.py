@@ -84,7 +84,7 @@ def run_all(scale: "str | None" = None, seed: int = 0) -> FullReport:
     report.sections["Index microbenchmark (insert/lookup throughput)"] = run_index_bench(
         n_entries=2_000 if resolved.name == "quick" else 10_000, seed=seed
     ).format()
-    report.sections["ANN backend sweep (recall vs lookup throughput)"] = run_backend_sweep(
+    report.sections["ANN backend sweep (recall vs throughput vs memory)"] = run_backend_sweep(
         sizes=(2_000, 10_000) if resolved.name == "quick" else (10_000, 100_000),
         seed=seed,
     ).format()

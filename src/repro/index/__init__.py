@@ -3,10 +3,13 @@
 The cache-side replacement for "a numpy array we vstack onto": a contiguous,
 pre-normalized embedding matrix with amortized-O(1) appends, O(d) swap-delete
 and one-matmul batched search — plus sublinear approximate backends (IVF
-inverted lists, random-hyperplane LSH) behind the same :class:`VectorIndex`
-contract, selected by name through :func:`make_index`.  See
+inverted lists, random-hyperplane LSH), quantized storage tiers (int8 scalar
+quantization, product quantization, and their IVF-routed compositions)
+behind the same :class:`VectorIndex` contract, selected by name through
+:func:`make_index`.  Every backend snapshots to a versioned npz + JSON
+manifest directory via ``index.save(path)`` / :func:`load_index`.  See
 ``docs/architecture.md`` for the design, ``docs/api.md`` for the public
-surface and ``docs/benchmarks.md`` for the measured recall/throughput
+surface and ``docs/benchmarks.md`` for the measured recall/throughput/memory
 trade-off.
 
 >>> from repro.index import make_index
@@ -21,15 +24,22 @@ from repro.index.base import IndexHit, VectorIndex
 from repro.index.flat import FlatIndex
 from repro.index.ivf import IVFIndex
 from repro.index.lsh import LSHIndex
+from repro.index.quantized import PQIndex, QuantizedIndex, SQ8Index
 from repro.index.registry import available_backends, make_index, register_index
+from repro.index.snapshot import SnapshotError, load_index
 
 __all__ = [
     "FlatIndex",
     "IVFIndex",
     "IndexHit",
     "LSHIndex",
+    "PQIndex",
+    "QuantizedIndex",
+    "SQ8Index",
+    "SnapshotError",
     "VectorIndex",
     "available_backends",
+    "load_index",
     "make_index",
     "register_index",
 ]

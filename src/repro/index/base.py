@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -100,3 +101,51 @@ class VectorIndex(abc.ABC):
         except KeyError:
             return False
         return True
+
+    # ------------------------------------------------------------------ #
+    # Snapshot protocol (versioned npz + JSON manifest persistence)
+    # ------------------------------------------------------------------ #
+    #: The registry name written into snapshot manifests, or None for
+    #: backends that do not support persistence.  Concrete backends either
+    #: set a class attribute or expose a property (the quantized backends'
+    #: name depends on whether routing is enabled).
+    snapshot_backend: Optional[str] = None
+
+    def save(self, path: "str | Path") -> Path:
+        """Snapshot the live index state to a directory.
+
+        Writes a versioned ``manifest.json`` (backend name, constructor
+        parameters, scalar state) plus an ``arrays.npz`` of the live numpy
+        state; :func:`repro.index.load_index` rebuilds an identical index
+        from it.  Raises :class:`repro.index.snapshot.SnapshotError` for
+        backends without snapshot support.
+        """
+        from repro.index.snapshot import save_index
+
+        return save_index(self, path)
+
+    def _snapshot_params(self) -> Dict[str, object]:
+        """Constructor kwargs that rebuild an empty equivalent instance."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the snapshot protocol"
+        )
+
+    def _snapshot_state(self) -> Dict[str, object]:
+        """JSON-serializable scalar state (next id, training counters, …)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the snapshot protocol"
+        )
+
+    def _snapshot_arrays(self) -> Dict[str, np.ndarray]:
+        """The live numpy state, keyed for the snapshot's npz payload."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the snapshot protocol"
+        )
+
+    def _restore(
+        self, state: Mapping[str, object], arrays: Mapping[str, np.ndarray]
+    ) -> None:
+        """Reinstate a snapshot into this (freshly constructed) instance."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the snapshot protocol"
+        )

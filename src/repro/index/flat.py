@@ -22,7 +22,7 @@ throughput at a ~1e-6 score tolerance versus float64 (see ``docs/api.md``).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -30,6 +30,19 @@ from repro.embeddings.similarity import chunked_topk
 from repro.index.base import IndexHit, VectorIndex
 
 _MIN_CAPACITY = 64
+
+
+def normalize_rows(vectors: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    """Unit-normalize rows in float64, returning (unit rows, norms).
+
+    The one normalization rule every backend shares (flat family via
+    :meth:`FlatIndex._normalize`, the quantized backends directly), so the
+    epsilon and dtype policy cannot drift between storage tiers.
+    """
+    V = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+    norms = np.linalg.norm(V, axis=1, keepdims=True)
+    unit = V / np.where(norms > 1e-12, norms, 1.0)
+    return unit, norms[:, 0]
 
 
 class FlatIndex(VectorIndex):
@@ -161,10 +174,7 @@ class FlatIndex(VectorIndex):
     # ------------------------------------------------------------------ #
     def _normalize(self, vectors: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
         """Unit-normalize rows in float64, returning (unit rows, norms)."""
-        V = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
-        norms = np.linalg.norm(V, axis=1, keepdims=True)
-        unit = V / np.where(norms > 1e-12, norms, 1.0)
-        return unit, norms[:, 0]
+        return normalize_rows(vectors)
 
     def _ensure_capacity(self, extra: int) -> None:
         needed = self._size + extra
@@ -318,6 +328,66 @@ class FlatIndex(VectorIndex):
 
     def _post_clear(self) -> None:
         """Called after the index was emptied (clear / rebuild)."""
+
+    def _post_restore(self) -> None:
+        """Called after a snapshot reinstated the flat storage.
+
+        Subclasses rebuild whatever routing structures derive
+        deterministically from the stored rows (LSH re-hashes its tables
+        here); structures that do not (IVF's trained centroids) are restored
+        from their own snapshot arrays instead.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Snapshot protocol (see repro.index.snapshot)
+    # ------------------------------------------------------------------ #
+    snapshot_backend = "flat"
+
+    def _snapshot_params(self) -> Dict[str, object]:
+        return {
+            "dim": self._constructor_dim,
+            "dtype": self._dtype.name,
+            "initial_capacity": self._initial_capacity,
+            "chunk_size": self._chunk_size,
+        }
+
+    def _snapshot_state(self) -> Dict[str, object]:
+        return {"dim": self._dim, "next_id": self._next_id}
+
+    def _snapshot_arrays(self) -> Dict[str, np.ndarray]:
+        n = self._size
+        d = self._dim or 0
+        if self._matrix is None:
+            return {
+                "matrix": np.zeros((0, d), dtype=self._dtype),
+                "norms": np.zeros(0, dtype=self._dtype),
+                "ids": np.zeros(0, dtype=np.int64),
+            }
+        return {
+            "matrix": self._matrix[:n],
+            "norms": self._norms[:n],
+            "ids": self._ids[:n],
+        }
+
+    def _restore(
+        self, state: Mapping[str, object], arrays: Mapping[str, np.ndarray]
+    ) -> None:
+        self.clear(reset_ids=True)
+        ids = np.asarray(arrays["ids"], dtype=np.int64)
+        n = int(ids.shape[0])
+        if state["dim"] is not None:
+            self._dim = int(state["dim"])
+        if n:
+            self._ensure_capacity(n)
+            # Snapshots store the storage dtype, so these copies are
+            # bit-exact round-trips.
+            self._matrix[:n] = np.asarray(arrays["matrix"], dtype=self._dtype)
+            self._norms[:n] = np.asarray(arrays["norms"], dtype=self._dtype)
+            self._ids[:n] = ids
+            self._id_to_row = {int(i): r for r, i in enumerate(ids.tolist())}
+            self._size = n
+        self._next_id = int(state["next_id"])
+        self._post_restore()
 
     # ------------------------------------------------------------------ #
     # Search

@@ -39,16 +39,50 @@ missed.  Raise ``nprobe`` (recall) or lower it (throughput);
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
 from repro.index.base import IndexHit
 from repro.index.flat import _MIN_CAPACITY, FlatIndex
-from repro.index.postings import Postings, RowMap, topk_hits
+from repro.index.postings import Postings, RowMap, build_inverted_lists, topk_hits
 
 # Rows per assignment-matmul block: bounds the (block × nlist) score matrix.
 _ASSIGN_BLOCK_ELEMS = 4_194_304
+
+
+def spherical_kmeans(
+    sample: np.ndarray,
+    nlist: int,
+    iters: int,
+    rng: np.random.Generator,
+    dtype: np.dtype = np.float32,
+) -> np.ndarray:
+    """Spherical k-means: unit-norm centroids, max-dot assignment.
+
+    The coarse-quantizer trainer shared by :class:`IVFIndex` and the routed
+    quantized backends (``repro.index.quantized``), so centroid-training
+    behaviour (init, dead-cell reseeding, re-normalization) cannot drift
+    between them.  Dead cells re-seed onto random sample points.
+    """
+    n = sample.shape[0]
+    nlist = min(nlist, n)
+    init = rng.choice(n, size=nlist, replace=False)
+    centroids = sample[init].astype(np.float64)
+    sample64 = sample.astype(np.float64)
+    for _ in range(iters):
+        assign = np.argmax(sample64 @ centroids.T, axis=1)
+        sums = np.zeros_like(centroids)
+        np.add.at(sums, assign, sample64)
+        counts = np.bincount(assign, minlength=nlist)
+        empty = counts == 0
+        if empty.any():
+            sums[empty] = sample64[rng.choice(n, size=int(empty.sum()))]
+            counts[empty] = 1
+        centroids = sums / counts[:, None]
+        norms = np.linalg.norm(centroids, axis=1, keepdims=True)
+        centroids /= np.where(norms > 1e-12, norms, 1.0)
+    return np.ascontiguousarray(centroids, dtype=dtype)
 
 
 class IVFIndex(FlatIndex):
@@ -184,25 +218,10 @@ class IVFIndex(FlatIndex):
         return out
 
     def _kmeans(self, sample: np.ndarray, nlist: int) -> np.ndarray:
-        """Spherical k-means: unit-norm centroids, max-dot assignment."""
-        n = sample.shape[0]
-        init = self._rng.choice(n, size=nlist, replace=False)
-        centroids = sample[init].astype(np.float64)
-        sample64 = sample.astype(np.float64)
-        for _ in range(self._kmeans_iters):
-            assign = np.argmax(sample64 @ centroids.T, axis=1)
-            sums = np.zeros_like(centroids)
-            np.add.at(sums, assign, sample64)
-            counts = np.bincount(assign, minlength=nlist)
-            empty = counts == 0
-            if empty.any():
-                # Re-seed dead cells onto random sample points.
-                sums[empty] = sample64[self._rng.choice(n, size=int(empty.sum()))]
-                counts[empty] = 1
-            centroids = sums / counts[:, None]
-            norms = np.linalg.norm(centroids, axis=1, keepdims=True)
-            centroids /= np.where(norms > 1e-12, norms, 1.0)
-        return np.ascontiguousarray(centroids, dtype=self._dtype)
+        """Spherical k-means via the shared trainer, in the storage dtype."""
+        return spherical_kmeans(
+            sample, nlist, self._kmeans_iters, self._rng, dtype=self._dtype
+        )
 
     def _train(self) -> None:
         """(Re)fit centroids on the live rows and rebuild every inverted list."""
@@ -216,16 +235,9 @@ class IVFIndex(FlatIndex):
         nlist = max(1, min(nlist, sample.shape[0]))
         self._centroids = self._kmeans(sample, nlist)
         assign = self._assign(rows)
-        self._lists = [Postings() for _ in range(nlist)]
-        order = np.argsort(assign, kind="stable")
-        sorted_ids = self._ids[:size][order]
-        sorted_assign = assign[order]
-        cells = np.arange(nlist)
-        starts = np.searchsorted(sorted_assign, cells, side="left")
-        ends = np.searchsorted(sorted_assign, cells, side="right")
-        for li in range(nlist):
-            self._lists[li].extend(sorted_ids[starts[li] : ends[li]])
-        self._list_of = dict(zip(self._ids[:size].tolist(), assign.tolist()))
+        self._lists, self._list_of = build_inverted_lists(
+            self._ids[:size], assign, nlist
+        )
         self._trained_size = size
         self._mutations_since_train = 0
 
@@ -271,6 +283,83 @@ class IVFIndex(FlatIndex):
         self._row_of.clear()
         self._trained_size = 0
         self._mutations_since_train = 0
+
+    # ------------------------------------------------------------------ #
+    # Snapshot protocol (see repro.index.snapshot)
+    # ------------------------------------------------------------------ #
+    snapshot_backend = "ivf"
+
+    def _snapshot_params(self) -> Dict[str, object]:
+        params = super()._snapshot_params()
+        params.update(
+            {
+                "nlist": self._nlist_config,
+                "nprobe": self._nprobe,
+                "min_train_size": self._min_train_size,
+                "train_sample": self._train_sample,
+                "kmeans_iters": self._kmeans_iters,
+                "repartition_growth": self._repartition_growth,
+                "seed": self._seed,
+            }
+        )
+        return params
+
+    def _snapshot_state(self) -> Dict[str, object]:
+        state = super()._snapshot_state()
+        state.update(
+            {
+                "trained_size": self._trained_size,
+                "mutations_since_train": self._mutations_since_train,
+                "rng_state": self._rng.bit_generator.state,
+            }
+        )
+        return state
+
+    def _snapshot_arrays(self) -> Dict[str, np.ndarray]:
+        arrays = super()._snapshot_arrays()
+        if self._centroids is not None:
+            arrays["centroids"] = self._centroids
+            # Cell per live row: the inverted lists and list_of rebuild from
+            # this without re-running (rng-consuming) k-means on load.  A
+            # trained index drained to empty and reloaded has no id column
+            # allocated at all.
+            live_ids = (
+                self._ids[: self._size]
+                if self._ids is not None
+                else np.zeros(0, np.int64)
+            )
+            arrays["assign"] = np.asarray(
+                [self._list_of[int(i)] for i in live_ids], dtype=np.int64
+            )
+        return arrays
+
+    def _post_restore(self) -> None:
+        if self._size:
+            self._row_of.set_block(self._ids[: self._size].copy(), 0)
+
+    def _restore(
+        self, state: Mapping[str, object], arrays: Mapping[str, np.ndarray]
+    ) -> None:
+        super()._restore(state, arrays)
+        if "centroids" in arrays:
+            self._centroids = np.ascontiguousarray(
+                arrays["centroids"], dtype=self._dtype
+            )
+            assign = np.asarray(arrays["assign"], dtype=np.int64)
+            # Use the snapshot's id column, not self._ids — a trained index
+            # drained to empty restores with no storage allocated at all.
+            self._lists, self._list_of = build_inverted_lists(
+                np.asarray(arrays["ids"], dtype=np.int64),
+                assign,
+                self._centroids.shape[0],
+            )
+        self._trained_size = int(state["trained_size"])
+        self._mutations_since_train = int(state["mutations_since_train"])
+        rng_state = state.get("rng_state")
+        if rng_state is not None:
+            rng = np.random.default_rng(self._seed)
+            rng.bit_generator.state = rng_state
+            self._rng = rng
 
     # ------------------------------------------------------------------ #
     # Search

@@ -203,6 +203,30 @@ class LSHIndex(FlatIndex):
             self._planes = None
 
     # ------------------------------------------------------------------ #
+    # Snapshot protocol (see repro.index.snapshot)
+    # ------------------------------------------------------------------ #
+    # Only the flat storage is serialized: the hyperplanes derive from
+    # ``seed`` and bucket keys are computed from the stored storage-dtype
+    # rows, so re-hashing on restore rebuilds byte-identical tables.
+    snapshot_backend = "lsh"
+
+    def _snapshot_params(self) -> "Dict[str, object]":
+        params = super()._snapshot_params()
+        params.update(
+            {
+                "n_tables": self._n_tables,
+                "n_bits": self._n_bits,
+                "multiprobe": self._multiprobe,
+                "seed": self._seed,
+            }
+        )
+        return params
+
+    def _post_restore(self) -> None:
+        if self._size:
+            self._post_add(self._ids[: self._size].copy(), 0)
+
+    # ------------------------------------------------------------------ #
     # Search
     # ------------------------------------------------------------------ #
     def _candidates(self, probe_keys: List[List[int]]) -> Optional[np.ndarray]:

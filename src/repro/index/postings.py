@@ -231,6 +231,28 @@ class RowMap:
         self._live = 0
 
 
+def build_inverted_lists(
+    ids: np.ndarray, assign: np.ndarray, nlist: int
+) -> "tuple[List[Postings], dict]":
+    """Build per-cell inverted lists from a cell assignment, vectorized.
+
+    ``ids[i]`` belongs to cell ``assign[i]``.  Returns the ``nlist``
+    :class:`Postings` plus the ``id -> cell`` dict the owning index keeps
+    for O(1) removal.  Shared by IVF training/restore and the routed
+    quantized backends so the rebuild logic cannot drift between them.
+    """
+    lists = [Postings() for _ in range(nlist)]
+    order = np.argsort(assign, kind="stable")
+    sorted_ids = ids[order]
+    sorted_assign = assign[order]
+    cells = np.arange(nlist)
+    starts = np.searchsorted(sorted_assign, cells, side="left")
+    ends = np.searchsorted(sorted_assign, cells, side="right")
+    for li in range(nlist):
+        lists[li].extend(sorted_ids[starts[li] : ends[li]])
+    return lists, dict(zip(ids.tolist(), assign.tolist()))
+
+
 def topk_hits(
     candidate_ids: np.ndarray,
     scores: np.ndarray,

@@ -1,0 +1,1084 @@
+"""Quantized storage backends: int8 scalar quantization and product quantization.
+
+The exact backends keep every embedding as ``d`` float32 values; at the
+paper's fleet scale (millions of per-device caches) the embedding matrix is
+the cache's dominant memory cost.  The two backends here trade a small amount
+of score precision for a 3.5–10x smaller per-entry footprint:
+
+* :class:`SQ8Index` — per-dimension affine **scalar quantization** to one
+  uint8 code per dimension.  Ranges are learned per dimension from the first
+  ``min_train_size`` vectors (the train set), so the 256 levels cover the
+  span the data actually occupies rather than the theoretical [-1, 1] of a
+  unit vector.  Scoring is asymmetric: the query stays float32 and is scored
+  against the dequantized corpus chunk-by-chunk, so no query-side precision
+  is lost.
+* :class:`PQIndex` — **product quantization** (Jégou et al., PAMI 2011): the
+  vector is split into ``m`` subspaces, each quantized to the id of its
+  nearest per-subspace k-means centroid (one uint8 each).  A query is scored
+  with ADC (asymmetric distance computation): one ``(m, ksub)`` lookup table
+  of query-sub-vector × centroid dot products per query, after which each
+  stored vector's score is ``m`` table lookups — no per-entry float math.
+
+Both backends share the flat storage discipline (contiguous code matrix,
+amortized-O(1) appends via capacity doubling, O(code_width) swap-with-last
+deletes, id-centric API) and train lazily like :class:`~repro.index.IVFIndex`:
+below ``min_train_size`` vectors are staged in float32 and searched exactly;
+the first add reaching the threshold trains the quantizer, encodes the
+staged rows and drops the float staging buffer.  The quantizer is trained
+once and then frozen (the standard faiss contract); ``clear``/``rebuild``
+reset it.
+
+Optional **exact re-ranking**: with ``rescore > 1`` a search first selects
+``top_k · rescore`` candidates by the fast quantized scores, then recomputes
+those candidates' scores in float64 against the dequantized codes and ranks
+the final ``top_k`` from that — tightening the ordering at a per-query cost
+proportional to ``top_k · rescore`` instead of ``n``.
+
+Optional **IVF routing** (``routed=True``, registered as ``"ivf+sq8"`` /
+``"ivf+pq"``): the same spherical-k-means coarse quantizer as
+:class:`~repro.index.IVFIndex` is trained alongside the codec, so a query
+scans only the ``nprobe`` nearest cells' codes — compounding the memory win
+with sublinear lookups.  Routing retrains (from the *dequantized* rows — the
+float originals are gone by design) when size or churn since the last
+training passes ``repartition_growth ×`` the trained size; the codec itself
+stays frozen.
+
+Determinism: training-sample selection, k-means init and re-seeding all
+derive from ``seed``, so a given operation sequence reproduces bit-identical
+codes, lists and scores.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.index.base import IndexHit, VectorIndex
+from repro.index.flat import _MIN_CAPACITY
+from repro.index.flat import normalize_rows as _normalize_rows
+from repro.index.ivf import spherical_kmeans as _spherical_kmeans
+from repro.index.postings import Postings, RowMap, build_inverted_lists, topk_hits
+
+# Rows per encode/assignment block: bounds the temporary float matrices.
+_ENCODE_BLOCK = 16384
+
+
+def _lloyd_kmeans(
+    X: np.ndarray, k: int, iters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Plain (euclidean) Lloyd k-means; dead cells re-seed on sample points.
+
+    The update step accumulates per-cluster sums with one ``np.bincount``
+    per (low-dimensional) column — the subspaces PQ trains on have a handful
+    of dimensions, where this is an order of magnitude faster than a
+    scatter-add over the whole sample.
+    """
+    n, p = X.shape
+    k = min(k, n)
+    if p == 1:
+        # Scalar case: quantile init is near the optimal (Lloyd–Max)
+        # quantizer already, where random init needs many iterations to
+        # spread 256 centroids over one dimension.
+        qs = (np.arange(k, dtype=np.float64) + 0.5) / k
+        centroids = np.quantile(X[:, 0], qs).reshape(-1, 1)
+    else:
+        init = rng.choice(n, size=k, replace=False)
+        centroids = X[init].astype(np.float64)
+    for _ in range(iters):
+        if p == 1:
+            # Sorted 1-d centroids: nearest is a bisection on the midpoints
+            # (the update below keeps them sorted), not a distance matrix.
+            c = np.sort(centroids[:, 0])
+            centroids = c.reshape(-1, 1)
+            assign = np.searchsorted((c[1:] + c[:-1]) / 2.0, X[:, 0])
+        else:
+            d2 = -2.0 * (X @ centroids.T) + np.einsum("ij,ij->i", centroids, centroids)
+            assign = np.argmin(d2, axis=1)
+        counts = np.bincount(assign, minlength=k)
+        sums = np.empty_like(centroids)
+        for j in range(p):
+            sums[:, j] = np.bincount(assign, weights=X[:, j], minlength=k)
+        empty = counts == 0
+        if empty.any():
+            sums[empty] = X[rng.choice(n, size=int(empty.sum()))]
+            counts[empty] = 1
+        centroids = sums / counts[:, None]
+    return centroids
+
+
+# --------------------------------------------------------------------------- #
+# Codecs
+# --------------------------------------------------------------------------- #
+class ScalarQuantizer:
+    """Per-dimension affine uint8 codec: ``x ≈ offset + scale · code``."""
+
+    def __init__(self) -> None:
+        self.offset: Optional[np.ndarray] = None  # (d,) float32, per-dim min
+        self.scale: Optional[np.ndarray] = None  # (d,) float32, (max-min)/255
+
+    @property
+    def is_trained(self) -> bool:
+        return self.scale is not None
+
+    def reset(self) -> None:
+        self.offset = None
+        self.scale = None
+
+    def validate_dim(self, dim: int) -> None:
+        """Any dimensionality quantizes; nothing to check."""
+
+    def code_width(self, dim: int) -> int:
+        """Bytes per stored vector: one uint8 code per dimension."""
+        return int(dim)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the trained codec tables (scale + offset)."""
+        if self.scale is None:
+            return 0
+        return int(self.scale.nbytes + self.offset.nbytes)
+
+    def train(self, rows: np.ndarray, rng: np.random.Generator) -> None:
+        """Fit per-dimension [min, max] ranges on the training rows."""
+        X = np.asarray(rows, dtype=np.float64)
+        lo = X.min(axis=0)
+        span = X.max(axis=0) - lo
+        # A constant dimension still round-trips exactly through code 0.
+        span[span < 1e-9] = 1e-9
+        self.offset = lo.astype(np.float32)
+        self.scale = (span / 255.0).astype(np.float32)
+
+    def encode(self, rows: np.ndarray) -> np.ndarray:
+        """Quantize float rows to uint8 codes (values outside the range clip)."""
+        X = np.asarray(rows, dtype=np.float64)
+        q = np.rint((X - self.offset.astype(np.float64)) / self.scale.astype(np.float64))
+        return np.clip(q, 0, 255).astype(np.uint8)
+
+    def decode(self, codes: np.ndarray, dtype: np.dtype = np.float32) -> np.ndarray:
+        """Dequantize codes back to (approximate) float rows."""
+        return codes.astype(dtype) * self.scale.astype(dtype) + self.offset.astype(dtype)
+
+    def scores(self, queries: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """Asymmetric float32-query × uint8-corpus dot products, ``(q, n)``.
+
+        Uses the affine identity ``q · (offset + scale·c) =
+        q·offset + (q·scale) · c`` so the per-chunk work is one cast of the
+        codes plus one matmul.
+        """
+        scaled_q = queries * self.scale[None, :]
+        return scaled_q @ codes.astype(np.float32).T + (queries @ self.offset)[:, None]
+
+    def snapshot_arrays(self) -> Dict[str, np.ndarray]:
+        """Codec tables for the index snapshot (empty while untrained)."""
+        if self.scale is None:
+            return {}
+        return {"sq8_scale": self.scale, "sq8_offset": self.offset}
+
+    def restore_arrays(self, arrays: Mapping[str, np.ndarray]) -> None:
+        """Reinstate codec tables from a snapshot."""
+        self.scale = np.asarray(arrays["sq8_scale"], dtype=np.float32)
+        self.offset = np.asarray(arrays["sq8_offset"], dtype=np.float32)
+
+
+class ProductQuantizer:
+    """Per-subspace k-means codec: ``m`` uint8 centroid ids per vector."""
+
+    def __init__(self, m: int = 16, ksub: int = 256, kmeans_iters: int = 10) -> None:
+        if m < 1:
+            raise ValueError("m must be >= 1")
+        if not 2 <= ksub <= 256:
+            raise ValueError("ksub must be in [2, 256] (codes are uint8)")
+        if kmeans_iters < 1:
+            raise ValueError("kmeans_iters must be >= 1")
+        self.m = int(m)
+        self.ksub = int(ksub)
+        self.kmeans_iters = int(kmeans_iters)
+        self.codebooks: Optional[np.ndarray] = None  # (m, ksub_eff, dsub) f32
+        self.dsub: Optional[int] = None
+
+    @property
+    def is_trained(self) -> bool:
+        return self.codebooks is not None
+
+    def reset(self) -> None:
+        self.codebooks = None
+        self.dsub = None
+
+    def validate_dim(self, dim: int) -> None:
+        """The subspace split must tile the vector exactly."""
+        if dim % self.m != 0:
+            raise ValueError(
+                f"vector dim {dim} is not divisible by m={self.m} subspaces"
+            )
+
+    def code_width(self, dim: int) -> int:
+        """Bytes per stored vector: one uint8 centroid id per subspace."""
+        return self.m
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the trained codebooks."""
+        return 0 if self.codebooks is None else int(self.codebooks.nbytes)
+
+    def train(self, rows: np.ndarray, rng: np.random.Generator) -> None:
+        """Fit one k-means codebook per subspace on the training rows."""
+        X = np.asarray(rows, dtype=np.float64)
+        n, d = X.shape
+        self.validate_dim(d)
+        self.dsub = d // self.m
+        ksub = min(self.ksub, n)
+        books = np.empty((self.m, ksub, self.dsub), dtype=np.float32)
+        for j in range(self.m):
+            sub = X[:, j * self.dsub : (j + 1) * self.dsub]
+            book = _lloyd_kmeans(sub, ksub, self.kmeans_iters, rng)
+            if self.dsub == 1:
+                # Sorted scalar codebooks let encode() assign by bisection.
+                book = np.sort(book, axis=0)
+            books[j] = book
+        self.codebooks = books
+
+    def encode(self, rows: np.ndarray) -> np.ndarray:
+        """Assign each sub-vector to its nearest centroid (blocked, float32)."""
+        X = np.ascontiguousarray(np.atleast_2d(rows), dtype=np.float32)
+        n = X.shape[0]
+        codes = np.empty((n, self.m), dtype=np.uint8)
+        if self.dsub == 1:
+            # Scalar subspaces: nearest sorted centroid via bisection on the
+            # midpoints — O(n log ksub) instead of an (n, ksub) distance
+            # matrix per subspace.
+            for j in range(self.m):
+                cb = self.codebooks[j][:, 0]
+                mids = (cb[1:] + cb[:-1]) / 2.0
+                codes[:, j] = np.searchsorted(mids, X[:, j])
+            return codes
+        cb_norms = np.einsum("mkd,mkd->mk", self.codebooks, self.codebooks)
+        for start in range(0, n, _ENCODE_BLOCK):
+            block = X[start : start + _ENCODE_BLOCK]
+            for j in range(self.m):
+                sub = block[:, j * self.dsub : (j + 1) * self.dsub]
+                d2 = cb_norms[j][None, :] - 2.0 * (sub @ self.codebooks[j].T)
+                codes[start : start + block.shape[0], j] = np.argmin(d2, axis=1)
+        return codes
+
+    def decode(self, codes: np.ndarray, dtype: np.dtype = np.float32) -> np.ndarray:
+        """Reconstruct (approximate) float rows from centroid ids."""
+        n = codes.shape[0]
+        out = np.empty((n, self.m * self.dsub), dtype=dtype)
+        for j in range(self.m):
+            out[:, j * self.dsub : (j + 1) * self.dsub] = self.codebooks[j][
+                codes[:, j]
+            ].astype(dtype)
+        return out
+
+    def scores(self, queries: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """ADC scores ``(q, n)``: per-subspace LUT build plus gather-adds."""
+        q = queries.shape[0]
+        n = codes.shape[0]
+        out = np.zeros((q, n), dtype=np.float32)
+        for j in range(self.m):
+            lut = queries[:, j * self.dsub : (j + 1) * self.dsub] @ self.codebooks[j].T
+            out += lut[:, codes[:, j]]
+        return out
+
+    def snapshot_arrays(self) -> Dict[str, np.ndarray]:
+        """Codec tables for the index snapshot (empty while untrained)."""
+        if self.codebooks is None:
+            return {}
+        return {"pq_codebooks": self.codebooks}
+
+    def restore_arrays(self, arrays: Mapping[str, np.ndarray]) -> None:
+        """Reinstate codebooks from a snapshot."""
+        self.codebooks = np.asarray(arrays["pq_codebooks"], dtype=np.float32)
+        self.dsub = int(self.codebooks.shape[2])
+
+
+# --------------------------------------------------------------------------- #
+# The quantized index
+# --------------------------------------------------------------------------- #
+class QuantizedIndex(VectorIndex):
+    """Shared storage + search machinery of the quantized backends.
+
+    Not registered directly; use :class:`SQ8Index` / :class:`PQIndex` (or the
+    registry names ``"sq8"``, ``"pq"``, ``"ivf+sq8"``, ``"ivf+pq"``).
+    """
+
+    def __init__(
+        self,
+        quantizer,
+        dim: Optional[int] = None,
+        initial_capacity: int = _MIN_CAPACITY,
+        chunk_size: int = 65536,
+        min_train_size: int = 256,
+        train_sample: int = 32768,
+        rescore: int = 2,
+        routed: bool = False,
+        nlist: Optional[int] = None,
+        nprobe: int = 8,
+        kmeans_iters: int = 8,
+        repartition_growth: float = 2.0,
+        seed: int = 0,
+    ) -> None:
+        if dim is not None and dim < 1:
+            raise ValueError("dim must be >= 1")
+        if initial_capacity < 1:
+            raise ValueError("initial_capacity must be >= 1")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if min_train_size < 2:
+            raise ValueError("min_train_size must be >= 2")
+        if train_sample < 2:
+            raise ValueError("train_sample must be >= 2")
+        if rescore < 1:
+            raise ValueError("rescore must be >= 1")
+        if nlist is not None and nlist < 1:
+            raise ValueError("nlist must be >= 1")
+        if nprobe < 1:
+            raise ValueError("nprobe must be >= 1")
+        if kmeans_iters < 1:
+            raise ValueError("kmeans_iters must be >= 1")
+        if repartition_growth <= 1.0:
+            raise ValueError("repartition_growth must be > 1")
+        if dim is not None:
+            quantizer.validate_dim(int(dim))
+        self._quantizer = quantizer
+        self._dim = dim
+        self._constructor_dim = dim
+        self._initial_capacity = max(int(initial_capacity), 1)
+        self._chunk_size = int(chunk_size)
+        self._min_train_size = int(min_train_size)
+        self._train_sample = int(train_sample)
+        self._rescore = int(rescore)
+        self._routed = bool(routed)
+        self._nlist_config = nlist
+        self._nprobe = int(nprobe)
+        self._kmeans_iters = int(kmeans_iters)
+        self._repartition_growth = float(repartition_growth)
+        self._seed = int(seed)
+        self._rng = np.random.default_rng(seed)
+        self._size = 0
+        self._next_id = 0
+        self._staging: Optional[np.ndarray] = None  # (capacity, d) f32 unit rows
+        self._codes: Optional[np.ndarray] = None  # (capacity, code_width) uint8
+        self._norms: Optional[np.ndarray] = None  # (capacity,) f32 original norms
+        self._ids: Optional[np.ndarray] = None  # (capacity,) int64
+        self._id_to_row: Dict[int, int] = {}
+        self._row_of = RowMap()
+        self._centroids: Optional[np.ndarray] = None  # (nlist, d) f32 unit rows
+        self._lists: List[Postings] = []
+        self._list_of: Dict[int, int] = {}
+        self._trained_size = 0
+        self._mutations_since_train = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def dim(self) -> Optional[int]:
+        return self._dim
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether the codec exists (False → exact float32 staging scans)."""
+        return self._quantizer.is_trained
+
+    @property
+    def routed(self) -> bool:
+        """Whether IVF coarse routing is enabled for this instance."""
+        return self._routed
+
+    @property
+    def code_width(self) -> Optional[int]:
+        """Bytes of quantized payload per stored vector (None while unset)."""
+        if self._dim is None:
+            return None
+        return int(self._quantizer.code_width(self._dim))
+
+    @property
+    def rescore(self) -> int:
+        """Exact-rescore multiplier R (top-k·R candidates re-ranked in f64)."""
+        return self._rescore
+
+    @property
+    def nlist(self) -> int:
+        """Routing cells (0 while unrouted or untrained)."""
+        return 0 if self._centroids is None else int(self._centroids.shape[0])
+
+    @property
+    def nprobe(self) -> int:
+        """Cells probed per query when routed."""
+        return self._nprobe
+
+    @nprobe.setter
+    def nprobe(self, value: int) -> None:
+        if int(value) < 1:
+            raise ValueError("nprobe must be >= 1")
+        self._nprobe = int(value)
+
+    @property
+    def ids(self) -> List[int]:
+        return [] if self._ids is None else [int(i) for i in self._ids[: self._size]]
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the live rows: codes (or float staging) + norms + ids.
+
+        After training this is ``len(self) * (code_width + 4 + 8)`` — the
+        quantized payload plus the float32 norm and int64 id columns.  The
+        codec tables and routing structures are fixed overheads, reported
+        separately by :attr:`codec_nbytes` / :attr:`routing_nbytes`.
+        """
+        if self._size == 0:
+            return 0
+        payload = self._codes if self._codes is not None else self._staging
+        return int(
+            payload[: self._size].nbytes
+            + self._norms[: self._size].nbytes
+            + self._ids[: self._size].nbytes
+        )
+
+    @property
+    def allocated_nbytes(self) -> int:
+        """Bytes actually allocated (capacity rows, not just live ones)."""
+        payload = self._codes if self._codes is not None else self._staging
+        if payload is None:
+            return 0
+        return int(payload.nbytes + self._norms.nbytes + self._ids.nbytes)
+
+    @property
+    def codec_nbytes(self) -> int:
+        """Bytes of the trained codec tables (scale/offset or codebooks)."""
+        return int(self._quantizer.nbytes)
+
+    @property
+    def routing_nbytes(self) -> int:
+        """Bytes of the routing structures (centroids + lists + row map)."""
+        total = self._row_of.nbytes + sum(p.nbytes for p in self._lists)
+        if self._centroids is not None:
+            total += int(self._centroids.nbytes)
+        return int(total)
+
+    def __contains__(self, id: int) -> bool:
+        return int(id) in self._id_to_row
+
+    def get(self, id: int) -> np.ndarray:
+        """The stored vector for ``id``.
+
+        Exact while the index is untrained (float staging); after training
+        the reconstruction is the dequantized code times the cached norm —
+        approximate by design.
+        """
+        row = self._id_to_row.get(int(id))
+        if row is None:
+            raise KeyError(f"no vector with id {id}")
+        if self._codes is not None:
+            unit = self._quantizer.decode(
+                self._codes[row : row + 1], dtype=np.float64
+            )[0]
+        else:
+            unit = np.asarray(self._staging[row], dtype=np.float64)
+        return unit * float(self._norms[row])
+
+    # ------------------------------------------------------------------ #
+    # Capacity / dim
+    # ------------------------------------------------------------------ #
+    def _check_dim(self, d: int) -> None:
+        if self._dim is None:
+            self._quantizer.validate_dim(int(d))
+            self._dim = int(d)
+        elif d != self._dim:
+            raise ValueError(f"vector dim {d} does not match index dim {self._dim}")
+
+    def _ensure_capacity(self, extra: int) -> None:
+        needed = self._size + extra
+        if self._norms is None:
+            capacity = max(self._initial_capacity, needed)
+            if self._quantizer.is_trained:
+                self._codes = np.empty(
+                    (capacity, self._quantizer.code_width(self._dim)), dtype=np.uint8
+                )
+            else:
+                self._staging = np.empty((capacity, self._dim), dtype=np.float32)
+            self._norms = np.empty(capacity, dtype=np.float32)
+            self._ids = np.empty(capacity, dtype=np.int64)
+            return
+        capacity = self._norms.shape[0]
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        payload = self._codes if self._codes is not None else self._staging
+        grown = np.empty((capacity, payload.shape[1]), dtype=payload.dtype)
+        grown[: self._size] = payload[: self._size]
+        if self._codes is not None:
+            self._codes = grown
+        else:
+            self._staging = grown
+        grown_norms = np.empty(capacity, dtype=np.float32)
+        grown_norms[: self._size] = self._norms[: self._size]
+        self._norms = grown_norms
+        grown_ids = np.empty(capacity, dtype=np.int64)
+        grown_ids[: self._size] = self._ids[: self._size]
+        self._ids = grown_ids
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def _training_sample(self, rows: np.ndarray) -> np.ndarray:
+        if rows.shape[0] > self._train_sample:
+            pick = self._rng.choice(rows.shape[0], size=self._train_sample, replace=False)
+            return rows[pick]
+        return rows
+
+    def _train(self) -> None:
+        """Train codec (once) + routing on the staged rows, encode, drop staging."""
+        rows = self._staging[: self._size]
+        sample = self._training_sample(rows)
+        self._quantizer.train(sample, self._rng)
+        capacity = self._staging.shape[0]
+        self._codes = np.empty(
+            (capacity, self._quantizer.code_width(self._dim)), dtype=np.uint8
+        )
+        for start in range(0, self._size, _ENCODE_BLOCK):
+            block = rows[start : start + _ENCODE_BLOCK]
+            self._codes[start : start + block.shape[0]] = self._quantizer.encode(block)
+        if self._routed:
+            self._train_routing(rows, sample)
+        self._staging = None
+        self._trained_size = self._size
+        self._mutations_since_train = 0
+
+    def _train_routing(self, rows: np.ndarray, sample: np.ndarray) -> None:
+        """(Re)fit the coarse centroids and rebuild every inverted list."""
+        size = self._size
+        nlist = self._nlist_config or 4 * int(math.ceil(math.sqrt(size)))
+        nlist = max(1, min(nlist, sample.shape[0]))
+        self._centroids = _spherical_kmeans(
+            sample, nlist, self._kmeans_iters, self._rng
+        )
+        assign = np.argmax(rows.astype(np.float32) @ self._centroids.T, axis=1)
+        self._lists, self._list_of = build_inverted_lists(
+            self._ids[:size], assign, self._centroids.shape[0]
+        )
+
+    def _retrain_routing(self) -> None:
+        """Re-partition from the dequantized rows (the floats are gone)."""
+        rows = np.empty((self._size, self._dim), dtype=np.float32)
+        for start in range(0, self._size, _ENCODE_BLOCK):
+            chunk = self._codes[start : min(start + _ENCODE_BLOCK, self._size)]
+            rows[start : start + chunk.shape[0]] = self._quantizer.decode(chunk)
+        self._train_routing(rows, self._training_sample(rows))
+        self._trained_size = self._size
+        self._mutations_since_train = 0
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, vector: np.ndarray, id: Optional[int] = None) -> int:
+        vector = np.asarray(vector, dtype=np.float64).reshape(-1)
+        self._check_dim(vector.shape[0])
+        if id is None:
+            id = self._next_id
+        id = int(id)
+        if id in self._id_to_row:
+            raise ValueError(f"id {id} is already in the index")
+        self._next_id = max(self._next_id, id + 1)
+        self._ensure_capacity(1)
+        unit, norms = _normalize_rows(vector)
+        row = self._size
+        if self._quantizer.is_trained:
+            self._codes[row] = self._quantizer.encode(unit)[0]
+        else:
+            self._staging[row] = unit[0]
+        self._norms[row] = norms[0]
+        self._ids[row] = id
+        self._id_to_row[id] = row
+        self._size += 1
+        self._after_add(np.asarray([id], dtype=np.int64), row, unit)
+        return id
+
+    def add_batch(
+        self, vectors: np.ndarray, ids: Optional[Sequence[int]] = None
+    ) -> List[int]:
+        V = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if V.size == 0:
+            return []
+        self._check_dim(V.shape[1])
+        n = V.shape[0]
+        if ids is None:
+            ids = list(range(self._next_id, self._next_id + n))
+        else:
+            ids = [int(i) for i in ids]
+            if len(ids) != n:
+                raise ValueError("ids must align with vectors")
+            if len(set(ids)) != n:
+                raise ValueError("ids must be unique")
+            for i in ids:
+                if i in self._id_to_row:
+                    raise ValueError(f"id {i} is already in the index")
+        self._ensure_capacity(n)
+        unit, norms = _normalize_rows(V)
+        start = self._size
+        if self._quantizer.is_trained:
+            self._codes[start : start + n] = self._quantizer.encode(unit)
+        else:
+            self._staging[start : start + n] = unit
+        self._norms[start : start + n] = norms
+        self._ids[start : start + n] = ids
+        for offset, i in enumerate(ids):
+            self._id_to_row[i] = start + offset
+        self._size += n
+        self._next_id = max(self._next_id, max(ids) + 1)
+        self._after_add(np.asarray(ids, dtype=np.int64), start, unit)
+        return list(ids)
+
+    # NOTE: the incremental routing maintenance below (assign-on-add,
+    # list-discard + RowMap compaction on remove, growth/churn repartition
+    # trigger) deliberately parallels IVFIndex._post_add/_post_remove in
+    # ivf.py — the storage models differ (codes vs float rows), but a change
+    # to the threshold or compaction rule there almost certainly applies
+    # here too.  The list-rebuild itself is shared (build_inverted_lists).
+    def _after_add(self, ids: np.ndarray, start_row: int, unit_rows: np.ndarray) -> None:
+        if self._routed:
+            self._row_of.set_block(ids, start_row)
+        if not self._quantizer.is_trained:
+            if self._size >= self._min_train_size:
+                self._train()
+            return
+        if self._routed and self._centroids is not None:
+            assign = np.argmax(
+                unit_rows.astype(np.float32) @ self._centroids.T, axis=1
+            )
+            for id, li in zip(ids.tolist(), assign.tolist()):
+                self._lists[li].append(id)
+                self._list_of[id] = li
+            self._mutations_since_train += ids.shape[0]
+            threshold = self._repartition_growth * self._trained_size
+            if self._size >= threshold or self._mutations_since_train >= threshold:
+                self._retrain_routing()
+
+    def remove(self, id: int) -> None:
+        id = int(id)
+        row = self._id_to_row.pop(id, None)
+        if row is None:
+            raise KeyError(f"no vector with id {id}")
+        payload = self._codes if self._codes is not None else self._staging
+        last = self._size - 1
+        moved_id: Optional[int] = None
+        if row != last:
+            payload[row] = payload[last]
+            self._norms[row] = self._norms[last]
+            moved_id = int(self._ids[last])
+            self._ids[row] = moved_id
+            self._id_to_row[moved_id] = row
+        self._size -= 1
+        if self._routed:
+            self._row_of.unset(id)
+            if moved_id is not None:
+                self._row_of.move(moved_id, row)
+            if self._row_of.compaction_due(self._size):
+                self._row_of.maybe_compact(self._ids[: self._size])
+            if self._centroids is not None:
+                li = self._list_of.pop(id)
+                self._lists[li].discard(id)
+                self._mutations_since_train += 1
+
+    def rebuild(self, vectors: np.ndarray, ids: Sequence[int]) -> None:
+        ids = [int(i) for i in ids]
+        V = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if not ids:
+            if V.size != 0:
+                raise ValueError("ids must align with vectors")
+            self.clear(reset_ids=False)
+            return
+        if V.shape[0] != len(ids):
+            raise ValueError("ids must align with vectors")
+        if self._constructor_dim is not None and V.shape[1] != self._constructor_dim:
+            raise ValueError(
+                f"vector dim {V.shape[1]} does not match index dim "
+                f"{self._constructor_dim}"
+            )
+        self.clear(reset_ids=False)
+        self._check_dim(int(V.shape[1]))
+        self.add_batch(V, ids=ids)
+
+    def clear(self, reset_ids: bool = True) -> None:
+        self._size = 0
+        self._staging = None
+        self._codes = None
+        self._norms = None
+        self._ids = None
+        self._id_to_row.clear()
+        self._quantizer.reset()
+        self._row_of.clear()
+        self._centroids = None
+        self._lists = []
+        self._list_of = {}
+        self._trained_size = 0
+        self._mutations_since_train = 0
+        self._dim = self._constructor_dim
+        if reset_ids:
+            self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    def _rank(
+        self,
+        cand_rows: np.ndarray,
+        cand_scores: np.ndarray,
+        query64: np.ndarray,
+        top_k: int,
+        score_threshold: Optional[float],
+    ) -> List[IndexHit]:
+        """Final ranking of one query's candidates, with optional rescore.
+
+        With ``rescore > 1`` the ``top_k·rescore`` best candidates by
+        quantized score are re-scored in float64 against the dequantized
+        codes before the final top-k cut.
+        """
+        n = cand_scores.shape[0]
+        if self._rescore > 1 and self._codes is not None:
+            keff = min(top_k * self._rescore, n)
+            if keff < n:
+                keep = np.argpartition(-cand_scores, kth=keff - 1)[:keff]
+                cand_rows = cand_rows[keep]
+                cand_scores = cand_scores[keep]
+            decoded = self._quantizer.decode(self._codes[cand_rows], dtype=np.float64)
+            cand_scores = decoded @ query64
+        return topk_hits(
+            self._ids[cand_rows], cand_scores, top_k, score_threshold
+        )
+
+    def search(
+        self,
+        queries: np.ndarray,
+        top_k: int = 5,
+        score_threshold: Optional[float] = None,
+    ) -> List[List[IndexHit]]:
+        """Batched top-k cosine search over the quantized rows.
+
+        Untrained: exact float32 scan of the staging buffer.  Trained,
+        unrouted: chunked quantized scoring of every code row.  Trained and
+        routed: the ``nprobe`` nearest cells' lists only.  Scores are cosine
+        similarities up to the codec's reconstruction error (see the module
+        docstring); ``score_threshold`` filters on those scores.
+        """
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        Q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        n_queries = Q.shape[0]
+        if self._size == 0:
+            return [[] for _ in range(n_queries)]
+        if Q.shape[1] != self._dim:
+            raise ValueError(f"query dim {Q.shape[1]} != index dim {self._dim}")
+        unit, _ = _normalize_rows(Q)
+        Qf = np.ascontiguousarray(unit, dtype=np.float32)
+
+        if not self._quantizer.is_trained:
+            # Staging phase is bounded by min_train_size: one matmul is fine.
+            scores = Qf @ self._staging[: self._size].T
+            return [
+                topk_hits(
+                    self._ids[: self._size], scores[qi], top_k, score_threshold
+                )
+                for qi in range(n_queries)
+            ]
+
+        if self._routed and self._centroids is not None:
+            return self._search_routed(Qf, unit, top_k, score_threshold)
+
+        # Flat quantized scan, chunked to bound the (q, chunk) score matrix.
+        keff = min(max(top_k * self._rescore, top_k), self._size)
+        chunk_rows: List[np.ndarray] = []
+        chunk_scores: List[np.ndarray] = []
+        for start in range(0, self._size, self._chunk_size):
+            stop = min(start + self._chunk_size, self._size)
+            S = self._quantizer.scores(Qf, self._codes[start:stop])
+            c = stop - start
+            kk = min(keff, c)
+            if kk < c:
+                idx = np.argpartition(-S, kth=kk - 1, axis=1)[:, :kk]
+                chunk_scores.append(np.take_along_axis(S, idx, axis=1))
+                chunk_rows.append(idx + start)
+            else:
+                chunk_scores.append(S)
+                chunk_rows.append(
+                    np.broadcast_to(np.arange(start, stop), (n_queries, c))
+                )
+        rows = np.concatenate(chunk_rows, axis=1)
+        scores = np.concatenate(chunk_scores, axis=1)
+        return [
+            self._rank(rows[qi], scores[qi], unit[qi], top_k, score_threshold)
+            for qi in range(n_queries)
+        ]
+
+    def _search_routed(
+        self,
+        Qf: np.ndarray,
+        unit64: np.ndarray,
+        top_k: int,
+        score_threshold: Optional[float],
+    ) -> List[List[IndexHit]]:
+        """Probe the ``nprobe`` nearest cells and rank their lists' codes."""
+        n_queries = Qf.shape[0]
+        nlist = self._centroids.shape[0]
+        nprobe = min(self._nprobe, nlist)
+        centroid_scores = Qf @ self._centroids.T
+        if nprobe < nlist:
+            probes = np.argpartition(-centroid_scores, kth=nprobe - 1, axis=1)[
+                :, :nprobe
+            ]
+        else:
+            probes = np.broadcast_to(np.arange(nlist), (n_queries, nlist))
+        results: List[List[IndexHit]] = []
+        for qi in range(n_queries):
+            chunks = [
+                self._lists[li].view() for li in probes[qi] if len(self._lists[li])
+            ]
+            if not chunks:
+                results.append([])
+                continue
+            cand_ids = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+            rows = self._row_of.rows(cand_ids)
+            scores = self._quantizer.scores(Qf[qi : qi + 1], self._codes[rows])[0]
+            results.append(
+                self._rank(rows, scores, unit64[qi], top_k, score_threshold)
+            )
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Snapshot protocol (see repro.index.snapshot)
+    # ------------------------------------------------------------------ #
+    @property
+    def snapshot_backend(self) -> Optional[str]:
+        # Concrete subclasses name their registered backend; the shared base
+        # is not registered, so per the VectorIndex contract it reports no
+        # snapshot support (save() then raises SnapshotError).
+        return None
+
+    def _snapshot_common_params(self) -> Dict[str, object]:
+        return {
+            "dim": self._constructor_dim,
+            "initial_capacity": self._initial_capacity,
+            "chunk_size": self._chunk_size,
+            "min_train_size": self._min_train_size,
+            "train_sample": self._train_sample,
+            "rescore": self._rescore,
+            "routed": self._routed,
+            "nlist": self._nlist_config,
+            "nprobe": self._nprobe,
+            "kmeans_iters": self._kmeans_iters,
+            "repartition_growth": self._repartition_growth,
+            "seed": self._seed,
+        }
+
+    def _snapshot_state(self) -> Dict[str, object]:
+        return {
+            "dim": self._dim,
+            "next_id": self._next_id,
+            "trained": bool(self._quantizer.is_trained),
+            "trained_size": self._trained_size,
+            "mutations_since_train": self._mutations_since_train,
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def _snapshot_arrays(self) -> Dict[str, np.ndarray]:
+        n = self._size
+        d = self._dim or 0
+        arrays: Dict[str, np.ndarray] = {
+            "ids": self._ids[:n] if self._ids is not None else np.zeros(0, np.int64),
+            "norms": (
+                self._norms[:n] if self._norms is not None else np.zeros(0, np.float32)
+            ),
+        }
+        if self._quantizer.is_trained:
+            # A trained index drained to empty (or loaded from such a
+            # snapshot) has no codes matrix allocated yet.
+            code_width = self._quantizer.code_width(self._dim) if self._dim else 0
+            arrays["codes"] = (
+                self._codes[:n]
+                if self._codes is not None
+                else np.zeros((0, code_width), dtype=np.uint8)
+            )
+            arrays.update(self._quantizer.snapshot_arrays())
+            if self._routed and self._centroids is not None:
+                arrays["rt_centroids"] = self._centroids
+                live_ids = (
+                    self._ids[:n] if self._ids is not None else np.zeros(0, np.int64)
+                )
+                arrays["rt_assign"] = np.asarray(
+                    [self._list_of[int(i)] for i in live_ids], dtype=np.int64
+                )
+        else:
+            arrays["staging"] = (
+                self._staging[:n]
+                if self._staging is not None
+                else np.zeros((0, d), np.float32)
+            )
+        return arrays
+
+    def _restore(self, state: Mapping[str, object], arrays: Mapping[str, np.ndarray]) -> None:
+        self.clear(reset_ids=True)
+        ids = np.asarray(arrays["ids"], dtype=np.int64)
+        norms = np.asarray(arrays["norms"], dtype=np.float32)
+        n = int(ids.shape[0])
+        if state["dim"] is not None:
+            self._quantizer.validate_dim(int(state["dim"]))
+            self._dim = int(state["dim"])
+        if bool(state["trained"]):
+            self._quantizer.restore_arrays(arrays)
+        if n:
+            self._ensure_capacity(n)
+            payload = self._codes if self._codes is not None else self._staging
+            source = arrays["codes"] if self._codes is not None else arrays["staging"]
+            payload[:n] = np.asarray(source, dtype=payload.dtype)
+            self._norms[:n] = norms
+            self._ids[:n] = ids
+            self._id_to_row = {int(i): r for r, i in enumerate(ids.tolist())}
+            self._size = n
+            if self._routed:
+                self._row_of.set_block(ids, 0)
+        if self._routed and "rt_centroids" in arrays:
+            self._centroids = np.ascontiguousarray(
+                arrays["rt_centroids"], dtype=np.float32
+            )
+            assign = np.asarray(arrays["rt_assign"], dtype=np.int64)
+            self._lists, self._list_of = build_inverted_lists(
+                ids, assign, self._centroids.shape[0]
+            )
+        self._next_id = int(state["next_id"])
+        self._trained_size = int(state["trained_size"])
+        self._mutations_since_train = int(state["mutations_since_train"])
+        rng_state = state.get("rng_state")
+        if rng_state is not None:
+            rng = np.random.default_rng(self._seed)
+            rng.bit_generator.state = rng_state
+            self._rng = rng
+
+
+class SQ8Index(QuantizedIndex):
+    """Int8 scalar-quantized cosine index (≈3.5x smaller rows than flat).
+
+    Parameters beyond the storage/training knobs shared with
+    :class:`QuantizedIndex`:
+
+    rescore:
+        Exact-rescore multiplier R — each query's ``top_k·R`` best
+        candidates by quantized score are re-ranked in float64 against the
+        dequantized codes (1 disables).
+    routed, nlist, nprobe:
+        Enable IVF coarse routing over the quantized rows (the registry's
+        ``"ivf+sq8"``).
+    """
+
+    def __init__(
+        self,
+        dim: Optional[int] = None,
+        initial_capacity: int = _MIN_CAPACITY,
+        chunk_size: int = 65536,
+        min_train_size: int = 256,
+        train_sample: int = 32768,
+        rescore: int = 2,
+        routed: bool = False,
+        nlist: Optional[int] = None,
+        nprobe: int = 8,
+        kmeans_iters: int = 8,
+        repartition_growth: float = 2.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            ScalarQuantizer(),
+            dim=dim,
+            initial_capacity=initial_capacity,
+            chunk_size=chunk_size,
+            min_train_size=min_train_size,
+            train_sample=train_sample,
+            rescore=rescore,
+            routed=routed,
+            nlist=nlist,
+            nprobe=nprobe,
+            kmeans_iters=kmeans_iters,
+            repartition_growth=repartition_growth,
+            seed=seed,
+        )
+
+    @property
+    def snapshot_backend(self) -> str:
+        return "ivf+sq8" if self._routed else "sq8"
+
+    def _snapshot_params(self) -> Dict[str, object]:
+        return self._snapshot_common_params()
+
+
+class PQIndex(QuantizedIndex):
+    """Product-quantized cosine index (``m`` bytes per vector, ADC scoring).
+
+    Parameters beyond the shared knobs:
+
+    m:
+        Subspaces (codes per vector).  ``dim`` must be divisible by ``m``;
+        smaller sub-dimensions quantize more finely (``m=dim`` degenerates
+        to per-dimension non-uniform scalar quantization).
+    ksub:
+        Centroids per subspace (≤ 256 so one code fits a uint8).
+    """
+
+    def __init__(
+        self,
+        dim: Optional[int] = None,
+        m: int = 16,
+        ksub: int = 256,
+        initial_capacity: int = _MIN_CAPACITY,
+        chunk_size: int = 65536,
+        min_train_size: int = 256,
+        train_sample: int = 32768,
+        rescore: int = 2,
+        routed: bool = False,
+        nlist: Optional[int] = None,
+        nprobe: int = 8,
+        kmeans_iters: int = 8,
+        repartition_growth: float = 2.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            ProductQuantizer(m=m, ksub=ksub, kmeans_iters=max(kmeans_iters, 1)),
+            dim=dim,
+            initial_capacity=initial_capacity,
+            chunk_size=chunk_size,
+            min_train_size=min_train_size,
+            train_sample=train_sample,
+            rescore=rescore,
+            routed=routed,
+            nlist=nlist,
+            nprobe=nprobe,
+            kmeans_iters=kmeans_iters,
+            repartition_growth=repartition_growth,
+            seed=seed,
+        )
+        self._m = int(m)
+        self._ksub = int(ksub)
+
+    @property
+    def m(self) -> int:
+        """Number of subspaces (codes per vector)."""
+        return self._m
+
+    @property
+    def ksub(self) -> int:
+        """Centroids per subspace."""
+        return self._ksub
+
+    @property
+    def snapshot_backend(self) -> str:
+        return "ivf+pq" if self._routed else "pq"
+
+    def _snapshot_params(self) -> Dict[str, object]:
+        params = self._snapshot_common_params()
+        params["m"] = self._m
+        params["ksub"] = self._ksub
+        return params

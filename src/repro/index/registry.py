@@ -12,9 +12,12 @@ a code change:
 'IVFIndex'
 
 Built-in backends: ``"flat"`` (exact), ``"ivf"`` (k-means inverted lists),
-``"lsh"`` (random-hyperplane hashing).  Out-of-tree backends (a GPU matrix,
-a remote shard) register themselves with :func:`register_index` and become
-addressable from every cache config in the process.
+``"lsh"`` (random-hyperplane hashing), ``"sq8"`` (int8 scalar-quantized
+storage), ``"pq"`` (product quantization), and the routed compositions
+``"ivf+sq8"`` / ``"ivf+pq"`` (IVF cells over quantized rows).  Out-of-tree
+backends (a GPU matrix, a remote shard) register themselves with
+:func:`register_index` and become addressable from every cache config in
+the process.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from repro.index.base import VectorIndex
 from repro.index.flat import FlatIndex
 from repro.index.ivf import IVFIndex
 from repro.index.lsh import LSHIndex
+from repro.index.quantized import PQIndex, SQ8Index
 
 _FACTORIES: Dict[str, Callable[..., VectorIndex]] = {}
 
@@ -88,6 +92,47 @@ def make_index(backend: str = "flat", **params) -> VectorIndex:
     return _FACTORIES[validate_backend(backend)](**params)
 
 
+def seeded_params(
+    backend: str, params: Mapping[str, object], seed: int
+) -> Dict[str, object]:
+    """Return ``params`` with ``seed`` injected when the backend accepts it.
+
+    Shared by the benchmark harnesses (``run_backend_sweep`` /
+    ``run_fleet_bench``) so their determinism rule cannot drift.  An
+    explicit ``seed`` in ``params`` always wins.  Otherwise support is
+    detected from the factory's signature when it names ``seed``
+    explicitly (this also covers factories with other *required*
+    arguments); factories that hide their parameters behind ``**kwargs``
+    (the routed-composition wrappers) are probed by constructing a
+    throwaway empty instance — cheap, since backends allocate storage
+    lazily.  Backends without a seed parameter (``flat``, custom
+    registrations) come back unchanged.
+    """
+    import inspect
+
+    merged = dict(params)
+    if "seed" in merged:
+        return merged
+    factory = _FACTORIES[validate_backend(backend)]
+    try:
+        signature_params = inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # pragma: no cover - C-level callables
+        signature_params = {}
+    if "seed" in signature_params:
+        merged["seed"] = seed
+        return merged
+    takes_kwargs = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in signature_params.values()
+    )
+    if takes_kwargs:
+        try:
+            factory(**merged, seed=seed)
+        except TypeError:
+            return merged
+        merged["seed"] = seed
+    return merged
+
+
 def resolve_index(
     index: Optional[VectorIndex],
     backend: str,
@@ -108,6 +153,24 @@ def resolve_index(
     return make_index(backend, **dict(params or {}))
 
 
+def _routed(cls) -> Callable[..., VectorIndex]:
+    """Factory composing IVF coarse routing over a quantized storage tier.
+
+    ``seed`` is an explicit parameter so :func:`seeded_params` can detect
+    seed support from the signature without constructing a probe instance.
+    """
+
+    def factory(seed: int = 0, **params) -> VectorIndex:
+        params.setdefault("routed", True)
+        return cls(seed=seed, **params)
+
+    return factory
+
+
 register_index("flat", FlatIndex)
 register_index("ivf", IVFIndex)
 register_index("lsh", LSHIndex)
+register_index("sq8", SQ8Index)
+register_index("pq", PQIndex)
+register_index("ivf+sq8", _routed(SQ8Index))
+register_index("ivf+pq", _routed(PQIndex))

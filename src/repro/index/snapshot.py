@@ -1,0 +1,162 @@
+"""Versioned snapshot persistence for indexes (and the caches above them).
+
+A snapshot is a directory holding exactly two artefacts:
+
+* ``manifest.json`` — a versioned JSON document carrying the format tag, the
+  backend's registry name, the constructor parameters needed to rebuild an
+  empty instance, and the small scalar state (next id, training counters,
+  RNG state);
+* ``arrays.npz`` — every numpy array of the live state (the storage matrix
+  or code matrix, norms, ids, centroids, …).
+
+Loading validates the manifest *before* touching any array: a missing file,
+undecodable JSON, a foreign ``format`` tag or an unsupported ``version``
+raise :class:`SnapshotError` with a message naming the offending field, so a
+corrupted or future-format checkpoint is rejected instead of half-restored.
+
+The cache-level snapshots (``MeanCache.save`` / ``GPTCache.save``) reuse the
+same manifest discipline with their own format tags and nest an index
+snapshot in an ``index/`` subdirectory, so one recursive copy of the
+directory is a complete warm-start image.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+INDEX_FORMAT = "repro-index"
+INDEX_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+ARRAYS_NAME = "arrays.npz"
+
+
+class SnapshotError(ValueError):
+    """A snapshot is missing, corrupted, foreign or version-incompatible."""
+
+
+def write_manifest(path: Path, manifest: Mapping[str, object]) -> None:
+    """Serialize ``manifest`` as the snapshot directory's manifest.json."""
+    path.mkdir(parents=True, exist_ok=True)
+    (path / MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=1) + "\n", encoding="utf-8"
+    )
+
+
+def read_manifest(
+    path: Path, expected_format: str, max_version: int
+) -> Dict[str, object]:
+    """Read and validate a snapshot manifest; raises :class:`SnapshotError`.
+
+    Checks, in order: the directory and manifest exist, the JSON decodes to
+    an object, the ``format`` tag matches ``expected_format``, and the
+    ``version`` is an integer in ``[1, max_version]``.
+    """
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise SnapshotError(f"no snapshot manifest at {manifest_path}")
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"corrupted snapshot manifest {manifest_path}: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise SnapshotError(f"corrupted snapshot manifest {manifest_path}: not an object")
+    got_format = manifest.get("format")
+    if got_format != expected_format:
+        raise SnapshotError(
+            f"snapshot at {path} has format {got_format!r}, expected {expected_format!r}"
+        )
+    version = manifest.get("version")
+    if not isinstance(version, int) or not 1 <= version <= max_version:
+        raise SnapshotError(
+            f"snapshot at {path} has unsupported version {version!r} "
+            f"(this build reads versions 1..{max_version})"
+        )
+    return manifest
+
+
+def write_arrays(path: Path, arrays: Mapping[str, np.ndarray]) -> None:
+    """Write the snapshot's numpy payload next to its manifest."""
+    path.mkdir(parents=True, exist_ok=True)
+    np.savez(path / ARRAYS_NAME, **{k: np.asarray(v) for k, v in arrays.items()})
+
+
+def read_arrays(path: Path) -> Dict[str, np.ndarray]:
+    """Load the snapshot's numpy payload; raises :class:`SnapshotError`."""
+    arrays_path = Path(path) / ARRAYS_NAME
+    if not arrays_path.is_file():
+        raise SnapshotError(f"no snapshot arrays at {arrays_path}")
+    try:
+        with np.load(arrays_path) as data:
+            return {name: data[name] for name in data.files}
+    except (OSError, ValueError) as exc:
+        raise SnapshotError(f"corrupted snapshot arrays {arrays_path}: {exc}") from exc
+
+
+# --------------------------------------------------------------------------- #
+# Index snapshots
+# --------------------------------------------------------------------------- #
+def save_index(index, path: "str | Path") -> Path:
+    """Snapshot any backend implementing the snapshot protocol to ``path``.
+
+    The manifest records the backend's registry name and constructor
+    parameters, so :func:`load_index` can rebuild it without the caller
+    knowing the concrete class.
+    """
+    backend = getattr(index, "snapshot_backend", None)
+    if backend is None:
+        raise SnapshotError(
+            f"{type(index).__name__} does not support snapshots "
+            "(no snapshot_backend name)"
+        )
+    path = Path(path)
+    manifest = {
+        "format": INDEX_FORMAT,
+        "version": INDEX_VERSION,
+        "backend": backend,
+        "params": index._snapshot_params(),
+        "state": index._snapshot_state(),
+    }
+    write_arrays(path, index._snapshot_arrays())
+    write_manifest(path, manifest)
+    return path
+
+
+def load_index(path: "str | Path"):
+    """Rebuild an index from a :func:`save_index` snapshot.
+
+    Returns a fresh instance of the saved backend with identical live state
+    (rows, ids, routing structures, codec tables, RNG), so searches on the
+    loaded index reproduce the saved index's results bit-for-bit.
+    """
+    from repro.index.registry import make_index, validate_backend
+
+    path = Path(path)
+    manifest = read_manifest(path, INDEX_FORMAT, INDEX_VERSION)
+    try:
+        backend = validate_backend(str(manifest.get("backend")))
+    except ValueError as exc:
+        # An absent/unknown backend name (e.g. a snapshot from a newer build
+        # with backends this one lacks) is a snapshot problem, not a caller
+        # bug — keep the documented exception contract.
+        raise SnapshotError(f"snapshot at {path}: {exc}") from exc
+    params = manifest.get("params") or {}
+    if not isinstance(params, dict):
+        raise SnapshotError(f"snapshot at {path} has a corrupted params block")
+    state = manifest.get("state")
+    if not isinstance(state, dict):
+        raise SnapshotError(f"snapshot at {path} has a corrupted state block")
+    arrays = read_arrays(path)
+    try:
+        index = make_index(backend, **params)
+    except (TypeError, ValueError) as exc:
+        raise SnapshotError(
+            f"snapshot at {path} has params the {backend!r} backend rejects: {exc}"
+        ) from exc
+    index._restore(state, arrays)
+    return index

@@ -34,10 +34,16 @@ from __future__ import annotations
 import inspect
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.index.snapshot import SnapshotError, read_manifest, write_manifest
 from repro.llm.service import SimulatedLLMService
 from repro.serving.workload import Trace, WorkloadEvent
+
+#: Snapshot format tag / version of ``FleetSimulator.checkpoint`` directories.
+FLEET_FORMAT = "repro-fleet"
+FLEET_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -274,6 +280,60 @@ class FleetSimulator:
             adapter = _CacheAdapter(self.cache_factory(user_id))
             self.caches[user_id] = adapter
         return adapter
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / warm-start
+    # ------------------------------------------------------------------ #
+    def checkpoint(self, path: "str | Path") -> Path:
+        """Snapshot every live cache so a later fleet can warm-start from it.
+
+        Each distinct cache *object* is saved once (a shared central cache
+        produces one snapshot no matter how many users route to it) via its
+        ``save(path)`` method, and the manifest maps user ids to snapshot
+        subdirectories.  Caches without a ``save`` method (e.g. the keyword
+        baseline) raise :class:`~repro.index.SnapshotError`.
+        """
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        key_of_cache: Dict[int, str] = {}
+        users: Dict[str, str] = {}
+        for user_id, adapter in self.caches.items():
+            key = key_of_cache.get(id(adapter.cache))
+            if key is None:
+                key = f"cache_{len(key_of_cache)}"
+                saver = getattr(adapter.cache, "save", None)
+                if saver is None:
+                    raise SnapshotError(
+                        f"cache for user {user_id!r} "
+                        f"({type(adapter.cache).__name__}) has no save() method"
+                    )
+                saver(path / key)
+                key_of_cache[id(adapter.cache)] = key
+            users[user_id] = key
+        write_manifest(
+            path, {"format": FLEET_FORMAT, "version": FLEET_VERSION, "users": users}
+        )
+        return path
+
+    def restore(self, path: "str | Path", loader: Callable[[Path], object]) -> None:
+        """Warm-start the fleet from a :meth:`checkpoint` directory.
+
+        ``loader(snapshot_dir)`` rebuilds one cache instance — e.g.
+        ``lambda p: MeanCache.load(p, encoder)``.  Each snapshot is loaded
+        once and shared by every user the manifest maps to it, so a
+        checkpointed central cache stays central.  Users not present in the
+        checkpoint keep going through ``cache_factory`` on first use.
+        """
+        path = Path(path)
+        manifest = read_manifest(path, FLEET_FORMAT, FLEET_VERSION)
+        users = manifest.get("users")
+        if not isinstance(users, dict):
+            raise SnapshotError(f"fleet checkpoint at {path} has a corrupted user map")
+        adapter_of_key = {
+            key: _CacheAdapter(loader(path / key)) for key in sorted(set(users.values()))
+        }
+        for user_id, key in users.items():
+            self.caches[user_id] = adapter_of_key[key]
 
     @staticmethod
     def _windows(trace: Trace, width: float):
