@@ -88,6 +88,8 @@ class GPTCacheDecision:
     query: str
     response: Optional[str] = None
     matched_query: Optional[str] = None
+    #: query text of the top retrieved candidate (set on misses too)
+    top_candidate_query: Optional[str] = None
     similarity: float = 0.0
     candidates: List[IndexHit] = field(default_factory=list)
     embed_time_s: float = 0.0
@@ -361,10 +363,14 @@ class _GPTCacheDecide(DecideStage):
 
     def decide(self, selection: Selection) -> GPTCacheDecision:
         cache = self._cache
+        top_query = (
+            cache._entries[selection.hits[0].id].query if selection.hits else None
+        )
         if selection.best is None:
             return GPTCacheDecision(
                 hit=False,
                 query=selection.probe.query,
+                top_candidate_query=top_query,
                 similarity=selection.top_score,
                 candidates=selection.hits,
                 embed_time_s=selection.embed_time_s,
@@ -379,6 +385,7 @@ class _GPTCacheDecide(DecideStage):
             query=selection.probe.query,
             response=entry.response,
             matched_query=entry.query,
+            top_candidate_query=top_query,
             similarity=selection.best.score,
             candidates=selection.hits,
             embed_time_s=selection.embed_time_s,

@@ -148,6 +148,10 @@ class CacheDecision:
     query: str
     response: Optional[str] = None
     matched_query: Optional[str] = None
+    #: query text of the top *retrieved* candidate (set on misses too, when
+    #: anything was retrieved) — the online adaptation loop verifies
+    #: near-threshold misses against it
+    top_candidate_query: Optional[str] = None
     entry_id: Optional[int] = None
     similarity: float = 0.0
     candidates: List[IndexHit] = field(default_factory=list)
@@ -475,7 +479,16 @@ class MeanCache:
                 entry.context = self._embed_context(list(entry.context.texts))
 
     def set_threshold(self, threshold: float) -> None:
-        """Update the adaptive similarity threshold τ."""
+        """Update the adaptive similarity threshold τ.
+
+        The live hook the federated layer drives: offline FL
+        (:mod:`repro.federated.simulation`) pushes the round's aggregated τ
+        here, and the online fleet loop
+        (:class:`~repro.federated.online.OnlineThresholdAdapter`) pushes each
+        user's personalized τ between batching windows.  The pipeline's
+        :class:`~repro.core.pipeline.SimilarityThreshold` stage reads the
+        config live, so the next lookup already admits under the new value.
+        """
         if not 0.0 <= threshold <= 1.0:
             raise ValueError("threshold must be in [0, 1]")
         # MeanCacheConfig is frozen; replace it wholesale.
@@ -674,11 +687,15 @@ class _MeanCacheDecide(DecideStage):
 
     def decide(self, selection: Selection) -> CacheDecision:
         cache = self._cache
+        top_query = (
+            cache._entries[selection.hits[0].id].query if selection.hits else None
+        )
         if selection.best is None:
             cache.stats.misses += 1
             return CacheDecision(
                 hit=False,
                 query=selection.probe.query,
+                top_candidate_query=top_query,
                 candidates=selection.hits,
                 similarity=selection.top_score,
                 context_verified=selection.context_checked,
@@ -696,6 +713,7 @@ class _MeanCacheDecide(DecideStage):
             query=selection.probe.query,
             response=entry.response,
             matched_query=entry.query,
+            top_candidate_query=top_query,
             entry_id=entry.entry_id,
             similarity=selection.best.score,
             candidates=selection.hits,

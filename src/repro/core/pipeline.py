@@ -223,11 +223,22 @@ class ThresholdStage:
 
 
 class SimilarityThreshold(ThresholdStage):
-    """The adaptive cosine threshold τ (read live — FL re-learns it)."""
+    """The adaptive cosine threshold τ, read live on every admission.
+
+    The online federated loop (:mod:`repro.federated.online`) re-learns τ
+    from live fleet traffic and pushes it through the owning cache's
+    ``set_threshold``; because the stage holds a live callable rather than a
+    copied value, the very next probe is admitted under the new τ.
+    """
 
     def __init__(self, threshold: "Union[Callable[[], float], float]") -> None:
         """``threshold`` is τ — a plain value or a live callable."""
         self._threshold = _live(threshold)
+
+    @property
+    def threshold(self) -> float:
+        """The τ currently in force (live read; introspection/telemetry)."""
+        return float(self._threshold())
 
     def admit(self, hit: IndexHit) -> bool:
         """Admit candidates scoring at least the current τ."""

@@ -165,11 +165,18 @@ class Corpus:
         action_index: int | None = None,
         object_index: int | None = None,
         filler_index: int | None = None,
+        object_bias: "float | None" = None,
     ) -> str:
         """Render one surface form of ``intent``.
 
         Any of the index arguments may be pinned for deterministic phrasing;
         unset ones are sampled from ``rng`` (or the corpus RNG).
+        ``object_bias`` overrides the default canonical-object probability —
+        it controls *paraphrase strength*: near 1.0 realisations share the
+        canonical noun phrase (lexically strong overlap, high cosine
+        similarity between re-asks); near 0.0 they use synonyms (weak
+        paraphrases that score much lower).  The serving workload uses this
+        as a driftable knob (paraphrase-style drift).
         """
         rng = rng or self._rng
         actions = self.action_synonyms(intent)
@@ -181,7 +188,8 @@ class Corpus:
             # even when they rephrase the rest, so bias realisations toward
             # the canonical object wording (duplicates then frequently share
             # it, as in real duplicate-question corpora).
-            if rng.random() < 0.45 or len(objects) == 1:
+            bias = 0.45 if object_bias is None else object_bias
+            if rng.random() < bias or len(objects) == 1:
                 o_i = 0
             else:
                 o_i = 1 + int(rng.integers(len(objects) - 1))

@@ -22,7 +22,7 @@ from repro.experiments.fig11_12_fl_training import run_fig11_12
 from repro.experiments.fig13_14_threshold import run_fig13_14
 from repro.experiments.fig15_model_cost import run_fig15
 from repro.experiments.fig16_llama_threshold import run_fig16
-from repro.experiments.fleet_bench import run_fleet_bench
+from repro.experiments.fleet_bench import run_drift_adaptation_bench, run_fleet_bench
 from repro.experiments.index_bench import run_backend_sweep, run_index_bench
 from repro.experiments.table1 import run_table1
 
@@ -93,6 +93,13 @@ def run_all(scale: "str | None" = None, seed: int = 0) -> FullReport:
         queries_per_user=5 if resolved.name == "quick" else 10,
         seed=seed,
     ).format()
+    report.sections["Online federated τ adaptation (drifting fleet)"] = (
+        run_drift_adaptation_bench(
+            n_users=10 if resolved.name == "quick" else 30,
+            queries_per_user=60 if resolved.name == "quick" else 150,
+            seed=seed,
+        ).format()
+    )
     report.elapsed_s = time.time() - start
     return report
 

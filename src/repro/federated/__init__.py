@@ -21,6 +21,9 @@ Modules
 * :mod:`repro.federated.client` — the FL client (local training).
 * :mod:`repro.federated.server` — the FL server (round orchestration).
 * :mod:`repro.federated.simulation` — end-to-end simulation harness.
+* :mod:`repro.federated.online` — online threshold adaptation for the
+  serving fleet (mines labelled pairs from live traffic, runs rounds on the
+  fleet's virtual clock, pushes personalized τ into live caches).
 """
 
 from repro.federated.messages import parameters_to_buffer, buffer_to_parameters, ParameterSpec
@@ -35,7 +38,14 @@ from repro.federated.threshold import (
     find_optimal_threshold,
     threshold_sweep,
     cache_mode_threshold_sweep,
+    score_sweep,
     ThresholdSweepResult,
+)
+from repro.federated.online import (
+    MinedPair,
+    OnlineAdaptationConfig,
+    OnlineRound,
+    OnlineThresholdAdapter,
 )
 from repro.federated.client import FLClient, ClientConfig, ClientUpdate
 from repro.federated.server import FLServer, ServerConfig, RoundResult
@@ -55,7 +65,12 @@ __all__ = [
     "find_optimal_threshold",
     "threshold_sweep",
     "cache_mode_threshold_sweep",
+    "score_sweep",
     "ThresholdSweepResult",
+    "MinedPair",
+    "OnlineAdaptationConfig",
+    "OnlineRound",
+    "OnlineThresholdAdapter",
     "FLClient",
     "ClientConfig",
     "ClientUpdate",

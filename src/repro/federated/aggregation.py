@@ -112,18 +112,30 @@ def aggregate_thresholds(
     if weighted:
         if num_samples is None or len(num_samples) != len(thresholds):
             raise ValueError("weighted aggregation requires one sample count per threshold")
+        _check_sample_counts(num_samples)
         total = float(sum(num_samples))
-        if total <= 0:
-            raise ValueError("sample counts must sum to a positive value")
         return float(sum(t * n for t, n in zip(thresholds, num_samples)) / total)
     return float(np.mean(thresholds))
+
+
+def _check_sample_counts(num_samples: Sequence[float]) -> None:
+    """Reject negative per-client counts, not just a non-positive sum.
+
+    A single negative weight among positive ones passes the sum check yet
+    silently skews the weighted mean (and can push it outside the clients'
+    threshold range), so each entry is validated individually.
+    """
+    for i, n in enumerate(num_samples):
+        if n < 0:
+            raise ValueError(f"sample count {n} at position {i} is negative")
+    if float(sum(num_samples)) <= 0:
+        raise ValueError("sample counts must sum to a positive value")
 
 
 def weighted_metric_mean(values: Sequence[float], num_samples: Sequence[float]) -> float:
     """Sample-weighted mean of per-client evaluation metrics."""
     if len(values) != len(num_samples):
         raise ValueError("values and num_samples must align")
+    _check_sample_counts(num_samples)
     total = float(sum(num_samples))
-    if total <= 0:
-        raise ValueError("sample counts must sum to a positive value")
     return float(sum(v * n for v, n in zip(values, num_samples)) / total)

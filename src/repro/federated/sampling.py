@@ -55,9 +55,14 @@ class RoundRobinSampler(ClientSampler):
 class ResourceAwareSampler(ClientSampler):
     """Weighted sampling by a per-client availability score.
 
-    Scores model battery level / bandwidth / historical reliability; clients
-    with zero score are never selected (unless all scores are zero, in which
-    case sampling degrades to uniform).
+    Scores model battery level / bandwidth / historical reliability.
+    Zero-score clients are avoided while enough positive-score clients
+    exist; when a round needs more clients than have positive scores, every
+    positive-score client is selected and the remainder fills uniformly
+    from the zero-score pool (and when *all* scores are zero, sampling
+    degrades to uniform).  A zero score is a soft preference, not an
+    exclusion guarantee — model hard unavailability by omitting the client
+    from ``client_ids``.
     """
 
     def __init__(self, scores: Dict[str, float], seed: int = 0) -> None:
@@ -72,6 +77,15 @@ class ResourceAwareSampler(ClientSampler):
         weights = np.array([self.scores.get(cid, 1.0) for cid in client_ids], dtype=np.float64)
         if weights.sum() <= 0:
             weights = np.ones_like(weights)
-        probs = weights / weights.sum()
-        idx = self._rng.choice(len(client_ids), size=k, replace=False, p=probs)
+        positive = np.flatnonzero(weights > 0)
+        if len(positive) >= k:
+            probs = weights / weights.sum()
+            idx = self._rng.choice(len(client_ids), size=k, replace=False, p=probs)
+        else:
+            # Fewer positive-score clients than the round needs: take every
+            # positive-score client and fill the remainder uniformly from the
+            # zero-score ones (np.random.choice with p= would raise here).
+            zero = np.flatnonzero(weights <= 0)
+            fill = self._rng.choice(zero, size=k - len(positive), replace=False)
+            idx = np.concatenate([positive, fill])
         return [client_ids[int(i)] for i in idx]

@@ -35,7 +35,14 @@ class ThresholdSweepResult:
     metadata: Dict[str, float] = field(default_factory=dict)
 
     def as_series(self) -> Dict[str, np.ndarray]:
-        """The four curves plotted in Figures 13/14/16, keyed by name."""
+        """All six sweep series keyed by name: the ``threshold`` grid plus
+        the five metric curves (``f1``, ``f_score``, ``precision``,
+        ``recall``, ``accuracy``).
+
+        Figures 13/14/16 plot the f1/precision/recall/accuracy subset; the
+        grid and the Fβ selection curve ride along so a caller can re-derive
+        the optimum or plot against the x-axis without a second sweep.
+        """
         return {
             "threshold": self.thresholds,
             "f1": self.f1_scores,
@@ -87,6 +94,69 @@ def pair_similarities(
     return sims, labels
 
 
+def score_sweep(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    thresholds: Optional[np.ndarray] = None,
+    beta: float = 0.5,
+    metadata: Optional[Dict[str, float]] = None,
+) -> ThresholdSweepResult:
+    """Sweep τ over precomputed (similarity, label) observations.
+
+    The shared core of :func:`threshold_sweep`,
+    :func:`cache_mode_threshold_sweep` and the online fleet adaptation loop
+    (:mod:`repro.federated.online`): given one similarity score and one
+    boolean duplicate label per observation, compute the decision metrics at
+    every grid value and select the Fβ-optimal threshold.  Callers that
+    already hold served similarities (the online loop mines them from live
+    traffic) sweep without touching an encoder.
+    """
+    if thresholds is None:
+        thresholds = np.linspace(0.0, 1.0, 101)
+    thresholds = np.asarray(thresholds, dtype=np.float64)
+    if thresholds.size == 0:
+        raise ValueError("thresholds must be non-empty")
+    if np.any(thresholds < 0) or np.any(thresholds > 1):
+        raise ValueError("thresholds must lie in [0, 1]")
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    labels = np.asarray(labels, dtype=bool).reshape(-1)
+    if scores.shape != labels.shape:
+        raise ValueError("scores and labels must align")
+
+    n = thresholds.size
+    f_scores = np.zeros(n)
+    f1_scores = np.zeros(n)
+    precisions = np.zeros(n)
+    recalls = np.zeros(n)
+    accuracies = np.zeros(n)
+    for i, tau in enumerate(thresholds):
+        predicted = scores >= tau
+        cm = confusion_matrix(labels, predicted)
+        f_scores[i] = cm.fbeta(beta)
+        f1_scores[i] = cm.f1()
+        precisions[i] = cm.precision()
+        recalls[i] = cm.recall()
+        accuracies[i] = cm.accuracy()
+    optimal_index = int(np.argmax(f_scores))
+    base_metadata = {
+        "n_pairs": float(scores.size),
+        "positive_fraction": float(labels.mean()) if labels.size else 0.0,
+    }
+    base_metadata.update(metadata or {})
+    return ThresholdSweepResult(
+        thresholds=thresholds,
+        f_scores=f_scores,
+        f1_scores=f1_scores,
+        precisions=precisions,
+        recalls=recalls,
+        accuracies=accuracies,
+        optimal_threshold=float(thresholds[optimal_index]),
+        optimal_index=optimal_index,
+        beta=beta,
+        metadata=base_metadata,
+    )
+
+
 def threshold_sweep(
     encoder: SiameseEncoder,
     pairs: Sequence[Tuple[str, str, int]],
@@ -98,42 +168,8 @@ def threshold_sweep(
 
     A pair is *predicted duplicate* when its cosine similarity is at least τ.
     """
-    if thresholds is None:
-        thresholds = np.linspace(0.0, 1.0, 101)
-    thresholds = np.asarray(thresholds, dtype=np.float64)
-    if thresholds.size == 0:
-        raise ValueError("thresholds must be non-empty")
-    if np.any(thresholds < 0) or np.any(thresholds > 1):
-        raise ValueError("thresholds must lie in [0, 1]")
-
     sims, labels = pair_similarities(encoder, pairs, compress=compress)
-    n = thresholds.size
-    f_scores = np.zeros(n)
-    f1_scores = np.zeros(n)
-    precisions = np.zeros(n)
-    recalls = np.zeros(n)
-    accuracies = np.zeros(n)
-    for i, tau in enumerate(thresholds):
-        predicted = sims >= tau
-        cm = confusion_matrix(labels, predicted)
-        f_scores[i] = cm.fbeta(beta)
-        f1_scores[i] = cm.f1()
-        precisions[i] = cm.precision()
-        recalls[i] = cm.recall()
-        accuracies[i] = cm.accuracy()
-    optimal_index = int(np.argmax(f_scores))
-    return ThresholdSweepResult(
-        thresholds=thresholds,
-        f_scores=f_scores,
-        f1_scores=f1_scores,
-        precisions=precisions,
-        recalls=recalls,
-        accuracies=accuracies,
-        optimal_threshold=float(thresholds[optimal_index]),
-        optimal_index=optimal_index,
-        beta=beta,
-        metadata={"n_pairs": float(len(pairs)), "positive_fraction": float(labels.mean()) if len(labels) else 0.0},
-    )
+    return score_sweep(sims, labels, thresholds=thresholds, beta=beta)
 
 
 def cache_mode_threshold_sweep(
@@ -159,11 +195,6 @@ def cache_mode_threshold_sweep(
     client's full query history), making the best-match distribution closer
     to the deployed cache's.
     """
-    if thresholds is None:
-        thresholds = np.linspace(0.0, 1.0, 101)
-    thresholds = np.asarray(thresholds, dtype=np.float64)
-    if thresholds.size == 0:
-        raise ValueError("thresholds must be non-empty")
     if not pairs:
         raise ValueError("cache-mode sweep needs at least one pair")
 
@@ -176,37 +207,12 @@ def cache_mode_threshold_sweep(
     probe_embs = np.atleast_2d(encoder.encode(probe_texts, compress=compress))
     hits = semantic_search(probe_embs, cache_embs, top_k=1)
     best = np.array([h[0].score if h else -1.0 for h in hits])
-
-    n = thresholds.size
-    f_scores = np.zeros(n)
-    f1_scores = np.zeros(n)
-    precisions = np.zeros(n)
-    recalls = np.zeros(n)
-    accuracies = np.zeros(n)
-    for i, tau in enumerate(thresholds):
-        predicted = best >= tau
-        cm = confusion_matrix(labels, predicted)
-        f_scores[i] = cm.fbeta(beta)
-        f1_scores[i] = cm.f1()
-        precisions[i] = cm.precision()
-        recalls[i] = cm.recall()
-        accuracies[i] = cm.accuracy()
-    optimal_index = int(np.argmax(f_scores))
-    return ThresholdSweepResult(
+    return score_sweep(
+        best,
+        labels,
         thresholds=thresholds,
-        f_scores=f_scores,
-        f1_scores=f1_scores,
-        precisions=precisions,
-        recalls=recalls,
-        accuracies=accuracies,
-        optimal_threshold=float(thresholds[optimal_index]),
-        optimal_index=optimal_index,
         beta=beta,
-        metadata={
-            "n_pairs": float(len(pairs)),
-            "positive_fraction": float(labels.mean()),
-            "mode": 1.0,  # 1.0 marks cache-mode sweeps
-        },
+        metadata={"mode": 1.0},  # 1.0 marks cache-mode sweeps
     )
 
 

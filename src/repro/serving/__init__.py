@@ -22,7 +22,13 @@ from repro.serving.fleet import (
     LookupOutcome,
     UserStats,
 )
-from repro.serving.workload import Trace, WorkloadConfig, WorkloadEvent, WorkloadGenerator
+from repro.serving.workload import (
+    DriftPhase,
+    Trace,
+    WorkloadConfig,
+    WorkloadEvent,
+    WorkloadGenerator,
+)
 
 __all__ = [
     "FleetConfig",
@@ -30,6 +36,7 @@ __all__ = [
     "FleetSimulator",
     "LookupOutcome",
     "UserStats",
+    "DriftPhase",
     "Trace",
     "WorkloadConfig",
     "WorkloadEvent",

@@ -27,6 +27,15 @@ per-device fleet.
 
 With the service's default hashed latency jitter, a replayed trace produces
 identical per-user results regardless of how fleet traffic interleaves.
+
+The simulator also closes the paper's federated loop online: pass an
+:class:`~repro.federated.online.OnlineThresholdAdapter` as ``adaptation`` and
+every lookup outcome is mined for labelled pairs, adaptation rounds fire on
+the trace's virtual clock between batching windows, and freshly aggregated
+per-user thresholds land in each cache's live ``set_threshold`` hook.  Hits
+are verified against the workload's intent oracle (the stand-in for the
+user-feedback channel), which also powers the fleet-wide ``false_hit_rate``
+aggregate.
 """
 
 from __future__ import annotations
@@ -84,6 +93,16 @@ class LookupOutcome:
     #: probe embedding from the lookup (reused by enrolment; None for
     #: non-vector variants)
     embedding: Optional[object] = None
+    #: best retrieved similarity (1.0/0.0 for exact-match variants); feeds
+    #: the online adaptation loop's near-threshold miss mining
+    similarity: float = 0.0
+    #: the matched entry's query text on a hit (None when the variant does
+    #: not report one)
+    matched_query: Optional[str] = None
+    #: hit verification against the workload's intent oracle: True = the hit
+    #: answered the probe's intent, False = a false hit, None = unverifiable
+    #: (miss, no intent metadata, or an entry the fleet never saw enrol)
+    verified: Optional[bool] = None
 
     @property
     def total_latency_s(self) -> float:
@@ -101,11 +120,20 @@ class UserStats:
     cache_overhead_s: float = 0.0
     llm_latency_s: float = 0.0
     cost_usd: float = 0.0
+    #: hits verified correct / incorrect against the intent oracle (hits
+    #: without a verification signal count in neither)
+    true_hits: int = 0
+    false_hits: int = 0
 
     @property
     def hit_rate(self) -> float:
         """Fraction of this user's lookups served locally."""
         return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def false_hit_rate(self) -> float:
+        """Fraction of lookups served a verified-wrong cached answer."""
+        return self.false_hits / self.lookups if self.lookups else 0.0
 
     @property
     def total_latency_s(self) -> float:
@@ -125,6 +153,11 @@ class UserStats:
         self.cache_overhead_s += outcome.cache_overhead_s
         self.llm_latency_s += outcome.llm_latency_s
         self.cost_usd += outcome.cost_usd
+        if outcome.hit and outcome.verified is not None:
+            if outcome.verified:
+                self.true_hits += 1
+            else:
+                self.false_hits += 1
 
 
 @dataclass
@@ -155,6 +188,28 @@ class FleetResult:
         return self.hits / lookups if lookups else 0.0
 
     @property
+    def true_hits(self) -> int:
+        """Hits verified correct against the intent oracle, fleet-wide."""
+        return sum(u.true_hits for u in self.per_user.values())
+
+    @property
+    def false_hits(self) -> int:
+        """Hits verified as false hits (wrong cached answer), fleet-wide."""
+        return sum(u.false_hits for u in self.per_user.values())
+
+    @property
+    def false_hit_rate(self) -> float:
+        """Fraction of fleet lookups served a verified-wrong cached answer."""
+        lookups = self.lookups
+        return self.false_hits / lookups if lookups else 0.0
+
+    @property
+    def true_hit_rate(self) -> float:
+        """Fraction of fleet lookups served a verified-correct cached answer."""
+        lookups = self.lookups
+        return self.true_hits / lookups if lookups else 0.0
+
+    @property
     def mean_latency_s(self) -> float:
         """Mean end-to-end latency per query across the fleet."""
         lookups = self.lookups
@@ -180,11 +235,25 @@ class FleetResult:
             f"fleet of {self.n_users} users — {self.n_events} lookups in "
             f"{self.wall_clock_s:.2f}s wall-clock "
             f"({self.throughput_lookups_per_s:,.0f} lookups/s); "
-            f"hit rate {self.hit_rate:.3f}, "
+            f"hit rate {self.hit_rate:.3f} "
+            f"(false-hit rate {self.false_hit_rate:.3f}), "
             f"mean latency {self.mean_latency_s * 1000:.1f} ms, "
             f"LLM spend ${self.total_cost_usd:.4f}, "
             f"virtual duration {self.virtual_duration_s:.1f}s"
         )
+
+
+@dataclass
+class _BatchLookup:
+    """One normalised per-query result out of :meth:`_CacheAdapter.lookup_batch`."""
+
+    hit: bool
+    response: Optional[str]
+    overhead_s: float
+    embedding: Optional[object]
+    similarity: float
+    matched_query: Optional[str]
+    top_query: Optional[str]
 
 
 class _CacheAdapter:
@@ -200,29 +269,44 @@ class _CacheAdapter:
         self,
         queries: Sequence[str],
         contexts: Sequence[Sequence[str]],
-    ) -> List[Tuple[bool, Optional[str], float, Optional[object]]]:
-        """Batched lookup returning (hit, response, overhead_s, embedding).
+    ) -> List[_BatchLookup]:
+        """Batched lookup normalised to one :class:`_BatchLookup` per query.
 
         Decision objects must expose ``hit``/``response``/``total_overhead_s``
         (attribute errors surface loudly rather than skewing aggregates with
-        silent defaults); a bare ``str | None`` is the exact-match shape.
+        silent defaults); ``similarity``/``matched_query`` are optional (the
+        adaptation loop degrades gracefully without them).  A bare
+        ``str | None`` is the exact-match shape: similarity 1.0 on a hit.
         """
         if self._accepts_contexts:
             raw = self.cache.lookup_batch(list(queries), contexts=[list(c) for c in contexts])
         else:
             raw = self.cache.lookup_batch(list(queries))
-        outcomes: List[Tuple[bool, Optional[str], float, Optional[object]]] = []
+        outcomes: List[_BatchLookup] = []
         for item in raw:
             if item is None or isinstance(item, str):
                 # KeywordCache-style: the response itself (or None on miss).
-                outcomes.append((item is not None, item, 0.0, None))
+                outcomes.append(
+                    _BatchLookup(
+                        hit=item is not None,
+                        response=item,
+                        overhead_s=0.0,
+                        embedding=None,
+                        similarity=1.0 if item is not None else 0.0,
+                        matched_query=None,
+                        top_query=None,
+                    )
+                )
             else:
                 outcomes.append(
-                    (
-                        bool(item.hit),
-                        item.response,
-                        float(item.total_overhead_s),
-                        getattr(item, "embedding", None),
+                    _BatchLookup(
+                        hit=bool(item.hit),
+                        response=item.response,
+                        overhead_s=float(item.total_overhead_s),
+                        embedding=getattr(item, "embedding", None),
+                        similarity=float(getattr(item, "similarity", 0.0)),
+                        matched_query=getattr(item, "matched_query", None),
+                        top_query=getattr(item, "top_candidate_query", None),
                     )
                 )
         return outcomes
@@ -258,6 +342,7 @@ class FleetSimulator:
         cache_factory: Callable[[str], object],
         service: Optional[SimulatedLLMService] = None,
         config: Optional[FleetConfig] = None,
+        adaptation: Optional[object] = None,
     ) -> None:
         """``cache_factory(user_id)`` supplies each user's cache instance.
 
@@ -266,19 +351,38 @@ class FleetSimulator:
         is the factory's choice — e.g.
         ``MeanCacheConfig(index_backend="ivf")`` puts every device on
         sublinear approximate search.
+
+        ``adaptation``, when given, closes the federated loop over live
+        traffic: an :class:`~repro.federated.online.OnlineThresholdAdapter`
+        (or anything with its ``register_user``/``observe``/``advance``
+        surface).  The simulator registers each user's cache on first use,
+        reports every lookup outcome, and advances the adapter on the
+        virtual clock after each batching window so adaptation rounds fire
+        deterministically between windows.
         """
         self.cache_factory = cache_factory
         self.service = service or SimulatedLLMService()
         self.config = config or FleetConfig()
+        self.adaptation = adaptation
         self.caches: Dict[str, _CacheAdapter] = {}
+        #: per underlying cache object: enrolled query text -> intent key,
+        #: the oracle used to verify hits (user feedback stand-in)
+        self._intent_maps: Dict[int, Dict[str, str]] = {}
 
     # ------------------------------------------------------------------ #
+    def _register(self, user_id: str, adapter: _CacheAdapter) -> None:
+        """Track a new user's cache (intent oracle + adaptation loop)."""
+        self.caches[user_id] = adapter
+        self._intent_maps.setdefault(id(adapter.cache), {})
+        if self.adaptation is not None:
+            self.adaptation.register_user(user_id, adapter.cache)
+
     def _adapter(self, user_id: str) -> _CacheAdapter:
         """The user's cache adapter, creating it via the factory on first use."""
         adapter = self.caches.get(user_id)
         if adapter is None:
             adapter = _CacheAdapter(self.cache_factory(user_id))
-            self.caches[user_id] = adapter
+            self._register(user_id, adapter)
         return adapter
 
     # ------------------------------------------------------------------ #
@@ -333,7 +437,7 @@ class FleetSimulator:
             key: _CacheAdapter(loader(path / key)) for key in sorted(set(users.values()))
         }
         for user_id, key in users.items():
-            self.caches[user_id] = adapter_of_key[key]
+            self._register(user_id, adapter_of_key[key])
 
     @staticmethod
     def _windows(trace: Trace, width: float):
@@ -383,7 +487,7 @@ class FleetSimulator:
             for event in window:
                 adapter = self._adapter(event.user_id)
                 by_cache.setdefault(id(adapter.cache), (adapter, []))[1].append(event)
-            looked_up: Dict[int, Tuple[bool, Optional[str], float, Optional[object]]] = {}
+            looked_up: Dict[int, _BatchLookup] = {}
             for adapter, events in by_cache.values():
                 results = adapter.lookup_batch(
                     [e.query for e in events], [e.context for e in events]
@@ -396,15 +500,30 @@ class FleetSimulator:
             # hit an entry enrolled by a later-arriving event, even on a
             # shared cache, and results are independent of grouping order.
             for event in window:
-                hit, response, overhead, embedding = looked_up[id(event)]
+                result = looked_up[id(event)]
+                adapter = self._adapter(event.user_id)
+                intent_map = self._intent_maps[id(adapter.cache)]
+                # Verification against the intent oracle (the user-feedback
+                # stand-in): on a hit, whether the served entry answers the
+                # probe's intent; on a miss, whether the *top retrieved
+                # candidate* would have (feeding near-miss pair mining).
+                verified: Optional[bool] = None
+                reference = result.matched_query if result.hit else result.top_query
+                if reference is not None and event.intent_key:
+                    reference_intent = intent_map.get(reference)
+                    if reference_intent is not None:
+                        verified = reference_intent == event.intent_key
                 outcome = LookupOutcome(
                     event=event,
-                    hit=hit,
-                    response=response,
-                    cache_overhead_s=overhead,
-                    embedding=embedding,
+                    hit=result.hit,
+                    response=result.response,
+                    cache_overhead_s=result.overhead_s,
+                    embedding=result.embedding,
+                    similarity=result.similarity,
+                    matched_query=result.matched_query,
+                    verified=verified,
                 )
-                if not hit:
+                if not result.hit:
                     llm = self.service.query(
                         event.query, client_id=event.user_id, context=list(event.context)
                     )
@@ -412,21 +531,42 @@ class FleetSimulator:
                     outcome.llm_latency_s = llm.latency_s
                     outcome.cost_usd = llm.cost_usd
                     if self.config.enroll_on_miss:
-                        self._adapter(event.user_id).enroll(
+                        adapter.enroll(
                             event.query,
                             llm.text,
                             event.context,
                             event.user_id,
-                            embedding=embedding,
+                            embedding=result.embedding,
                         )
+                        if event.intent_key:
+                            intent_map[event.query] = event.intent_key
                 stats = per_user.setdefault(event.user_id, UserStats())
                 stats.record(outcome)
                 virtual_end = max(virtual_end, event.time_s + outcome.total_latency_s)
+                if self.adaptation is not None:
+                    self.adaptation.observe(
+                        event.user_id,
+                        similarity=outcome.similarity,
+                        hit=outcome.hit,
+                        verified=outcome.verified,
+                        followup=event.is_followup,
+                        query=event.query,
+                        matched_query=outcome.matched_query or result.top_query,
+                        time_s=event.time_s,
+                    )
                 if collect_outcomes:
                     outcomes.append(outcome)
+            if self.adaptation is not None:
+                # Windows arrive in time order; rounds due inside this
+                # window fire before the next window's lookups, on the
+                # trace's virtual clock.
+                self.adaptation.advance(window[-1].time_s)
         wall_clock = time.perf_counter() - start
+        # Count the users actually served rather than echoing the trace's
+        # configured fleet size: with churn, cold-start successors appear
+        # under fresh ids, so the two can legitimately differ.
         return FleetResult(
-            n_users=trace.n_users,
+            n_users=len(per_user),
             n_events=len(trace),
             virtual_duration_s=virtual_end,
             wall_clock_s=wall_clock,

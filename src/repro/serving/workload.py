@@ -18,6 +18,17 @@ produces that fleet's traffic as a :class:`Trace` — a time-ordered stream of
 Everything derives from ``(seed, user_index)`` so a trace is reproducible
 event-for-event, and traces serialize to/from JSON for **traffic replay**:
 record once, re-run against any cache variant or fleet configuration.
+
+**Non-stationary scenarios.**  Real fleet traffic drifts; the online
+federated adaptation loop (:mod:`repro.federated.online`) needs something to
+chase.  :class:`DriftPhase` entries on ``WorkloadConfig.drift_phases`` apply
+mid-stream overrides to every user — paraphrase/duplicate-rate shifts and
+domain-mix drift (each user re-draws its Dirichlet preference vector, so the
+topical mix of its traffic — and with it the hard-negative density its cache
+faces — changes) — while ``churn_fraction`` replaces a share of the users
+mid-stream with cold-start successors (fresh id, empty history, new domain
+mix).  A config without drift knobs generates streams identical to the
+stationary generator, so existing traces and benchmarks are unaffected.
 """
 
 from __future__ import annotations
@@ -147,6 +158,61 @@ class Trace:
 
 
 @dataclass(frozen=True)
+class DriftPhase:
+    """One mid-stream shift of the traffic distribution.
+
+    Applies to every (non-churned-out) user from the query at
+    ``start_fraction`` of its stream onward; unset fields keep the previous
+    phase's value.
+
+    Attributes
+    ----------
+    start_fraction:
+        Position in each user's stream, as a fraction of
+        ``queries_per_user`` in [0, 1], at which the overrides take effect.
+    duplicate_rate:
+        New probability of paraphrase re-asks (the paraphrase-rate shift).
+    redraw_domain_mix:
+        Re-draw the user's Dirichlet domain-preference vector — the user's
+        topical habits drift to a new mix.
+    domain_concentration:
+        Dirichlet concentration used for re-draws from this phase on
+        (defaults to the config's base concentration).
+    paraphrase_bias:
+        New canonical-object bias for query realisation (paraphrase-style
+        drift): near 1.0 re-asks share the distinctive noun phrase and score
+        high; near 0.0 they are weak paraphrases whose similarities — and
+        with them the optimal admission threshold — shift down.
+    """
+
+    start_fraction: float
+    duplicate_rate: Optional[float] = None
+    redraw_domain_mix: bool = False
+    domain_concentration: Optional[float] = None
+    paraphrase_bias: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start_fraction <= 1.0:
+            raise ValueError("start_fraction must be in [0, 1]")
+        if self.duplicate_rate is not None and not 0.0 <= self.duplicate_rate <= 1.0:
+            raise ValueError("duplicate_rate must be in [0, 1]")
+        if self.domain_concentration is not None and self.domain_concentration <= 0:
+            raise ValueError("domain_concentration must be > 0")
+        if self.paraphrase_bias is not None and not 0.0 <= self.paraphrase_bias <= 1.0:
+            raise ValueError("paraphrase_bias must be in [0, 1]")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (stored in trace metadata)."""
+        return {
+            "start_fraction": self.start_fraction,
+            "duplicate_rate": self.duplicate_rate,
+            "redraw_domain_mix": self.redraw_domain_mix,
+            "domain_concentration": self.domain_concentration,
+            "paraphrase_bias": self.paraphrase_bias,
+        }
+
+
+@dataclass(frozen=True)
 class WorkloadConfig:
     """Knobs of the fleet traffic model.
 
@@ -169,6 +235,18 @@ class WorkloadConfig:
     domain_concentration:
         Dirichlet concentration of each user's domain-preference vector
         (lower = more specialised users).
+    paraphrase_bias:
+        Base canonical-object bias of query realisation (``None`` keeps the
+        corpus default of 0.45); see :class:`DriftPhase.paraphrase_bias`.
+    drift_phases:
+        Mid-stream distribution shifts (see :class:`DriftPhase`), applied in
+        ascending ``start_fraction`` order.  Empty = stationary traffic.
+    churn_fraction:
+        Probability that a user churns: at ``churn_point`` of its stream the
+        device disappears and a cold-start successor (fresh id ``<uid>-r``,
+        empty history, re-drawn domain mix) takes over its arrival slots.
+    churn_point:
+        Stream fraction at which churned users are replaced.
     """
 
     n_users: int = 10
@@ -178,8 +256,22 @@ class WorkloadConfig:
     followup_rate: float = 0.25
     max_context_depth: int = 3
     domain_concentration: float = 1.0
+    paraphrase_bias: Optional[float] = None
+    drift_phases: Tuple[DriftPhase, ...] = ()
+    churn_fraction: float = 0.0
+    churn_point: float = 0.5
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "drift_phases", tuple(self.drift_phases))
+        starts = [p.start_fraction for p in self.drift_phases]
+        if starts != sorted(starts):
+            raise ValueError("drift_phases must be in ascending start_fraction order")
+        if not 0.0 <= self.churn_fraction <= 1.0:
+            raise ValueError("churn_fraction must be in [0, 1]")
+        if not 0.0 <= self.churn_point <= 1.0:
+            raise ValueError("churn_point must be in [0, 1]")
+        if self.paraphrase_bias is not None and not 0.0 <= self.paraphrase_bias <= 1.0:
+            raise ValueError("paraphrase_bias must be in [0, 1]")
         if self.n_users < 1 or self.queries_per_user < 1:
             raise ValueError("n_users and queries_per_user must be >= 1")
         if self.arrival_rate_qps <= 0:
@@ -224,22 +316,61 @@ class WorkloadGenerator:
         return np.random.default_rng(np.random.SeedSequence([self.seed, user_index]))
 
     def _user_events(self, user_index: int) -> List[WorkloadEvent]:
-        """One user's whole arrival stream (independent of other users)."""
+        """One user's whole arrival stream (independent of other users).
+
+        Drift knobs consume RNG draws only when configured, so a config
+        without them generates a stream identical to the stationary
+        generator's.
+        """
         cfg = self.config
         rng = self._user_rng(user_index)
         uid = self.user_id(user_index)
         mix = rng.dirichlet(np.full(len(self._domains), cfg.domain_concentration))
+        duplicate_rate = cfg.duplicate_rate
+        concentration = cfg.domain_concentration
+        paraphrase_bias = cfg.paraphrase_bias
+        # Fractions map to query indices clamped into the stream, so a
+        # boundary of 1.0 still applies (from the final query) instead of
+        # silently falling past the loop.  Phases that land on the same
+        # index are all applied, in order — each one's unset fields keep the
+        # previous phase's value, exactly as for distinct indices.
+        last_index = cfg.queries_per_user - 1
+        phase_starts: Dict[int, List[DriftPhase]] = {}
+        for p in cfg.drift_phases:
+            index = min(int(round(p.start_fraction * cfg.queries_per_user)), last_index)
+            phase_starts.setdefault(index, []).append(p)
+        churn_index = None
+        if cfg.churn_fraction > 0 and rng.random() < cfg.churn_fraction:
+            churn_index = min(
+                int(round(cfg.churn_point * cfg.queries_per_user)), last_index
+            )
 
         events: List[WorkloadEvent] = []
         history: List = []  # intents the user has asked before
         conversation: List[str] = []  # current conversation's turns
         t = 0.0
-        for _ in range(cfg.queries_per_user):
+        for q_index in range(cfg.queries_per_user):
+            for phase in phase_starts.get(q_index, ()):
+                if phase.duplicate_rate is not None:
+                    duplicate_rate = phase.duplicate_rate
+                if phase.domain_concentration is not None:
+                    concentration = phase.domain_concentration
+                if phase.paraphrase_bias is not None:
+                    paraphrase_bias = phase.paraphrase_bias
+                if phase.redraw_domain_mix:
+                    mix = rng.dirichlet(np.full(len(self._domains), concentration))
+            if churn_index is not None and q_index == churn_index:
+                # The device churns out; its arrival slots continue under a
+                # cold-start successor with no history and fresh habits.
+                uid = f"{uid}-r"
+                history = []
+                conversation = []
+                mix = rng.dirichlet(np.full(len(self._domains), concentration))
             t += float(rng.exponential(1.0 / cfg.arrival_rate_qps))
             is_followup = bool(conversation) and bool(rng.random() < cfg.followup_rate)
             if not is_followup:
                 conversation = []
-            if history and rng.random() < cfg.duplicate_rate:
+            if history and rng.random() < duplicate_rate:
                 intent = history[int(rng.integers(len(history)))]
                 kind = "duplicate"
             else:
@@ -247,7 +378,7 @@ class WorkloadGenerator:
                 pool = self._domain_intents[domain]
                 intent = pool[int(rng.integers(len(pool)))]
                 kind = "unique"
-            text = self.corpus.realize(intent, rng=rng)
+            text = self.corpus.realize(intent, rng=rng, object_bias=paraphrase_bias)
             context = (
                 tuple(conversation[-cfg.max_context_depth :]) if is_followup else ()
             )
@@ -287,5 +418,9 @@ class WorkloadGenerator:
                 "followup_rate": cfg.followup_rate,
                 "max_context_depth": cfg.max_context_depth,
                 "domain_concentration": cfg.domain_concentration,
+                "paraphrase_bias": cfg.paraphrase_bias,
+                "drift_phases": [p.to_dict() for p in cfg.drift_phases],
+                "churn_fraction": cfg.churn_fraction,
+                "churn_point": cfg.churn_point,
             },
         )

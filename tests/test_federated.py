@@ -23,6 +23,7 @@ from repro.federated.server import FLServer, ServerConfig
 from repro.federated.threshold import (
     cache_mode_threshold_sweep,
     find_optimal_threshold,
+    score_sweep,
     threshold_sweep,
 )
 
@@ -130,8 +131,28 @@ class TestThresholdAggregation:
         with pytest.raises(ValueError):
             aggregate_thresholds([])
 
+    def test_negative_sample_count_rejected(self):
+        """A single negative weight must fail loudly, not skew the mean.
+
+        The sum check alone passes [30, -10, 1] (sum 21 > 0) while the
+        weighted mean it produces can leave the clients' threshold range.
+        """
+        with pytest.raises(ValueError, match="negative"):
+            aggregate_thresholds([0.6, 0.8, 0.7], num_samples=[30, -10, 1], weighted=True)
+
+    def test_weighted_equals_unweighted_for_equal_counts(self):
+        """Parity: equal per-client counts reduce to the plain mean."""
+        thresholds = [0.55, 0.7, 0.85, 0.6]
+        assert aggregate_thresholds(
+            thresholds, num_samples=[7, 7, 7, 7], weighted=True
+        ) == pytest.approx(aggregate_thresholds(thresholds))
+
     def test_weighted_metric_mean(self):
         assert weighted_metric_mean([1.0, 0.0], [1, 3]) == pytest.approx(0.25)
+
+    def test_weighted_metric_mean_rejects_negative_counts(self):
+        with pytest.raises(ValueError, match="negative"):
+            weighted_metric_mean([0.5, 0.5], [4, -1])
 
 
 # --------------------------------------------------------------------------- #
@@ -163,6 +184,27 @@ class TestSamplers:
         picked = ResourceAwareSampler(scores, seed=0).sample(self.CLIENTS, 2, 0)
         assert set(picked) == {"c3", "c7"}
 
+    def test_resource_aware_fills_from_zero_scores_when_short(self):
+        """Regression: fewer positive-score clients than the round needs.
+
+        ``rng.choice(..., replace=False, p=probs)`` raises when fewer than
+        ``n`` entries have nonzero probability; the sampler must instead take
+        every positive-score client and fill the rest uniformly from the
+        zero-score ones.
+        """
+        scores = {c: 0.0 for c in self.CLIENTS}
+        scores["c2"] = 5.0
+        picked = ResourceAwareSampler(scores, seed=0).sample(self.CLIENTS, 4, 0)
+        assert len(picked) == 4
+        assert len(set(picked)) == 4
+        assert "c2" in picked  # every positive-score client is selected
+
+    def test_resource_aware_zero_fill_is_deterministic(self):
+        scores = {"c0": 1.0}
+        a = ResourceAwareSampler(scores, seed=3).sample(self.CLIENTS, 5, 0)
+        b = ResourceAwareSampler(scores, seed=3).sample(self.CLIENTS, 5, 0)
+        assert a == b
+
     def test_resource_aware_rejects_negative_scores(self):
         with pytest.raises(ValueError):
             ResourceAwareSampler({"a": -1.0})
@@ -170,6 +212,30 @@ class TestSamplers:
     def test_empty_population_rejected(self):
         with pytest.raises(ValueError):
             UniformSampler().sample([], 1, 0)
+
+    @pytest.mark.parametrize(
+        "sampler_factory",
+        [
+            lambda: UniformSampler(seed=0),
+            lambda: RoundRobinSampler(),
+            lambda: ResourceAwareSampler({"c0": 2.0, "c1": 1.0}, seed=0),
+        ],
+        ids=["uniform", "round_robin", "resource_aware"],
+    )
+    def test_all_samplers_cap_at_population_and_reject_zero(self, sampler_factory):
+        """Shared edge cases: n > len(clients) caps, n == 0 raises."""
+        sampler = sampler_factory()
+        picked = sampler.sample(self.CLIENTS, len(self.CLIENTS) + 25, 0)
+        assert sorted(picked) == sorted(self.CLIENTS)  # capped, no duplicates
+        with pytest.raises(ValueError):
+            sampler_factory().sample(self.CLIENTS, 0, 0)
+
+    def test_round_robin_wraparound_has_no_duplicates(self):
+        """A round whose window wraps past the end must not repeat a client."""
+        sampler = RoundRobinSampler()
+        for r in range(12):
+            picked = sampler.sample(self.CLIENTS, 3, r)
+            assert len(picked) == len(set(picked)) == 3
 
 
 # --------------------------------------------------------------------------- #
@@ -219,6 +285,45 @@ class TestThresholdSearch:
         tiny_encoder.train_on_pairs(pairs, epochs=5, batch_size=8)
         sweep = threshold_sweep(tiny_encoder, pairs)
         assert sweep.f_scores[sweep.optimal_index] > 0.8
+
+    def test_as_series_key_set_pinned(self, tiny_encoder):
+        """``as_series`` returns the threshold grid plus all five metric
+        curves — six series total (the docstring's contract)."""
+        sweep = threshold_sweep(tiny_encoder, self._pairs(), thresholds=np.linspace(0, 1, 11))
+        series = sweep.as_series()
+        assert set(series) == {"threshold", "f1", "f_score", "precision", "recall", "accuracy"}
+        for curve in series.values():
+            assert curve.shape == (11,)
+        assert np.array_equal(series["threshold"], sweep.thresholds)
+
+    def test_score_sweep_matches_pairwise_sweep(self, tiny_encoder):
+        """The extracted score-space core reproduces the encoder sweep."""
+        from repro.federated.threshold import pair_similarities
+
+        pairs = self._pairs()
+        grid = np.linspace(0, 1, 21)
+        via_encoder = threshold_sweep(tiny_encoder, pairs, thresholds=grid)
+        sims, labels = pair_similarities(tiny_encoder, pairs)
+        via_scores = score_sweep(sims, labels, thresholds=grid)
+        assert via_scores.optimal_threshold == via_encoder.optimal_threshold
+        assert np.allclose(via_scores.f_scores, via_encoder.f_scores)
+        assert np.allclose(via_scores.precisions, via_encoder.precisions)
+
+    def test_score_sweep_validation(self):
+        with pytest.raises(ValueError):
+            score_sweep(np.array([0.5]), np.array([True]), thresholds=np.array([]))
+        with pytest.raises(ValueError):
+            score_sweep(np.array([0.5]), np.array([True]), thresholds=np.array([1.5]))
+        with pytest.raises(ValueError):
+            score_sweep(np.array([0.5, 0.6]), np.array([True]))
+
+    def test_score_sweep_separable_scores_find_the_gap(self):
+        scores = np.array([0.9, 0.95, 0.85, 0.2, 0.3, 0.25])
+        labels = np.array([True, True, True, False, False, False])
+        sweep = score_sweep(scores, labels, thresholds=np.linspace(0, 1, 101), beta=1.0)
+        assert 0.3 < sweep.optimal_threshold <= 0.85
+        assert sweep.f_scores[sweep.optimal_index] == pytest.approx(1.0)
+        assert sweep.metadata["positive_fraction"] == pytest.approx(0.5)
 
 
 # --------------------------------------------------------------------------- #

@@ -10,9 +10,10 @@ from conftest import make_tiny_encoder
 from repro.baselines.gptcache import GPTCache, GPTCacheConfig
 from repro.baselines.keyword_cache import KeywordCache
 from repro.core.cache import MeanCache, MeanCacheConfig
-from repro.experiments.fleet_bench import run_fleet_bench
+from repro.experiments.fleet_bench import run_drift_adaptation_bench, run_fleet_bench
 from repro.llm.service import LLMServiceConfig, SimulatedLLMService
 from repro.serving import (
+    DriftPhase,
     FleetConfig,
     FleetSimulator,
     Trace,
@@ -90,6 +91,183 @@ class TestWorkloadGenerator:
         loaded = Trace.load(path)
         assert loaded.to_dict() == small_trace.to_dict()
         assert loaded.duration_s == small_trace.duration_s
+
+
+class TestDriftScenarios:
+    BASE = dict(n_users=5, queries_per_user=40, duplicate_rate=0.4, followup_rate=0.2)
+
+    def test_no_drift_knobs_reproduce_stationary_stream(self):
+        """Drift plumbing must not perturb the default RNG draw sequence."""
+        plain = WorkloadGenerator(WorkloadConfig(**self.BASE), seed=9).generate()
+        wired = WorkloadGenerator(
+            WorkloadConfig(**self.BASE, drift_phases=(), churn_fraction=0.0),
+            seed=9,
+        ).generate()
+        assert [e.to_dict() for e in wired] == [e.to_dict() for e in plain]
+
+    def test_duplicate_rate_shift_applies_mid_stream(self):
+        config = WorkloadConfig(
+            **self.BASE,
+            drift_phases=(DriftPhase(start_fraction=0.5, duplicate_rate=0.0),),
+        )
+        trace = WorkloadGenerator(config, seed=9).generate()
+        for uid in trace.user_ids:
+            events = trace.events_for_user(uid)
+            second_half = events[len(events) // 2 :]
+            assert all(e.kind == "unique" for e in second_half)
+
+    def test_pre_changepoint_stream_unchanged(self):
+        """Events before the first phase boundary are identical to the
+        stationary stream (drift only consumes RNG from the boundary on)."""
+        plain = WorkloadGenerator(WorkloadConfig(**self.BASE), seed=9).generate()
+        drifted = WorkloadGenerator(
+            WorkloadConfig(
+                **self.BASE,
+                drift_phases=(
+                    DriftPhase(
+                        start_fraction=0.5, redraw_domain_mix=True, paraphrase_bias=0.0
+                    ),
+                ),
+            ),
+            seed=9,
+        ).generate()
+        cut = self.BASE["queries_per_user"] // 2
+        for uid in plain.user_ids:
+            before_plain = [e.to_dict() for e in plain.events_for_user(uid)[:cut]]
+            before_drift = [e.to_dict() for e in drifted.events_for_user(uid)[:cut]]
+            assert before_plain == before_drift
+        # ...and the redraw/bias change actually alters the second half.
+        assert [e.to_dict() for e in plain] != [e.to_dict() for e in drifted]
+
+    def test_paraphrase_bias_extremes_change_realisations(self):
+        """Bias 1.0 always keeps the canonical noun; bias 0.0 never does."""
+        from repro.datasets.corpus import Corpus
+
+        corpus = Corpus(seed=0)
+        intent = next(
+            i for i in corpus.intents if len(corpus.object_synonyms(i)) > 1
+        )
+        synonyms = corpus.object_synonyms(intent)
+        for trial in range(10):
+            rng = np.random.default_rng(trial)
+            assert intent.obj in corpus.realize(intent, rng=rng, object_bias=1.0)
+            rng = np.random.default_rng(trial)
+            text = corpus.realize(intent, rng=rng, object_bias=0.0)
+            assert intent.obj == synonyms[0]
+            assert any(s in text for s in synonyms[1:])
+        # The workload threads the knob through to its realisations.
+        biased = WorkloadGenerator(
+            WorkloadConfig(**self.BASE, paraphrase_bias=0.0), seed=9
+        ).generate()
+        default = WorkloadGenerator(WorkloadConfig(**self.BASE), seed=9).generate()
+        assert [e.query for e in biased] != [e.query for e in default]
+
+    def test_churn_replaces_users_with_cold_start_successors(self):
+        config = WorkloadConfig(
+            **self.BASE, churn_fraction=1.0, churn_point=0.5
+        )
+        trace = WorkloadGenerator(config, seed=9).generate()
+        originals = [u for u in trace.user_ids if not u.endswith("-r")]
+        successors = [u for u in trace.user_ids if u.endswith("-r")]
+        assert len(originals) == len(successors) == config.n_users
+        cut = config.queries_per_user // 2
+        for uid in originals:
+            assert len(trace.events_for_user(uid)) == cut
+            successor_events = trace.events_for_user(f"{uid}-r")
+            assert len(successor_events) == config.queries_per_user - cut
+            # Cold start: a successor's first event cannot re-ask history.
+            assert successor_events[0].kind == "unique"
+            # Successors inherit the original's timeline (later arrivals).
+            assert successor_events[0].time_s > trace.events_for_user(uid)[-1].time_s
+
+    def test_churn_fraction_zero_never_splits_users(self):
+        trace = WorkloadGenerator(
+            WorkloadConfig(**self.BASE, churn_fraction=0.0), seed=9
+        ).generate()
+        assert all(not u.endswith("-r") for u in trace.user_ids)
+
+    def test_same_index_phases_merge_field_by_field(self):
+        """Phases rounding to the same query index must all apply — an
+        unset field keeps the earlier phase's override, as documented."""
+        config = WorkloadConfig(
+            **self.BASE,
+            drift_phases=(
+                DriftPhase(start_fraction=0.50, duplicate_rate=0.0),
+                # 0.51 * 40 rounds to the same index 20 as 0.50 * 40.
+                DriftPhase(start_fraction=0.51, paraphrase_bias=0.1),
+            ),
+        )
+        trace = WorkloadGenerator(config, seed=9).generate()
+        cut = self.BASE["queries_per_user"] // 2
+        for uid in trace.user_ids:
+            # The earlier phase's duplicate_rate=0.0 still applies.
+            assert all(e.kind == "unique" for e in trace.events_for_user(uid)[cut:])
+
+    def test_boundary_fraction_one_still_applies(self):
+        """start_fraction=1.0 / churn_point=1.0 clamp to the final query
+        instead of silently falling past the stream."""
+        phased = WorkloadGenerator(
+            WorkloadConfig(
+                **self.BASE,
+                drift_phases=(DriftPhase(start_fraction=1.0, duplicate_rate=0.0),),
+            ),
+            seed=9,
+        ).generate()
+        for uid in phased.user_ids:
+            assert phased.events_for_user(uid)[-1].kind == "unique"
+        churned = WorkloadGenerator(
+            WorkloadConfig(**self.BASE, churn_fraction=1.0, churn_point=1.0), seed=9
+        ).generate()
+        successors = [u for u in churned.user_ids if u.endswith("-r")]
+        assert len(successors) == self.BASE["n_users"]
+        for uid in successors:
+            assert len(churned.events_for_user(uid)) == 1  # the final slot
+
+    def test_fleet_result_counts_churned_successors(self, tiny_encoder):
+        trace = WorkloadGenerator(
+            WorkloadConfig(**self.BASE, churn_fraction=1.0, churn_point=0.5), seed=9
+        ).generate()
+        simulator = FleetSimulator(
+            _meancache_factory(tiny_encoder),
+            SimulatedLLMService(LLMServiceConfig(seed=0)),
+        )
+        result = simulator.run(trace)
+        assert result.n_users == len(trace.user_ids) == 2 * self.BASE["n_users"]
+        assert set(result.per_user) == set(trace.user_ids)
+
+    def test_drift_metadata_round_trips(self, tmp_path):
+        config = WorkloadConfig(
+            **self.BASE,
+            paraphrase_bias=0.8,
+            drift_phases=(DriftPhase(start_fraction=0.5, duplicate_rate=0.6),),
+            churn_fraction=0.25,
+        )
+        trace = WorkloadGenerator(config, seed=9).generate()
+        assert trace.metadata["churn_fraction"] == 0.25
+        assert trace.metadata["paraphrase_bias"] == 0.8
+        assert trace.metadata["drift_phases"][0]["duplicate_rate"] == 0.6
+        loaded = Trace.load(trace.save(tmp_path / "drift.json"))
+        assert loaded.metadata == trace.metadata
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DriftPhase(start_fraction=1.5)
+        with pytest.raises(ValueError):
+            DriftPhase(start_fraction=0.5, duplicate_rate=2.0)
+        with pytest.raises(ValueError):
+            DriftPhase(start_fraction=0.5, paraphrase_bias=-0.1)
+        with pytest.raises(ValueError):
+            WorkloadConfig(
+                **self.BASE,
+                drift_phases=(
+                    DriftPhase(start_fraction=0.8),
+                    DriftPhase(start_fraction=0.2),
+                ),
+            )
+        with pytest.raises(ValueError):
+            WorkloadConfig(**self.BASE, churn_fraction=1.2)
+        with pytest.raises(ValueError):
+            WorkloadConfig(**self.BASE, paraphrase_bias=1.2)
 
 
 class TestFleetSimulator:
@@ -202,6 +380,44 @@ class TestFleetSimulator:
         assert len(cache) == 1
         assert cache.lookup("how can i sort a list in python").hit
 
+    def test_hits_verified_against_intent_oracle(self, small_trace, tiny_encoder):
+        simulator = FleetSimulator(
+            _meancache_factory(tiny_encoder, threshold=0.6),
+            SimulatedLLMService(LLMServiceConfig(seed=0)),
+        )
+        result = simulator.run(small_trace, collect_outcomes=True)
+        hits = [o for o in result.outcomes if o.hit]
+        assert hits, "expected some hits at a permissive threshold"
+        # Every hit on generator traffic is verifiable (intent keys present
+        # and the matched entry was enrolled in-simulation).
+        assert all(o.verified is not None for o in hits)
+        # Nothing-retrieved misses have no candidate to verify against.
+        assert all(
+            o.verified is None for o in result.outcomes if not o.hit and o.similarity == 0.0
+        )
+        assert result.true_hits + result.false_hits == result.hits
+        assert result.false_hit_rate == pytest.approx(result.false_hits / result.lookups)
+        # Verified-correct hits really did match the probe's intent.
+        intent_of = {}
+        for event in small_trace:
+            intent_of[(event.user_id, event.query)] = event.intent_key
+        for outcome in hits:
+            expected = intent_of.get((outcome.event.user_id, outcome.matched_query))
+            if expected is not None:
+                assert outcome.verified == (expected == outcome.event.intent_key)
+
+    def test_outcomes_carry_similarity_and_matched_query(self, small_trace, tiny_encoder):
+        simulator = FleetSimulator(
+            _meancache_factory(tiny_encoder),
+            SimulatedLLMService(LLMServiceConfig(seed=0)),
+        )
+        result = simulator.run(small_trace, collect_outcomes=True)
+        for outcome in result.outcomes:
+            assert 0.0 <= outcome.similarity <= 1.0 + 1e-9
+            if outcome.hit:
+                assert outcome.matched_query is not None
+                assert outcome.similarity >= 0.8  # the fixture's τ
+
     def test_keyword_variant_rides_along(self, small_trace):
         simulator = FleetSimulator(
             lambda uid: KeywordCache(), SimulatedLLMService(LLMServiceConfig(seed=0))
@@ -268,3 +484,25 @@ class TestFleetBench:
         assert len(payload["points"]) == 2
         with pytest.raises(KeyError):
             result.point(99)
+
+    def test_small_drift_adaptation_bench(self):
+        """Structural check at toy scale (the dominance floors live in
+        benchmarks/test_bench_fleet.py at full scale)."""
+        result = run_drift_adaptation_bench(
+            n_users=6,
+            queries_per_user=30,
+            encoder=make_tiny_encoder(),
+            encoder_name="tiny",
+            seed=0,
+        )
+        assert result.static.label == "static"
+        assert result.adaptive.label == "adaptive"
+        assert result.static.n_lookups == result.adaptive.n_lookups == 6 * 30
+        assert result.n_rounds > 0
+        assert len(result.threshold_trajectory) == result.n_rounds
+        assert 0.0 <= result.adaptive.false_hit_rate <= result.adaptive.hit_rate
+        payload = result.to_dict()
+        assert payload["workload"]["metadata"]["drift_phases"]
+        assert payload["adaptation"]["round_interval_s"] > 0
+        assert payload["static"]["hit_rate"] == pytest.approx(result.static.hit_rate)
+        assert "Online federated" in result.format()
