@@ -1,0 +1,126 @@
+"""Benchmark: the scenario-matrix evaluation harness with per-family floors.
+
+``test_scenario_matrix`` runs every registered scenario spec (the default
+zoo: adversarial poisoning, near-miss τ flooding, diurnal/flash-crowd
+arrivals, mixed-domain cohorts, multi-tenant mixes, external log replay)
+through :func:`repro.experiments.scenario_bench.run_scenario_matrix` with
+the albert-sim encoder, writes the full matrix to ``BENCH_scenarios.json``
+at the repo root, and asserts one or more CI floors **per scenario family**:
+
+* poisoning — the attack must land (poison entries actually served, a
+  positive false-hit delta on victims) yet stay bounded, and victims'
+  verified-correct service must not collapse;
+* flooding — the federated τ may never cross ``min_threshold`` (the clamp
+  invariant, global and per-device), the attack must measurably drag τ
+  versus the clean run, and honest users' false-hit inflation stays small;
+* arrival — re-timing is content-preserving, so hit rates must match the
+  stationary baseline almost exactly while the peak arrival rate actually
+  spikes;
+* mixed_domain — every cohort gets non-degenerate service and cross-domain
+  contamination stays low;
+* multi_tenant — the ISSUE floor: at provisioned capacity the noisy tenant
+  may cost the quiet tenant at most 0.03 hit rate versus running alone
+  (same seed), and even capacity-starved the degradation stays bounded;
+* replay — imported logs must replay deterministically and match the
+  direct run exactly.
+
+CI runs this as its own benchmarks-job step via ``-k scenario``.
+Run locally with ``pytest benchmarks/test_bench_scenarios.py -s``.
+"""
+
+import json
+from pathlib import Path
+
+from conftest import emit
+
+from repro.experiments.scenario_bench import run_scenario_matrix
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_scenarios.json"
+
+
+def test_scenario_matrix(benchmark):
+    matrix = benchmark.pedantic(run_scenario_matrix, rounds=1, iterations=1)
+    emit("Scenario-matrix evaluation", matrix.format())
+
+    payload = matrix.to_dict()
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    emit("BENCH_scenarios.json", f"written to {BENCH_JSON}")
+
+    # The zoo must cover at least 5 distinct families, each with metrics.
+    assert len(matrix.families) >= 5, matrix.families
+    for result in matrix.results:
+        assert result.metrics.n_events > 0, result.name
+        assert 0.0 <= result.metrics.hit_rate <= 1.0, result.name
+        assert result.metrics.total_cost_usd > 0.0, result.name
+
+    # ---------------- poisoning ---------------- #
+    poisoning = matrix.get("cache_poisoning")
+    assert poisoning.extras["poison_served"] >= 1, poisoning.extras
+    delta = poisoning.extras["false_hit_delta"]
+    # The attack must be real but bounded: extra victim false hits in
+    # (0, 0.2] versus the unpoisoned run of the same honest traffic.
+    assert 0.0 < delta <= 0.2, poisoning.extras
+    assert (
+        poisoning.metrics.true_hit_rate
+        >= poisoning.baseline.true_hit_rate - 0.05
+    ), (poisoning.metrics, poisoning.baseline)
+
+    # ---------------- flooding ---------------- #
+    flooding = matrix.get("near_miss_flooding")
+    floor = flooding.extras["tau_floor"]
+    # Clamp invariant: no aggregated τ — global trajectory or any served
+    # per-device value — ever crosses the configured floor.
+    assert flooding.extras["min_global_tau"] >= floor - 1e-9, flooding.extras
+    assert flooding.extras["min_served_tau"] >= floor - 1e-9, flooding.extras
+    assert flooding.extras["n_rounds"] > 0, flooding.extras
+    # The attack must actually drag τ versus the clean run of the same
+    # honest traffic — otherwise the scenario is not exercising anything.
+    assert (
+        flooding.extras["final_global_tau"]
+        < flooding.extras["baseline_final_tau"]
+    ), flooding.extras
+    # ... while honest users' false-hit inflation stays small thanks to
+    # the clamp.
+    assert flooding.extras["false_hit_delta"] <= 0.08, flooding.extras
+
+    # ---------------- arrival ---------------- #
+    for name in ("diurnal_cycle", "flash_crowd"):
+        arrival = matrix.get(name)
+        # Schedules re-time arrivals without touching query content, so the
+        # hit rate must track the stationary baseline almost exactly.
+        assert abs(arrival.extras["hit_rate_delta"]) <= 0.02, (name, arrival.extras)
+        assert (
+            arrival.metrics.n_events == arrival.baseline.n_events
+        ), (name, arrival.metrics, arrival.baseline)
+    flash = matrix.get("flash_crowd")
+    # The flash window must concentrate real load: peak arrivals at least
+    # 3x the stationary peak, total duration compressed.
+    assert (
+        flash.extras["peak_arrivals_per_s"]
+        >= 3 * flash.extras["baseline_peak_arrivals_per_s"]
+    ), flash.extras
+    assert flash.extras["duration_s"] < flash.extras["baseline_duration_s"], (
+        flash.extras
+    )
+
+    # ---------------- mixed_domain ---------------- #
+    mixed = matrix.get("mixed_domain_cohorts")
+    assert mixed.extras["min_cohort_hit_rate"] >= 0.05, mixed.extras
+    assert mixed.extras["max_cohort_false_hit_rate"] <= 0.10, mixed.extras
+
+    # ---------------- multi_tenant ---------------- #
+    isolation = matrix.get("multi_tenant_isolation")
+    # The ISSUE floor: at provisioned capacity, the noisy tenant reduces
+    # the quiet tenant's hit rate by at most 0.03 versus running alone.
+    assert isolation.extras["isolation_gap"] <= 0.03, isolation.extras
+    assert isolation.extras["noisy_traffic_share"] >= 0.3, isolation.extras
+    stressed = matrix.get("multi_tenant_stressed")
+    # Capacity-starved, degradation is expected but must stay graceful.
+    assert stressed.extras["isolation_gap"] <= 0.15, stressed.extras
+    assert stressed.metrics.hit_rate > 0.0, stressed.metrics
+
+    # ---------------- replay ---------------- #
+    replay = matrix.get("external_trace_replay")
+    assert replay.extras["replay_deterministic"], replay.extras
+    assert replay.extras["hit_rate_matches_direct"], replay.extras
+    assert replay.extras["cost_matches_direct"], replay.extras

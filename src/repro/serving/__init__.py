@@ -6,13 +6,19 @@ cache, sharing one LLM web service:
 
 * :mod:`repro.serving.workload` — :class:`WorkloadGenerator` produces
   deterministic, seeded multi-user traffic traces (Poisson arrivals,
-  per-user domain mixes, conversations/follow-ups, paraphrase duplicates);
+  per-user domain mixes, conversations/follow-ups, paraphrase duplicates,
+  drift phases, :class:`ArrivalSchedule` diurnal/flash-crowd re-timing);
   :class:`Trace` serializes to JSON for traffic replay.
 * :mod:`repro.serving.fleet` — :class:`FleetSimulator` replays a trace over
   N per-user caches (any variant on the shared lookup pipeline) against one
   shared :class:`~repro.llm.service.SimulatedLLMService` on a virtual event
   clock, with batched lookup scheduling and per-fleet/per-user hit-rate,
   latency and cost aggregation.
+* :mod:`repro.serving.scenarios` — the scenario zoo: adversarial
+  cache-poisoning and near-miss-flooding streams, mixed-domain cohorts,
+  multi-tenant mixes, external log import, plus the declarative
+  :class:`ScenarioSpec` registry the evaluation matrix
+  (:mod:`repro.experiments.scenario_bench`) drives.
 """
 
 from repro.serving.fleet import (
@@ -22,12 +28,32 @@ from repro.serving.fleet import (
     LookupOutcome,
     UserStats,
 )
+from repro.serving.scenarios import (
+    CohortSpec,
+    FloodingConfig,
+    MultiTenantConfig,
+    PoisoningConfig,
+    ScenarioSpec,
+    available_scenarios,
+    build_cohort_trace,
+    build_flooding_trace,
+    build_multi_tenant_trace,
+    get_scenario,
+    inject_poisoning,
+    merge_traces,
+    register_scenario,
+    relabel_users,
+    trace_from_logs,
+    trace_to_logs,
+)
 from repro.serving.workload import (
+    ArrivalSchedule,
     DriftPhase,
     Trace,
     WorkloadConfig,
     WorkloadEvent,
     WorkloadGenerator,
+    apply_arrival_schedule,
 )
 
 __all__ = [
@@ -36,9 +62,27 @@ __all__ = [
     "FleetSimulator",
     "LookupOutcome",
     "UserStats",
+    "ArrivalSchedule",
     "DriftPhase",
     "Trace",
     "WorkloadConfig",
     "WorkloadEvent",
     "WorkloadGenerator",
+    "apply_arrival_schedule",
+    "CohortSpec",
+    "FloodingConfig",
+    "MultiTenantConfig",
+    "PoisoningConfig",
+    "ScenarioSpec",
+    "available_scenarios",
+    "build_cohort_trace",
+    "build_flooding_trace",
+    "build_multi_tenant_trace",
+    "get_scenario",
+    "inject_poisoning",
+    "merge_traces",
+    "register_scenario",
+    "relabel_users",
+    "trace_from_logs",
+    "trace_to_logs",
 ]

@@ -145,6 +145,11 @@ class UserStats:
         """Mean end-to-end latency per query."""
         return self.total_latency_s / self.lookups if self.lookups else 0.0
 
+    @property
+    def true_hit_rate(self) -> float:
+        """Fraction of lookups served a verified-correct cached answer."""
+        return self.true_hits / self.lookups if self.lookups else 0.0
+
     def record(self, outcome: LookupOutcome) -> None:
         """Fold one lookup outcome into the totals."""
         self.lookups += 1
@@ -158,6 +163,17 @@ class UserStats:
                 self.true_hits += 1
             else:
                 self.false_hits += 1
+
+    def add(self, other: "UserStats") -> None:
+        """Fold another user's totals into this one (cohort aggregation)."""
+        self.lookups += other.lookups
+        self.hits += other.hits
+        self.llm_requests += other.llm_requests
+        self.cache_overhead_s += other.cache_overhead_s
+        self.llm_latency_s += other.llm_latency_s
+        self.cost_usd += other.cost_usd
+        self.true_hits += other.true_hits
+        self.false_hits += other.false_hits
 
 
 @dataclass
@@ -228,6 +244,20 @@ class FleetResult:
         if self.wall_clock_s <= 0:
             return 0.0
         return self.lookups / self.wall_clock_s
+
+    def stats_for(self, user_ids: Sequence[str]) -> UserStats:
+        """Aggregate stats over a user subset (a tenant, a cohort).
+
+        Users absent from the run contribute nothing — scenario drivers
+        pass the cohort's full id list even when some users never got a
+        single arrival.
+        """
+        merged = UserStats()
+        for user_id in user_ids:
+            stats = self.per_user.get(user_id)
+            if stats is not None:
+                merged.add(stats)
+        return merged
 
     def format(self) -> str:
         """One-paragraph text summary of the run."""

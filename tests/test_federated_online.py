@@ -25,8 +25,10 @@ from repro.serving import (
     DriftPhase,
     FleetConfig,
     FleetSimulator,
+    FloodingConfig,
     WorkloadConfig,
     WorkloadGenerator,
+    build_flooding_trace,
 )
 
 
@@ -389,3 +391,95 @@ class TestFleetIntegration:
             assert pair.query
             assert pair.source in ("hit", "miss")
             assert 0.0 <= pair.similarity <= 1.0 + 1e-9
+
+
+class TestAdversarialFloodResistance:
+    """Near-miss flooding must never drive τ below the configured floor.
+
+    The attack: adversarial devices issue weak-paraphrase re-asks whose
+    similarities land in the near-threshold mining band as *positives*, so
+    a local sweep prefers an ever-lower τ.  ``min_threshold`` is the
+    defense — the clamp applies to the aggregated global τ and to every
+    per-device value actually pushed into a live cache.
+    """
+
+    def _flood_observations(self, n=24, sim=0.30):
+        # Verified-correct re-asks at adversarially low similarity, plus a
+        # few true negatives so the buffer is sweepable: the sweep's
+        # preferred τ sits far below any sane floor.
+        obs = [(sim + 0.001 * i, True, True) for i in range(n)]
+        obs += [(0.15 + 0.001 * i, False, False) for i in range(4)]
+        return obs
+
+    def _config(self, **kwargs):
+        defaults = dict(
+            round_interval_s=10.0,
+            clients_per_round=8,
+            min_observations=6,
+            personalization=1.0,
+            initial_threshold=0.7,
+            min_threshold=0.6,
+            seed=0,
+        )
+        defaults.update(kwargs)
+        return OnlineAdaptationConfig(**defaults)
+
+    def test_flooded_low_similarity_positives_cannot_cross_floor(self):
+        cache = _RecordingCache()
+        adapter = OnlineThresholdAdapter(self._config())
+        adapter.register_user("flood-0", cache)
+        _observe_batch(adapter, "flood-0", self._flood_observations())
+        adapter.advance(10.0)
+        # The sweep wanted τ ≈ 0.2; the floor holds everywhere it matters.
+        assert adapter.global_threshold >= 0.6
+        assert adapter.threshold_for("flood-0") >= 0.6
+        assert all(tau >= 0.6 for tau in cache.pushed)
+
+    def test_flooder_majority_cannot_drag_weighted_aggregate_below_floor(self):
+        adapter = OnlineThresholdAdapter(self._config(weighted=True))
+        honest = _RecordingCache()
+        adapter.register_user("honest", honest)
+        _observe_batch(adapter, "honest", _separable_observations())
+        flood_caches = [_RecordingCache() for _ in range(5)]
+        for i, cache in enumerate(flood_caches):
+            adapter.register_user(f"flood-{i}", cache)
+            # Big buffers: under weighted aggregation the flooders dominate.
+            _observe_batch(adapter, f"flood-{i}", self._flood_observations(n=60))
+        adapter.advance(10.0)
+        assert adapter.global_threshold >= 0.6
+        for cache in flood_caches + [honest]:
+            assert all(tau >= 0.6 for tau in cache.pushed)
+
+    def test_floor_holds_across_sustained_flooding_rounds(self):
+        adapter = OnlineThresholdAdapter(self._config())
+        adapter.register_user("flood-0", _RecordingCache())
+        for round_index in range(6):
+            _observe_batch(adapter, "flood-0", self._flood_observations())
+            adapter.advance(10.0 * (round_index + 1))
+        trajectory = adapter.threshold_trajectory()["threshold"]
+        assert len(trajectory) == 6
+        assert trajectory.min() >= 0.6
+
+    def test_fleet_flooding_trajectory_never_crosses_floor(self, tiny_encoder):
+        trace, honest_ids, flooder_ids = build_flooding_trace(
+            WorkloadConfig(n_users=4, queries_per_user=15, duplicate_rate=0.4),
+            FloodingConfig(n_flooders=3, queries_per_flooder=60),
+            seed=0,
+        )
+        adapter = OnlineThresholdAdapter(
+            self._config(min_threshold=0.55, round_interval_s=15.0)
+        )
+        simulator = FleetSimulator(
+            lambda uid: MeanCache(
+                tiny_encoder, MeanCacheConfig(similarity_threshold=0.7)
+            ),
+            SimulatedLLMService(LLMServiceConfig(seed=0)),
+            FleetConfig(),
+            adaptation=adapter,
+        )
+        result = simulator.run(trace)
+        assert result.lookups == len(trace)
+        assert adapter.history, "flooding run must drive adaptation rounds"
+        assert adapter.threshold_trajectory()["threshold"].min() >= 0.55
+        for uid in honest_ids + flooder_ids:
+            assert adapter.threshold_for(uid) >= 0.55

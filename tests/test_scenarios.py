@@ -1,0 +1,394 @@
+"""Tests for the scenario zoo (trace construction, registry, matrix driver).
+
+Construction tests are encoder-free: every scenario family is a pure,
+seeded trace transform, so correctness (victim streams untouched by the
+attacker, cohort membership, tenant stream identity, log import fidelity)
+is asserted on the traces themselves.  The matrix driver is exercised
+end-to-end at tiny-encoder scale — one small spec per family — plus the
+empty/singleton smoke the CI benchmarks job relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import make_tiny_encoder
+
+from repro.datasets.corpus import Corpus
+from repro.experiments.scenario_bench import run_scenario, run_scenario_matrix
+from repro.serving import (
+    CohortSpec,
+    FloodingConfig,
+    MultiTenantConfig,
+    PoisoningConfig,
+    ScenarioSpec,
+    WorkloadConfig,
+    WorkloadGenerator,
+    available_scenarios,
+    build_cohort_trace,
+    build_flooding_trace,
+    build_multi_tenant_trace,
+    get_scenario,
+    inject_poisoning,
+    merge_traces,
+    register_scenario,
+    relabel_users,
+    trace_from_logs,
+    trace_to_logs,
+)
+from repro.serving.scenarios import _REGISTRY
+
+
+@pytest.fixture(scope="module")
+def tiny_encoder():
+    return make_tiny_encoder()
+
+
+# --------------------------------------------------------------------------- #
+# Trace surgery
+# --------------------------------------------------------------------------- #
+class TestTraceSurgery:
+    def test_relabel_users_prefixes_every_event(self):
+        trace = WorkloadGenerator(WorkloadConfig(n_users=3, queries_per_user=5)).generate()
+        relabelled = relabel_users(trace, "tenant-a/")
+        assert all(uid.startswith("tenant-a/") for uid in relabelled.user_ids)
+        assert len(relabelled) == len(trace)
+        # Only the ids change.
+        for before, after in zip(trace.events, relabelled.events):
+            assert after.query == before.query
+            assert after.time_s == before.time_s
+
+    def test_merge_traces_interleaves_in_time_order(self):
+        a = relabel_users(
+            WorkloadGenerator(WorkloadConfig(n_users=2, queries_per_user=5), seed=1).generate(),
+            "a-",
+        )
+        b = relabel_users(
+            WorkloadGenerator(WorkloadConfig(n_users=2, queries_per_user=5), seed=2).generate(),
+            "b-",
+        )
+        merged = merge_traces(a, b)
+        assert len(merged) == len(a) + len(b)
+        times = [e.time_s for e in merged]
+        assert times == sorted(times)
+        assert set(merged.user_ids) == set(a.user_ids) | set(b.user_ids)
+
+    def test_merge_traces_rejects_user_id_collisions(self):
+        trace = WorkloadGenerator(WorkloadConfig(n_users=2, queries_per_user=5)).generate()
+        with pytest.raises(ValueError, match="collide"):
+            merge_traces(trace, trace)
+
+
+# --------------------------------------------------------------------------- #
+# Poisoning construction
+# --------------------------------------------------------------------------- #
+class TestPoisoning:
+    def test_victim_stream_is_untouched(self):
+        corpus = Corpus(seed=0)
+        base = WorkloadGenerator(
+            WorkloadConfig(n_users=4, queries_per_user=15), corpus=corpus, seed=0
+        ).generate()
+        poisoned, info = inject_poisoning(base, corpus, seed=0)
+        victim_events = [
+            e for e in poisoned.events if not e.user_id.startswith("attacker-")
+        ]
+        assert [e.to_dict() for e in victim_events] == [
+            e.to_dict() for e in base.events
+        ]
+        assert info.n_targets == len(poisoned) - len(base)
+        assert info.n_targets > 0
+
+    def test_poison_leads_its_target(self):
+        corpus = Corpus(seed=0)
+        base = WorkloadGenerator(
+            WorkloadConfig(n_users=4, queries_per_user=15), corpus=corpus, seed=0
+        ).generate()
+        config = PoisoningConfig(lead_s=5.0, target_fraction=1.0)
+        poisoned, info = inject_poisoning(base, corpus, config, seed=0)
+        poison_events = [e for e in poisoned.events if e.query in info.poison_queries]
+        assert poison_events
+        first_ask = {}
+        for e in base.events:
+            first_ask.setdefault(e.intent_key, e.time_s)
+        for poison in poison_events:
+            # Each poison arrives before *some* victim first-ask by
+            # construction; all of them precede the trace's end.
+            assert poison.time_s < base.duration_s
+        assert all(uid.startswith("attacker-") for uid in info.attacker_ids)
+
+    def test_deterministic_under_seed(self):
+        corpus = Corpus(seed=0)
+        base = WorkloadGenerator(
+            WorkloadConfig(n_users=3, queries_per_user=10), corpus=corpus, seed=0
+        ).generate()
+        once, _ = inject_poisoning(base, corpus, seed=5)
+        twice, _ = inject_poisoning(base, corpus, seed=5)
+        assert once.to_dict() == twice.to_dict()
+        other, _ = inject_poisoning(base, corpus, seed=6)
+        assert other.to_dict() != once.to_dict()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PoisoningConfig(target_fraction=0.0)
+        with pytest.raises(ValueError):
+            PoisoningConfig(lead_s=0.0)
+        with pytest.raises(ValueError):
+            PoisoningConfig(attacker_shards=0)
+
+
+# --------------------------------------------------------------------------- #
+# Flooding / cohorts / tenancy construction
+# --------------------------------------------------------------------------- #
+class TestStreamBuilders:
+    def test_flooding_keeps_honest_stream_identical(self):
+        honest_config = WorkloadConfig(n_users=3, queries_per_user=10)
+        trace, honest_ids, flooder_ids = build_flooding_trace(
+            honest_config, FloodingConfig(n_flooders=2, queries_per_flooder=20), seed=0
+        )
+        solo = WorkloadGenerator(honest_config, seed=0).generate()
+        honest_events = [e for e in trace.events if e.user_id in set(honest_ids)]
+        assert sorted(honest_ids) == sorted(solo.user_ids)
+        assert [e.to_dict() for e in honest_events] == [
+            e.to_dict() for e in solo.events
+        ]
+        assert all(uid.startswith("flood-") for uid in flooder_ids)
+        flood_events = [e for e in trace.events if e.user_id in set(flooder_ids)]
+        assert len(flood_events) == 2 * 20
+        # The flood is dominated by re-asks (the near-miss mining bait).
+        duplicates = sum(1 for e in flood_events if e.kind == "duplicate")
+        assert duplicates / len(flood_events) > 0.7
+
+    def test_cohorts_partition_users_and_domains(self):
+        cohorts = [
+            CohortSpec(name="west", domains=("programming", "science"), n_users=2, queries_per_user=8),
+            CohortSpec(name="east", domains=("cooking", "travel"), n_users=3, queries_per_user=8),
+        ]
+        trace, members = build_cohort_trace(cohorts, seed=0)
+        assert set(members) == {"west", "east"}
+        assert len(members["west"]) == 2 and len(members["east"]) == 3
+        assert set(trace.user_ids) == set(members["west"]) | set(members["east"])
+        for name, ids in members.items():
+            assert all(uid.startswith(f"{name}-") for uid in ids)
+        # Intents stay inside each cohort's domain slice.
+        west_corpus = Corpus(seed=0, domains=["programming", "science"])
+        west_intents = {
+            i.key for d in west_corpus.domains for i in west_corpus.intents_for_domain(d)
+        }
+        for e in trace.events:
+            if e.user_id in set(members["west"]) and e.intent_key:
+                assert e.intent_key in west_intents
+
+    def test_cohort_name_collision_rejected(self):
+        with pytest.raises(ValueError):
+            build_cohort_trace(
+                [CohortSpec(name="x", domains=("cooking",)), CohortSpec(name="x", domains=("travel",))]
+            )
+
+    def test_multi_tenant_quiet_stream_identical_solo_and_mixed(self):
+        mixed, quiet_alone, quiet_ids, noisy_ids = build_multi_tenant_trace(
+            MultiTenantConfig(
+                n_quiet_users=3,
+                queries_per_quiet_user=10,
+                n_noisy_users=1,
+                queries_per_noisy_user=30,
+            ),
+            seed=0,
+        )
+        quiet_in_mixed = [e for e in mixed.events if e.user_id in set(quiet_ids)]
+        assert [e.to_dict() for e in quiet_in_mixed] == [
+            e.to_dict() for e in quiet_alone.events
+        ]
+        noisy_events = [e for e in mixed.events if e.user_id in set(noisy_ids)]
+        assert len(noisy_events) == 30
+        # The noisy tenant floods *unique* traffic (cache-useless churn).
+        assert all(e.kind == "unique" for e in noisy_events)
+
+
+# --------------------------------------------------------------------------- #
+# External log import/export
+# --------------------------------------------------------------------------- #
+class TestLogImport:
+    def test_round_trip_preserves_replayable_fields(self):
+        trace = WorkloadGenerator(WorkloadConfig(n_users=3, queries_per_user=8)).generate()
+        back = trace_from_logs(trace_to_logs(trace), normalize_time=False)
+        assert len(back) == len(trace)
+        for before, after in zip(trace.events, back.events):
+            assert after.time_s == before.time_s
+            assert after.user_id == before.user_id
+            assert after.query == before.query
+            assert after.context == before.context
+            assert after.intent_key == before.intent_key
+
+    def test_custom_field_names_and_epoch_normalization(self):
+        records = [
+            {"ts": 1700000012.5, "uid": "u1", "text": "later", "topic": "b"},
+            {"ts": 1700000002.5, "uid": "u0", "text": "earlier", "topic": "a"},
+        ]
+        trace = trace_from_logs(
+            records,
+            time_key="ts",
+            user_key="uid",
+            query_key="text",
+            intent_key="topic",
+            context_key=None,
+        )
+        assert [e.query for e in trace.events] == ["earlier", "later"]
+        assert trace.events[0].time_s == 0.0
+        assert trace.events[1].time_s == 10.0
+        assert trace.metadata["source"] == "external_logs"
+
+    def test_string_context_becomes_single_turn(self):
+        trace = trace_from_logs(
+            [{"timestamp": 0.0, "user": "u", "prompt": "q", "context": "prior turn"}]
+        )
+        assert trace.events[0].context == ("prior turn",)
+        assert trace.events[0].is_followup
+
+    def test_missing_required_fields_rejected(self):
+        with pytest.raises(ValueError, match="timestamp"):
+            trace_from_logs([{"user": "u", "prompt": "q"}])
+        with pytest.raises(ValueError, match="user"):
+            trace_from_logs([{"timestamp": 0.0, "prompt": "q"}])
+
+
+# --------------------------------------------------------------------------- #
+# Spec registry
+# --------------------------------------------------------------------------- #
+class TestScenarioRegistry:
+    def test_default_zoo_is_registered_with_five_plus_families(self):
+        names = available_scenarios()
+        specs = [get_scenario(n) for n in names]
+        assert len({s.family for s in specs}) >= 5
+
+    def test_register_rejects_silent_collisions(self):
+        spec = ScenarioSpec(name="collision-probe", family="replay")
+        register_scenario(spec)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_scenario(ScenarioSpec(name="collision-probe", family="arrival"))
+            replaced = register_scenario(
+                ScenarioSpec(name="collision-probe", family="arrival"), replace=True
+            )
+            assert get_scenario("collision-probe") is replaced
+        finally:
+            _REGISTRY.pop("collision-probe", None)
+
+    def test_unknown_scenario_error_lists_registry(self):
+        with pytest.raises(KeyError, match="registered"):
+            get_scenario("no-such-scenario")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="family"):
+            ScenarioSpec(name="x", family="chaos")
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="", family="replay")
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", family="replay", n_users=0)
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", family="replay", similarity_threshold=1.5)
+
+    def test_spec_serializes_to_json_shape(self):
+        spec = ScenarioSpec(
+            name="x", family="flooding", params={"n_flooders": 2}, adaptation={"seed": 3}
+        )
+        d = spec.to_dict()
+        assert d["family"] == "flooding"
+        assert d["params"] == {"n_flooders": 2}
+        assert d["adaptation"] == {"seed": 3}
+
+
+# --------------------------------------------------------------------------- #
+# Matrix driver (tiny-encoder scale)
+# --------------------------------------------------------------------------- #
+def _tiny_spec(family: str, **kwargs) -> ScenarioSpec:
+    defaults = dict(
+        name=f"tiny-{family}", family=family, n_users=3, queries_per_user=8
+    )
+    defaults.update(kwargs)
+    return ScenarioSpec(**defaults)
+
+
+TINY_SPECS = [
+    _tiny_spec("poisoning", shared_cache=True),
+    _tiny_spec(
+        "flooding",
+        params={"n_flooders": 2, "queries_per_flooder": 30},
+        adaptation={"round_interval_s": 10.0, "min_observations": 6, "min_threshold": 0.5},
+    ),
+    _tiny_spec("arrival", params={"kind": "flash_crowd", "flash_at_s": 10.0}),
+    _tiny_spec(
+        "mixed_domain",
+        params={
+            "cohorts": [
+                {"name": "west", "domains": ["programming"], "n_users": 2, "queries_per_user": 6},
+                {"name": "east", "domains": ["cooking"], "n_users": 2, "queries_per_user": 6},
+            ]
+        },
+    ),
+    _tiny_spec(
+        "multi_tenant",
+        shared_cache=True,
+        params={"n_quiet_users": 2, "queries_per_quiet_user": 8, "n_noisy_users": 1, "queries_per_noisy_user": 16},
+    ),
+    _tiny_spec("replay"),
+]
+
+
+class TestMatrixDriver:
+    @pytest.mark.parametrize("spec", TINY_SPECS, ids=lambda s: s.family)
+    def test_every_family_runs_and_reports_metrics(self, spec, tiny_encoder):
+        result = run_scenario(spec, encoder=tiny_encoder, encoder_name="tiny")
+        assert result.family == spec.family
+        assert result.metrics.n_events > 0
+        assert 0.0 <= result.metrics.hit_rate <= 1.0
+        assert result.metrics.total_cost_usd > 0.0
+        payload = result.to_dict()
+        assert payload["spec"]["name"] == spec.name
+        assert set(payload["metrics"]) == {
+            "n_events",
+            "hit_rate",
+            "true_hit_rate",
+            "false_hit_rate",
+            "mean_latency_s",
+            "total_cost_usd",
+            "throughput_lookups_per_s",
+        }
+
+    def test_empty_matrix_needs_no_encoder(self, monkeypatch):
+        """The CI smoke: an empty spec list must not touch the encoder zoo."""
+
+        def boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("encoder loaded for an empty matrix")
+
+        monkeypatch.setattr("repro.embeddings.zoo.load_encoder", boom)
+        matrix = run_scenario_matrix([])
+        assert len(matrix) == 0
+        assert matrix.families == []
+        assert matrix.to_dict()["scenarios"] == {}
+
+    def test_singleton_matrix(self, tiny_encoder):
+        matrix = run_scenario_matrix(
+            [_tiny_spec("replay", name="tiny-singleton")],
+            encoder=tiny_encoder,
+            encoder_name="tiny",
+        )
+        assert len(matrix) == 1
+        assert matrix.get("tiny-singleton").extras["replay_deterministic"]
+        with pytest.raises(KeyError):
+            matrix.get("absent")
+        assert "tiny-singleton" in matrix.format()
+
+    def test_flooding_spec_without_adaptation_rejected(self, tiny_encoder):
+        spec = _tiny_spec("flooding", name="tiny-flood-bare")
+        with pytest.raises(ValueError, match="adaptation"):
+            run_scenario(spec, encoder=tiny_encoder)
+
+    def test_matrix_none_runs_registered_zoo_names(self):
+        # Resolution only — the full default zoo is the benchmark's job.
+        assert set(available_scenarios()) >= {
+            "cache_poisoning",
+            "near_miss_flooding",
+            "flash_crowd",
+            "multi_tenant_isolation",
+            "external_trace_replay",
+        }

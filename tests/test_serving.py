@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
+
 import numpy as np
 import pytest
 
@@ -13,6 +16,7 @@ from repro.core.cache import MeanCache, MeanCacheConfig
 from repro.experiments.fleet_bench import run_drift_adaptation_bench, run_fleet_bench
 from repro.llm.service import LLMServiceConfig, SimulatedLLMService
 from repro.serving import (
+    ArrivalSchedule,
     DriftPhase,
     FleetConfig,
     FleetSimulator,
@@ -20,6 +24,7 @@ from repro.serving import (
     WorkloadConfig,
     WorkloadEvent,
     WorkloadGenerator,
+    apply_arrival_schedule,
 )
 
 
@@ -91,6 +96,111 @@ class TestWorkloadGenerator:
         loaded = Trace.load(path)
         assert loaded.to_dict() == small_trace.to_dict()
         assert loaded.duration_s == small_trace.duration_s
+
+
+def _trace_digest(trace: Trace) -> str:
+    return hashlib.sha256(
+        json.dumps(trace.to_dict(), sort_keys=True).encode()
+    ).hexdigest()
+
+
+class TestArrivalSchedules:
+    #: sha256 of the canonical seed-0 / seed-42 stationary traces, pinned
+    #: *before* the arrival-schedule refactor.  If either digest moves, an
+    #: extension has perturbed the per-user seeded draw sequence — the exact
+    #: regression the schedule layer is designed (post-hoc time warping,
+    #: zero RNG draws) to make structurally impossible.
+    GOLDEN = {
+        0: "0443ef85abce48b9f21fd8de67e26dd6e55353c0b4ab7d4a91c21d4baef220d2",
+        42: "e55e6c6a0e82cabde20c5cfdd30c6720d46dc5b54cfcb8092f2f24000a0be53d",
+    }
+    GOLDEN_CONFIG = dict(
+        n_users=4, queries_per_user=25, duplicate_rate=0.35, followup_rate=0.25
+    )
+
+    def test_stationary_stream_matches_pre_refactor_golden_digests(self):
+        for seed, digest in self.GOLDEN.items():
+            trace = WorkloadGenerator(
+                WorkloadConfig(**self.GOLDEN_CONFIG), seed=seed
+            ).generate()
+            assert _trace_digest(trace) == digest, (
+                f"seed {seed}: stationary workload no longer byte-identical "
+                "to the pre-arrival-schedule generator"
+            )
+
+    def test_schedule_off_is_byte_identical(self):
+        """No schedule configured -> trace identical, metadata untouched."""
+        base = WorkloadGenerator(WorkloadConfig(**self.GOLDEN_CONFIG), seed=0)
+        trace = base.generate()
+        assert "arrival_schedule" not in trace.metadata
+        assert _trace_digest(trace) == self.GOLDEN[0]
+
+    def test_constant_schedule_is_identity_on_times(self):
+        trace = WorkloadGenerator(WorkloadConfig(**self.GOLDEN_CONFIG), seed=0).generate()
+        warped = apply_arrival_schedule(trace, ArrivalSchedule(kind="constant"))
+        assert [e.time_s for e in warped] == pytest.approx(
+            [e.time_s for e in trace], abs=1e-9
+        )
+
+    def test_warp_preserves_contents_and_order(self):
+        trace = WorkloadGenerator(
+            WorkloadConfig(n_users=5, queries_per_user=20), seed=3
+        ).generate()
+        schedule = ArrivalSchedule(kind="diurnal", period_s=60.0, amplitude=0.7)
+        warped = apply_arrival_schedule(trace, schedule)
+        assert len(warped) == len(trace)
+        strip = lambda e: {k: v for k, v in e.to_dict().items() if k != "time_s"}
+        # Content is untouched; only arrival times move.
+        assert sorted(map(json.dumps, map(strip, warped))) == sorted(
+            map(json.dumps, map(strip, trace))
+        )
+        times = [e.time_s for e in warped]
+        assert times == sorted(times)
+        assert warped.metadata["arrival_schedule"] == schedule.to_dict()
+
+    def test_flash_crowd_compresses_the_burst_window(self):
+        trace = WorkloadGenerator(
+            WorkloadConfig(n_users=6, queries_per_user=25), seed=1
+        ).generate()
+        schedule = ArrivalSchedule(
+            kind="flash_crowd",
+            flash_at_s=20.0,
+            flash_duration_s=30.0,
+            flash_multiplier=10.0,
+        )
+        warped = apply_arrival_schedule(trace, schedule)
+        # 10x the rate inside the flash window => arrivals pile into it.
+        in_flash = sum(1 for e in warped if 20.0 <= e.time_s <= 50.0)
+        in_same_band = sum(1 for e in trace if 20.0 <= e.time_s <= 50.0)
+        assert in_flash > in_same_band
+        assert warped.duration_s < trace.duration_s
+
+    def test_generate_with_schedule_equals_post_hoc_warp(self):
+        schedule = ArrivalSchedule(kind="diurnal", period_s=90.0, amplitude=0.5)
+        config = WorkloadConfig(**self.GOLDEN_CONFIG)
+        direct = WorkloadGenerator(
+            WorkloadConfig(**self.GOLDEN_CONFIG, arrival_schedule=schedule), seed=0
+        ).generate()
+        post_hoc = apply_arrival_schedule(
+            WorkloadGenerator(config, seed=0).generate(), schedule
+        )
+        assert direct.to_dict() == post_hoc.to_dict()
+
+    def test_schedule_serialization_round_trip(self):
+        schedule = ArrivalSchedule(
+            kind="flash_crowd", flash_at_s=10.0, flash_duration_s=5.0, flash_multiplier=4.0
+        )
+        assert ArrivalSchedule.from_dict(schedule.to_dict()) == schedule
+
+    def test_schedule_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalSchedule(kind="lunar")
+        with pytest.raises(ValueError):
+            ArrivalSchedule(kind="diurnal", amplitude=1.0)
+        with pytest.raises(ValueError):
+            ArrivalSchedule(kind="flash_crowd", flash_multiplier=0.5)
+        with pytest.raises(ValueError):
+            ArrivalSchedule(kind="diurnal", period_s=0.0)
 
 
 class TestDriftScenarios:
