@@ -11,17 +11,28 @@ trajectory:
   approximate and quantized backends (IVF inverted lists, multi-probe LSH,
   int8 scalar quantization, product quantization, IVF-routed SQ8) against
   exact flat search at 10k and 100k entries on the standard clustered
-  paraphrase workload.
+  paraphrase workload;
+* ``latency`` — single-query p50/p95/p99 of the quantized backends' fused
+  scans against their decode-to-float reference path on the same index
+  state, at 10^5 and 10^6 entries, with same-run relative regression gates
+  (methodology in ``docs/benchmarks.md``).
 
-Run with ``pytest benchmarks/test_bench_index.py -s``.
+Run with ``pytest benchmarks/test_bench_index.py -s``.  Set
+``REPRO_BENCH_SCALE`` (e.g. ``0.1`` in CI) to shrink the latency corpus
+sizes proportionally; the gates adapt to the scaled sizes.
 """
 
 import json
+import os
 from pathlib import Path
 
 from conftest import emit
 
-from repro.experiments.index_bench import run_backend_sweep, run_index_bench
+from repro.experiments.index_bench import (
+    run_backend_sweep,
+    run_index_bench,
+    run_latency_bench,
+)
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_index.json"
 
@@ -43,6 +54,41 @@ MAX_QUANTIZED_BYTES_RATIO_AT_100K = 0.30
 # The routed composition trades some of the memory win (inverted lists,
 # row map) for sublinear scans; it must still beat flat's batched path.
 MIN_ROUTED_QUANTIZED_BATCH_SPEEDUP_AT_100K = 2.0
+
+# ---------------------------------------------------------------------- #
+# Single-query latency gates (ISSUE 7): relative, same-run, per backend.
+# ---------------------------------------------------------------------- #
+# REPRO_BENCH_SCALE shrinks the latency corpus sizes for constrained
+# runners (CI uses 0.1 -> 10k/100k); sizes are clamped so the workload
+# stays meaningful and duplicates collapse.
+LATENCY_BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+LATENCY_BASE_SIZES = (100_000, 1_000_000)
+LATENCY_SIZES = tuple(
+    dict.fromkeys(max(5_000, int(s * LATENCY_BENCH_SCALE)) for s in LATENCY_BASE_SIZES)
+)
+LATENCY_QUERIES = 100
+LATENCY_REPEATS = 2
+LATENCY_WARMUP = 10
+
+
+def _latency_p99_floors(n_entries):
+    """Minimum reference/fused p99 ratio per backend at the gated size.
+
+    The flat-scan backends (sq8, pq) score every row, so a single query
+    measures in the tens/hundreds of milliseconds at 10^6 entries and the
+    5x fused-scan floor is noise-immune.  The routed composition's fused
+    queries land near a millisecond, where single-core scheduler bursts
+    can inflate an individual p99 sample several-fold even under the
+    best-of-``repeats`` protocol; its floor keeps headroom for that (the
+    typical measured ratio at 10^6 is ~5x — see BENCH_index.json).  Below
+    ~10^6 the routed backend's fixed routing cost dominates both paths and
+    the fused scan has structurally less to win, hence the size tiers.
+    """
+    if n_entries >= 500_000:
+        return {"sq8": 5.0, "pq": 5.0, "ivf+sq8": 3.0}
+    if n_entries >= 50_000:
+        return {"sq8": 4.0, "pq": 4.0, "ivf+sq8": 1.5}
+    return {"sq8": 3.0, "pq": 3.0, "ivf+sq8": 1.1}
 
 
 def _write_payload(update):
@@ -132,3 +178,50 @@ def test_backend_recall_throughput_sweep(benchmark):
             at_100k.batch_speedup_vs_flat
             >= MIN_ROUTED_QUANTIZED_BATCH_SPEEDUP_AT_100K
         ), at_100k.to_dict()
+
+
+def test_single_query_latency_gates(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_latency_bench(
+            sizes=LATENCY_SIZES,
+            dim=DIM,
+            n_queries=LATENCY_QUERIES,
+            top_k=TOP_K,
+            repeats=LATENCY_REPEATS,
+            warmup=LATENCY_WARMUP,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Single-query latency", result.format())
+
+    _write_payload({"latency": result.to_dict()})
+    emit("BENCH_index.json", f"latency section written to {BENCH_JSON}")
+
+    # Gates are *relative* (fused vs reference, same run, same index state):
+    # absolute latency depends on the runner, but the fused scans' advantage
+    # over the materializing reference path does not.  They apply at the
+    # largest measured size, where the scan dominates per-query cost.
+    largest = max(LATENCY_SIZES)
+    for backend, floor in _latency_p99_floors(largest).items():
+        p99_ratio = result.ratio(backend, largest, "p99_ms")
+        p50_ratio = result.ratio(backend, largest, "p50_ms")
+        context = {
+            "backend": backend,
+            "n_entries": largest,
+            "p99_ratio": p99_ratio,
+            "p50_ratio": p50_ratio,
+            "floor": floor,
+            "fused": result.point(backend, largest, "fused").to_dict(),
+            "reference": result.point(backend, largest, "reference").to_dict(),
+        }
+        assert p99_ratio >= floor, context
+        # The median must move too — a tail-only win would be noise.
+        assert p50_ratio >= min(floor, 2.0), context
+    # Fused scans must not cost recall: identical decision invariance is
+    # pinned by tests/test_index_properties.py; here we only sanity-check
+    # that the fused path produced real histograms at every size.
+    for size in LATENCY_SIZES:
+        for backend in QUANTIZED_BACKENDS + ROUTED_QUANTIZED_BACKENDS:
+            assert result.point(backend, size, "fused").count == LATENCY_QUERIES

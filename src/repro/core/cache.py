@@ -87,6 +87,11 @@ class MeanCacheConfig:
     index_params:
         Extra keyword parameters for the backend constructor (e.g.
         ``{"nprobe": 16}`` for IVF).
+    early_stop_margin:
+        When set (e.g. ``0.05``) and the index backend advertises
+        ``supports_stop_score``, lookups pass ``stop_score = τ + margin``
+        so the scan may stop once a confidently-admissible candidate is in
+        hand.  ``None`` (the default) keeps retrieval exhaustive.
     """
 
     similarity_threshold: float = 0.7
@@ -98,6 +103,7 @@ class MeanCacheConfig:
     compressed: bool = False
     index_backend: str = "flat"
     index_params: Optional[Mapping[str, object]] = None
+    early_stop_margin: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.similarity_threshold <= 1.0:
@@ -108,6 +114,8 @@ class MeanCacheConfig:
             raise ValueError("top_k must be >= 1")
         if self.max_entries < 1:
             raise ValueError("max_entries must be >= 1")
+        if self.early_stop_margin is not None and self.early_stop_margin < 0:
+            raise ValueError("early_stop_margin must be >= 0 when set")
         validate_backend(self.index_backend)
 
 
@@ -226,7 +234,12 @@ class MeanCache:
         )
         return LookupPipeline(
             embed=EncoderEmbed(self.encoder, compress=lambda: self.config.compressed),
-            retrieve=IndexRetrieve(self._index, top_k=lambda: self.config.top_k),
+            retrieve=IndexRetrieve(
+                self._index,
+                top_k=lambda: self.config.top_k,
+                threshold=lambda: self.config.similarity_threshold,
+                early_stop_margin=self.config.early_stop_margin,
+            ),
             threshold=SimilarityThreshold(lambda: self.config.similarity_threshold),
             context_verify=context_verify,
             decide=_MeanCacheDecide(self),

@@ -173,10 +173,25 @@ class IndexRetrieve(RetrieveStage):
         self,
         index: VectorIndex,
         top_k: "Union[Callable[[], int], int]" = 5,
+        threshold: "Optional[Union[Callable[[], float], float]]" = None,
+        early_stop_margin: Optional[float] = None,
     ) -> None:
-        """``top_k`` (value or live callable) caps candidates per probe."""
+        """``top_k`` (value or live callable) caps candidates per probe.
+
+        ``threshold`` mirrors the admission stage's live τ; when it is set
+        together with ``early_stop_margin`` and the backend advertises
+        ``supports_stop_score``, lookups pass ``stop_score = τ + margin``
+        so the index may stop scanning once a confidently-admissible
+        candidate is in hand (threshold-aware early termination).  The
+        margin buys headroom over codec/scan score error; both knobs unset
+        keeps retrieval exhaustive.
+        """
         self.index = index
         self._top_k = _live(top_k)
+        self._threshold = _live(threshold) if threshold is not None else None
+        self._early_stop_margin = (
+            float(early_stop_margin) if early_stop_margin is not None else None
+        )
 
     def is_empty(self) -> bool:
         """True while the backing index holds no vectors."""
@@ -184,7 +199,15 @@ class IndexRetrieve(RetrieveStage):
 
     def retrieve_batch(self, reprs: np.ndarray) -> List[List[IndexHit]]:
         """Batched top-k search (one index call for the whole probe set)."""
-        return self.index.search(reprs, top_k=min(int(self._top_k()), len(self.index)))
+        top_k = min(int(self._top_k()), len(self.index))
+        if (
+            self._threshold is not None
+            and self._early_stop_margin is not None
+            and getattr(self.index, "supports_stop_score", False)
+        ):
+            stop = float(self._threshold()) + self._early_stop_margin
+            return self.index.search(reprs, top_k=top_k, stop_score=stop)
+        return self.index.search(reprs, top_k=top_k)
 
 
 class ExactKeyRetrieve(RetrieveStage):

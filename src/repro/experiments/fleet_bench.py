@@ -33,6 +33,7 @@ from repro.embeddings.zoo import load_encoder
 from repro.federated.online import OnlineAdaptationConfig, OnlineThresholdAdapter
 from repro.llm.service import LLMServiceConfig, SimulatedLLMService
 from repro.metrics.reporting import format_table
+from repro.metrics.timing import LatencyHistogram
 from repro.serving.fleet import FleetConfig, FleetResult, FleetSimulator
 from repro.serving.workload import DriftPhase, WorkloadConfig, WorkloadGenerator
 
@@ -49,6 +50,12 @@ class FleetBenchPoint:
     mean_latency_s: float
     total_cost_usd: float
     virtual_duration_s: float
+    # Wall-clock cache overhead per lookup (encode + index search + policy),
+    # summarized with the same nearest-rank histogram the index latency
+    # bench uses — the tail is what a served query actually waits on.
+    overhead_p50_ms: float = 0.0
+    overhead_p95_ms: float = 0.0
+    overhead_p99_ms: float = 0.0
 
     def to_dict(self) -> Dict[str, float]:
         """JSON-serializable form."""
@@ -61,11 +68,23 @@ class FleetBenchPoint:
             "mean_latency_s": self.mean_latency_s,
             "total_cost_usd": self.total_cost_usd,
             "virtual_duration_s": self.virtual_duration_s,
+            "overhead_p50_ms": self.overhead_p50_ms,
+            "overhead_p95_ms": self.overhead_p95_ms,
+            "overhead_p99_ms": self.overhead_p99_ms,
         }
 
     @classmethod
     def from_result(cls, result: FleetResult) -> "FleetBenchPoint":
-        """Extract the benchmark quantities from a simulation result."""
+        """Extract the benchmark quantities from a simulation result.
+
+        When the result retains per-event outcomes (``collect_outcomes``),
+        the measured per-lookup cache overheads are folded into a
+        :class:`~repro.metrics.timing.LatencyHistogram` for the percentile
+        fields; without outcomes those fields stay 0.
+        """
+        hist = LatencyHistogram()
+        for outcome in result.outcomes:
+            hist.record(int(outcome.cache_overhead_s * 1e9))
         return cls(
             n_users=result.n_users,
             n_lookups=result.lookups,
@@ -75,6 +94,9 @@ class FleetBenchPoint:
             mean_latency_s=result.mean_latency_s,
             total_cost_usd=result.total_cost_usd,
             virtual_duration_s=result.virtual_duration_s,
+            overhead_p50_ms=hist.p50 / 1e6,
+            overhead_p95_ms=hist.p95 / 1e6,
+            overhead_p99_ms=hist.p99 / 1e6,
         )
 
 
@@ -123,6 +145,7 @@ class FleetBenchResult:
                 p.throughput_lookups_per_s,
                 p.hit_rate,
                 p.mean_latency_s * 1000.0,
+                f"{p.overhead_p99_ms:.2f}",
                 p.total_cost_usd,
             ]
             for p in self.points
@@ -135,6 +158,7 @@ class FleetBenchResult:
                 "Lookups/s",
                 "Hit rate",
                 "Mean latency (ms)",
+                "Overhead p99 (ms)",
                 "LLM cost ($)",
             ],
             rows,
@@ -206,7 +230,9 @@ def run_fleet_bench(
             service=SimulatedLLMService(LLMServiceConfig(seed=seed)),
             config=FleetConfig(batch_window_s=batch_window_s),
         )
-        result.points.append(FleetBenchPoint.from_result(simulator.run(trace)))
+        result.points.append(
+            FleetBenchPoint.from_result(simulator.run(trace, collect_outcomes=True))
+        )
     return result
 
 

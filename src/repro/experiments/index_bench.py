@@ -20,6 +20,17 @@ full experiment runner:
    the sublinear/quantized backends buy back and how much recall they give
    up (bytes-per-entry lands in the ``backends`` section of
    BENCH_index.json).
+
+3. :func:`run_latency_bench` — single-query latency histograms (p50/p95/p99
+   over ``time.perf_counter_ns`` samples) for the quantized backends' fused
+   scans against their decode-to-float reference path, on the same index
+   state (the ``fused_scan`` flag is flipped in place between passes).
+   Latency, unlike throughput, is dominated by per-call fixed costs —
+   allocations, page faults on fresh large buffers, per-cell dispatch — so
+   this is the measurement that validates the fused/scratch-buffer hot-path
+   work; the methodology (warmup, per-query best-of-``repeats``, nearest-
+   rank percentiles) is documented in ``docs/benchmarks.md``.  Lands in the
+   ``latency`` section of BENCH_index.json.
 """
 
 from __future__ import annotations
@@ -32,8 +43,10 @@ import numpy as np
 
 from repro.embeddings.similarity import semantic_search
 from repro.index import FlatIndex, make_index
+from repro.index.quantized import QuantizedIndex
 from repro.index.registry import seeded_params
 from repro.metrics.reporting import format_table
+from repro.metrics.timing import LatencyHistogram
 
 
 @dataclass(frozen=True)
@@ -526,4 +539,255 @@ def run_backend_sweep(
                     flat_nbytes=flat_nbytes,
                 )
             )
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Single-query latency: fused-scan vs reference-path histograms per backend
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class LatencyBenchPoint:
+    """One (backend, corpus size, scan mode) latency histogram.
+
+    ``mode`` is ``"fused"`` or ``"reference"`` for the quantized backends
+    (same index, ``fused_scan`` flipped in place between the passes) and
+    ``"exact"`` for backends without a fused/reference split.  Percentiles
+    are nearest-rank over per-query best-of-``repeats`` samples.
+    """
+
+    backend: str
+    n_entries: int
+    dim: int
+    mode: str
+    params: Mapping[str, object]
+    count: int
+    repeats: int
+    warmup: int
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable record (one ``latency`` row of BENCH_index.json)."""
+        return {
+            "backend": self.backend,
+            "n_entries": self.n_entries,
+            "dim": self.dim,
+            "mode": self.mode,
+            "params": dict(self.params),
+            "count": self.count,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "mean_ms": self.mean_ms,
+        }
+
+
+@dataclass
+class LatencyBenchResult:
+    """All (backend, size, mode) latency histograms of one run."""
+
+    points: List[LatencyBenchPoint] = field(default_factory=list)
+    top_k: int = 5
+    dim: int = 64
+    n_queries: int = 100
+    repeats: int = 2
+    warmup: int = 10
+    seed: int = 0
+
+    def point(self, backend: str, n_entries: int, mode: str) -> LatencyBenchPoint:
+        """The histogram for one backend at one corpus size in one mode."""
+        for p in self.points:
+            if p.backend == backend and p.n_entries == n_entries and p.mode == mode:
+                return p
+        raise KeyError(
+            f"no latency point for backend {backend!r} at {n_entries} entries "
+            f"in mode {mode!r}"
+        )
+
+    def ratio(self, backend: str, n_entries: int, stat: str = "p99_ms") -> float:
+        """Reference-over-fused ratio of ``stat`` (> 1 means fused is faster)."""
+        fused = getattr(self.point(backend, n_entries, "fused"), stat)
+        ref = getattr(self.point(backend, n_entries, "reference"), stat)
+        return ref / fused if fused > 0 else float("inf")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (the ``latency`` block of BENCH_index.json)."""
+        ratios = []
+        seen = set()
+        for p in self.points:
+            key = (p.backend, p.n_entries)
+            if p.mode == "exact" or key in seen:
+                continue
+            seen.add(key)
+            try:
+                ratios.append(
+                    {
+                        "backend": p.backend,
+                        "n_entries": p.n_entries,
+                        "p50_ratio": self.ratio(*key, stat="p50_ms"),
+                        "p99_ratio": self.ratio(*key, stat="p99_ms"),
+                    }
+                )
+            except KeyError:
+                continue
+        return {
+            "top_k": self.top_k,
+            "dim": self.dim,
+            "n_queries": self.n_queries,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "seed": self.seed,
+            "points": [p.to_dict() for p in self.points],
+            "ratios": ratios,
+        }
+
+    def format(self) -> str:
+        """Render the per-backend latency table with fused/reference ratios."""
+        rows = []
+        for p in self.points:
+            if p.mode == "fused":
+                try:
+                    ratio = f"{self.ratio(p.backend, p.n_entries):.1f}x"
+                except KeyError:
+                    ratio = "-"
+            else:
+                ratio = "-"
+            rows.append(
+                [
+                    p.backend,
+                    p.n_entries,
+                    p.mode,
+                    f"{p.p50_ms:.3f}",
+                    f"{p.p95_ms:.3f}",
+                    f"{p.p99_ms:.3f}",
+                    ratio,
+                ]
+            )
+        return format_table(
+            ["Backend", "Entries", "Mode", "p50 (ms)", "p95 (ms)", "p99 (ms)", "p99 gain"],
+            rows,
+            title=(
+                "Single-query latency: fused vs reference scans "
+                f"(dim={self.dim}, {self.n_queries} queries x best-of-"
+                f"{self.repeats}, top_k={self.top_k})"
+            ),
+        )
+
+
+def default_latency_backends(dim: int) -> Mapping[str, Mapping[str, object]]:
+    """The standard latency-bench configurations for ``dim`` dimensions.
+
+    The quantized trio the fused-scan work targets, plus exact flat search
+    as the context line.  ``ivf+sq8`` probes 64 cells — the high-recall
+    serving configuration, where the scan (not the routing) dominates and
+    the fused path has the most ground to win — with repartitioning
+    deferred to :meth:`~repro.index.base.VectorIndex.maintenance` as the
+    serving fleet runs it.
+    """
+    return {
+        "flat": {},
+        "sq8": {},
+        "pq": {"m": dim},
+        "ivf+sq8": {"nprobe": 64, "auto_repartition": False},
+    }
+
+
+def _measure_single_query(
+    index, queries: np.ndarray, top_k: int, warmup: int, repeats: int
+) -> LatencyHistogram:
+    """Per-query best-of-``repeats`` latency histogram for one index.
+
+    Each query runs ``repeats`` times and records its fastest sample: a
+    single-core container steals multi-millisecond slices often enough to
+    poison raw tail percentiles, and the minimum across back-to-back runs
+    strips that scheduler noise while keeping the real per-query variation
+    (probe counts, list sizes) that tail latency is about.
+    """
+    hist = LatencyHistogram()
+    for q in queries[:warmup]:
+        index.search(q[None, :], top_k=top_k)
+    for q in queries:
+        best: Optional[int] = None
+        for _ in range(repeats):
+            start = time.perf_counter_ns()
+            index.search(q[None, :], top_k=top_k)
+            elapsed = time.perf_counter_ns() - start
+            best = elapsed if best is None else min(best, elapsed)
+        hist.record(best)
+    return hist
+
+
+def run_latency_bench(
+    sizes: Sequence[int] = (100_000, 1_000_000),
+    dim: int = 64,
+    n_queries: int = 100,
+    top_k: int = 5,
+    repeats: int = 2,
+    warmup: int = 10,
+    backends: Optional[Mapping[str, Mapping[str, object]]] = None,
+    seed: int = 0,
+) -> LatencyBenchResult:
+    """Measure single-query p50/p95/p99 per backend, fused vs reference.
+
+    For each corpus size and backend the index is built once on the
+    :func:`make_ann_workload` vectors, :meth:`maintenance` runs (deferred
+    repartitioning plus cell-major layout compaction — the steady state a
+    served index reaches between batching windows), and the same queries
+    are timed one at a time: first with the default fused scans, then —
+    for the quantized backends — with ``fused_scan`` flipped off, so the
+    reference pass scores the exact same index state.  Relative (same-run)
+    fused/reference ratios are what ``benchmarks/test_bench_index.py``
+    gates on; absolute numbers are machine-dependent context.
+    """
+    if n_queries < 1 or repeats < 1 or warmup < 0:
+        raise ValueError("n_queries and repeats must be >= 1, warmup >= 0")
+    if backends is None:
+        backends = default_latency_backends(dim)
+    result = LatencyBenchResult(
+        top_k=top_k,
+        dim=dim,
+        n_queries=n_queries,
+        repeats=repeats,
+        warmup=warmup,
+        seed=seed,
+    )
+    for n_entries in sizes:
+        vectors, queries = make_ann_workload(
+            n_entries, dim=dim, n_queries=n_queries + warmup, seed=seed
+        )
+        for name, params in backends.items():
+            index = _build_backend(name, dim, params, seed)
+            index.add_batch(vectors)
+            index.maintenance()
+            toggle = isinstance(index, QuantizedIndex)
+            modes = (("fused", True), ("reference", False)) if toggle else (("exact", None),)
+            for mode, fused in modes:
+                if fused is not None:
+                    index.fused_scan = fused
+                hist = _measure_single_query(
+                    index, queries[warmup:], top_k, warmup, repeats
+                )
+                stats = hist.to_dict()
+                result.points.append(
+                    LatencyBenchPoint(
+                        backend=name,
+                        n_entries=n_entries,
+                        dim=dim,
+                        mode=mode,
+                        params=dict(params),
+                        count=hist.count,
+                        repeats=repeats,
+                        warmup=warmup,
+                        p50_ms=stats["p50_ns"] / 1e6,
+                        p95_ms=stats["p95_ns"] / 1e6,
+                        p99_ms=stats["p99_ns"] / 1e6,
+                        mean_ms=stats["mean_ns"] / 1e6,
+                    )
+                )
+            if toggle:
+                index.fused_scan = True
     return result

@@ -102,6 +102,24 @@ class VectorIndex(abc.ABC):
             return False
         return True
 
+    #: Whether ``search`` accepts the optional ``stop_score`` keyword
+    #: (threshold-aware early termination).  Callers such as
+    #: :class:`repro.core.pipeline.IndexRetrieve` check this capability flag
+    #: instead of the signature, so backends without the feature (and test
+    #: doubles) keep working unchanged.
+    supports_stop_score: bool = False
+
+    def maintenance(self) -> Dict[str, object]:
+        """Run deferred background work (repartitioning, compaction).
+
+        Backends that defer expensive reorganization off the query path
+        (e.g. IVF repartition/retraining with ``auto_repartition=False``)
+        perform it here; the serving fleet calls this between batching
+        windows.  The base implementation is a no-op.  Returns a small
+        summary dict of the work performed (empty when nothing was due).
+        """
+        return {}
+
     # ------------------------------------------------------------------ #
     # Snapshot protocol (versioned npz + JSON manifest persistence)
     # ------------------------------------------------------------------ #

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.embeddings.similarity import chunked_topk
 from repro.index.base import IndexHit, VectorIndex
+from repro.index.postings import ScratchBuffers
 
 _MIN_CAPACITY = 64
 
@@ -88,6 +89,9 @@ class FlatIndex(VectorIndex):
         self._norms: Optional[np.ndarray] = None  # (capacity,) original L2 norms
         self._ids: Optional[np.ndarray] = None  # (capacity,) int64 entry ids
         self._id_to_row: Dict[int, int] = {}
+        # Reused query-preparation buffers: repeat lookups against the same
+        # index never re-allocate the normalized query matrices.
+        self._scratch = ScratchBuffers()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -175,6 +179,37 @@ class FlatIndex(VectorIndex):
     def _normalize(self, vectors: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
         """Unit-normalize rows in float64, returning (unit rows, norms)."""
         return normalize_rows(vectors)
+
+    def _prepare_queries(self, Q: np.ndarray, prenormalized: bool) -> np.ndarray:
+        """The query batch as a row-contiguous storage-dtype matrix.
+
+        ``prenormalized=True`` is the caller's explicit assertion that the
+        rows are already unit-norm: an already-contiguous matrix in the
+        storage dtype passes through with **zero copies** (the returned array
+        shares memory with the input), and any other layout pays exactly one
+        cast into a reused scratch buffer.  The default path performs the
+        usual float64 normalization, but writes both the unit rows and the
+        storage-dtype cast into scratch, so repeated lookups allocate nothing
+        query-shaped.  The arithmetic (same ufuncs, same order) is identical
+        to :func:`normalize_rows` + ``np.ascontiguousarray`` — scores do not
+        change by a single bit.
+        """
+        if Q.shape[1] != self._dim:
+            raise ValueError(f"query dim {Q.shape[1]} != index dim {self._dim}")
+        if prenormalized:
+            if Q.dtype == self._dtype and Q.flags.c_contiguous:
+                return Q
+            out = self._scratch.get("query.cast", Q.shape, self._dtype)
+            np.copyto(out, Q, casting="unsafe")
+            return out
+        norms = np.linalg.norm(Q, axis=1, keepdims=True)
+        unit = self._scratch.get("query.unit64", Q.shape, np.float64)
+        np.divide(Q, np.where(norms > 1e-12, norms, 1.0), out=unit)
+        if self._dtype == np.float64:
+            return unit
+        out = self._scratch.get("query.cast", Q.shape, self._dtype)
+        np.copyto(out, unit, casting="unsafe")
+        return out
 
     def _ensure_capacity(self, extra: int) -> None:
         needed = self._size + extra
@@ -299,6 +334,7 @@ class FlatIndex(VectorIndex):
         self._norms = None
         self._ids = None
         self._id_to_row.clear()
+        self._scratch.clear()
         # A data-driven dim unpins so the next add may re-fix it (e.g. the
         # cache is cleared and re-populated after a PCA head changed the
         # embedding dimensionality); an explicit constructor dim stays.
@@ -397,24 +433,29 @@ class FlatIndex(VectorIndex):
         queries: np.ndarray,
         top_k: int = 5,
         score_threshold: Optional[float] = None,
+        *,
+        prenormalized: bool = False,
     ) -> List[List[IndexHit]]:
         """Batched top-k cosine search over the live rows.
 
         Accepts a single ``(d,)`` query or a ``(q, d)`` batch; returns one
         list of :class:`IndexHit` (sorted by descending score) per query.
         The corpus side of the matmul is the pre-normalized matrix, so no
-        per-call normalization happens.
+        per-call normalization happens.  ``prenormalized=True`` additionally
+        skips the query-side normalization (the caller asserts the rows are
+        already unit-norm; an already-contiguous storage-dtype matrix is then
+        used without a single copy).
         """
         if top_k < 1:
             raise ValueError("top_k must be >= 1")
-        Q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if prenormalized:
+            Q = np.atleast_2d(np.asarray(queries))
+        else:
+            Q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         n_queries = Q.shape[0]
         if self._size == 0:
             return [[] for _ in range(n_queries)]
-        if Q.shape[1] != self._dim:
-            raise ValueError(f"query dim {Q.shape[1]} != index dim {self._dim}")
-        unit, _ = self._normalize(Q)
-        queries_n = np.ascontiguousarray(unit, dtype=self._dtype)
+        queries_n = self._prepare_queries(Q, prenormalized)
         scores, rows = chunked_topk(
             queries_n,
             self._matrix[: self._size],

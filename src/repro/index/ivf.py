@@ -45,7 +45,16 @@ import numpy as np
 
 from repro.index.base import IndexHit
 from repro.index.flat import _MIN_CAPACITY, FlatIndex
-from repro.index.postings import Postings, RowMap, build_inverted_lists, topk_hits
+from repro.index.postings import (
+    Postings,
+    RowMap,
+    build_inverted_lists,
+    cell_bounds,
+    probe_scan,
+    probe_scan_batched,
+    probe_scan_threaded,
+    topk_hits,
+)
 
 # Rows per assignment-matmul block: bounds the (block × nlist) score matrix.
 _ASSIGN_BLOCK_ELEMS = 4_194_304
@@ -83,6 +92,25 @@ def spherical_kmeans(
         norms = np.linalg.norm(centroids, axis=1, keepdims=True)
         centroids /= np.where(norms > 1e-12, norms, 1.0)
     return np.ascontiguousarray(centroids, dtype=dtype)
+
+
+def sorted_probes(centroid_scores: np.ndarray, nprobe: int) -> np.ndarray:
+    """The ``nprobe`` best cells per query, in descending centroid-score order.
+
+    Best-first probing is what makes exact-bound pruning and threshold early
+    termination effective (the best candidates surface in the first probes);
+    the stable sort keeps the order deterministic under score ties.  Shared
+    by :class:`IVFIndex` and the routed quantized backends.
+    """
+    n_queries, nlist = centroid_scores.shape
+    if nprobe < nlist:
+        part = np.argpartition(-centroid_scores, kth=nprobe - 1, axis=1)[:, :nprobe]
+    else:
+        part = np.broadcast_to(np.arange(nlist), (n_queries, nlist))
+    order = np.argsort(
+        -np.take_along_axis(centroid_scores, part, axis=1), axis=1, kind="stable"
+    )
+    return np.take_along_axis(part, order, axis=1)
 
 
 class IVFIndex(FlatIndex):
@@ -132,6 +160,9 @@ class IVFIndex(FlatIndex):
         kmeans_iters: int = 8,
         repartition_growth: float = 2.0,
         seed: int = 0,
+        auto_repartition: bool = True,
+        prune_probes: bool = True,
+        scan_threads: int = 1,
     ) -> None:
         if nlist is not None and nlist < 1:
             raise ValueError("nlist must be >= 1")
@@ -145,6 +176,8 @@ class IVFIndex(FlatIndex):
             raise ValueError("kmeans_iters must be >= 1")
         if repartition_growth <= 1.0:
             raise ValueError("repartition_growth must be > 1")
+        if scan_threads < 1:
+            raise ValueError("scan_threads must be >= 1")
         super().__init__(
             dim=dim, dtype=dtype, initial_capacity=initial_capacity, chunk_size=chunk_size
         )
@@ -165,6 +198,24 @@ class IVFIndex(FlatIndex):
         # plateaus in size while eviction churn replaces its contents, so
         # growth alone cannot be the repartition trigger.
         self._mutations_since_train = 0
+        # With auto_repartition=False, a due retraining is flagged here and
+        # deferred to the explicit maintenance() hook, keeping the O(n)
+        # k-means off the add path (the serving fleet runs maintenance
+        # between batching windows).
+        self._auto_repartition = bool(auto_repartition)
+        self._repartition_due = False
+        # Per-cell (a_min, a_max, b_max) score-bound stats for exact probe
+        # pruning; computed lazily from the live rows on the first probed
+        # search (or by maintenance()) and updated incrementally on add.
+        self._prune_probes = bool(prune_probes)
+        self._cell_stats: "Optional[tuple]" = None
+        self._scan_threads = int(scan_threads)
+        self._scan_stats: Dict[str, int] = {
+            "probes_scanned": 0,
+            "probes_pruned": 0,
+            "rows_scanned": 0,
+            "early_stops": 0,
+        }
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -201,6 +252,36 @@ class IVFIndex(FlatIndex):
         if self._centroids is not None:
             total += int(self._centroids.nbytes)
         return int(total)
+
+    @property
+    def prune_probes(self) -> bool:
+        """Whether exact-bound probe pruning is enabled (decision-invariant)."""
+        return self._prune_probes
+
+    @prune_probes.setter
+    def prune_probes(self, value: bool) -> None:
+        self._prune_probes = bool(value)
+
+    @property
+    def scan_threads(self) -> int:
+        """Worker threads for the optional parallel probe scan (1 = serial)."""
+        return self._scan_threads
+
+    @scan_threads.setter
+    def scan_threads(self, value: int) -> None:
+        if int(value) < 1:
+            raise ValueError("scan_threads must be >= 1")
+        self._scan_threads = int(value)
+
+    @property
+    def scan_stats(self) -> Dict[str, int]:
+        """Cumulative probe-scan counters (scanned/pruned cells, rows, stops)."""
+        return dict(self._scan_stats)
+
+    def reset_scan_stats(self) -> None:
+        """Zero the :attr:`scan_stats` counters."""
+        for key in self._scan_stats:
+            self._scan_stats[key] = 0
 
     # ------------------------------------------------------------------ #
     # Training / partitioning
@@ -240,6 +321,65 @@ class IVFIndex(FlatIndex):
         )
         self._trained_size = size
         self._mutations_since_train = 0
+        self._repartition_due = False
+        # Bound stats refer to the old partition; recompute lazily (first
+        # probed search or maintenance()) from the fresh assignment.
+        self._cell_stats = None
+
+    # ------------------------------------------------------------------ #
+    # Probe-pruning bound stats
+    # ------------------------------------------------------------------ #
+    def _cell_stats_update(self, rows: np.ndarray, assign: np.ndarray) -> None:
+        """Fold freshly assigned rows into the per-cell bound stats."""
+        if self._cell_stats is None:
+            return
+        a_min, a_max, b_max = self._cell_stats
+        R = np.asarray(rows, dtype=np.float64)
+        C = self._centroids[assign].astype(np.float64)
+        a = np.einsum("ij,ij->i", R, C)
+        sq = np.einsum("ij,ij->i", R, R)
+        b = np.sqrt(np.maximum(0.0, sq - a * a))
+        np.minimum.at(a_min, assign, a)
+        np.maximum.at(a_max, assign, a)
+        np.maximum.at(b_max, assign, b)
+
+    def _compute_cell_stats(self) -> None:
+        """(Re)build the per-cell bound stats from every live row, blocked."""
+        nlist = self._centroids.shape[0]
+        self._cell_stats = (np.zeros(nlist), np.zeros(nlist), np.zeros(nlist))
+        if self._size == 0:
+            return
+        assign = np.empty(self._size, dtype=np.int64)
+        for li, lst in enumerate(self._lists):
+            view = lst.view()
+            if view.size:
+                assign[self._row_of.rows(view)] = li
+        block = max(1, _ASSIGN_BLOCK_ELEMS // max(self._dim or 1, 1))
+        for start in range(0, self._size, block):
+            stop = min(start + block, self._size)
+            self._cell_stats_update(self._matrix[start:stop], assign[start:stop])
+
+    def maintenance(self) -> Dict[str, object]:
+        """Run deferred repartitioning and bound-stat refreshes off-query.
+
+        With ``auto_repartition=False`` the growth/churn-triggered retraining
+        is deferred to this hook; it also precomputes the probe-pruning
+        stats so the first search after a (re)partition doesn't pay for them.
+        """
+        done: Dict[str, object] = {}
+        if self._repartition_due:
+            self._train()
+            done["repartitioned"] = True
+            done["trained_size"] = self._trained_size
+        if (
+            self._prune_probes
+            and self._centroids is not None
+            and self._cell_stats is None
+            and self._size
+        ):
+            self._compute_cell_stats()
+            done["cell_stats_refreshed"] = True
+        return done
 
     # ------------------------------------------------------------------ #
     # Mutation hooks (storage layer calls these after each change)
@@ -250,17 +390,24 @@ class IVFIndex(FlatIndex):
             if self._size >= self._min_train_size:
                 self._train()
             return
-        assign = self._assign(self._matrix[start_row : start_row + ids.shape[0]])
+        block = self._matrix[start_row : start_row + ids.shape[0]]
+        assign = self._assign(block)
         for id, li in zip(ids.tolist(), assign.tolist()):
             self._lists[li].append(id)
             self._list_of[id] = li
+        self._cell_stats_update(block, assign)
         self._mutations_since_train += ids.shape[0]
         # Repartition on growth (size doubled) or on churn (the corpus
         # turned over in place — size plateaus under a bounded cache's
         # eviction, but stale centroids still degrade recall/balance).
+        # Inline by default; deferred to maintenance() when the owner opted
+        # the retraining off the query/add path.
         threshold = self._repartition_growth * self._trained_size
         if self._size >= threshold or self._mutations_since_train >= threshold:
-            self._train()
+            if self._auto_repartition:
+                self._train()
+            else:
+                self._repartition_due = True
 
     def _post_remove(self, id: int, row: int, moved_id: Optional[int]) -> None:
         self._row_of.unset(id)
@@ -283,6 +430,8 @@ class IVFIndex(FlatIndex):
         self._row_of.clear()
         self._trained_size = 0
         self._mutations_since_train = 0
+        self._repartition_due = False
+        self._cell_stats = None
 
     # ------------------------------------------------------------------ #
     # Snapshot protocol (see repro.index.snapshot)
@@ -300,6 +449,9 @@ class IVFIndex(FlatIndex):
                 "kmeans_iters": self._kmeans_iters,
                 "repartition_growth": self._repartition_growth,
                 "seed": self._seed,
+                "auto_repartition": self._auto_repartition,
+                "prune_probes": self._prune_probes,
+                "scan_threads": self._scan_threads,
             }
         )
         return params
@@ -311,6 +463,7 @@ class IVFIndex(FlatIndex):
                 "trained_size": self._trained_size,
                 "mutations_since_train": self._mutations_since_train,
                 "rng_state": self._rng.bit_generator.state,
+                "repartition_due": self._repartition_due,
             }
         )
         return state
@@ -355,6 +508,9 @@ class IVFIndex(FlatIndex):
             )
         self._trained_size = int(state["trained_size"])
         self._mutations_since_train = int(state["mutations_since_train"])
+        self._repartition_due = bool(state.get("repartition_due", False))
+        # Bound stats are derived state; recompute lazily after restore.
+        self._cell_stats = None
         rng_state = state.get("rng_state")
         if rng_state is not None:
             rng = np.random.default_rng(self._seed)
@@ -364,11 +520,16 @@ class IVFIndex(FlatIndex):
     # ------------------------------------------------------------------ #
     # Search
     # ------------------------------------------------------------------ #
+    supports_stop_score = True
+
     def search(
         self,
         queries: np.ndarray,
         top_k: int = 5,
         score_threshold: Optional[float] = None,
+        *,
+        stop_score: Optional[float] = None,
+        prenormalized: bool = False,
     ) -> List[List[IndexHit]]:
         """Probe the ``nprobe`` nearest cells per query and rank their lists.
 
@@ -377,37 +538,130 @@ class IVFIndex(FlatIndex):
         brute-force pass over the probed lists only.  Hit lists may hold
         fewer than ``min(top_k, len(self))`` entries when the probed cells
         are sparse — the price of approximate search.
+
+        Probes run best-first with exact-bound pruning (decision-invariant;
+        see :attr:`prune_probes`).  ``stop_score`` stops probing a query once
+        the running best score reaches it — lossy by design, for callers that
+        admit on a score threshold the best hit already cleared.
+        ``prenormalized=True`` skips query normalization as in
+        :meth:`FlatIndex.search`.  All intermediates live in reused scratch
+        buffers; the only per-call allocations are the returned hit lists.
         """
         if self._centroids is None:
-            return super().search(queries, top_k=top_k, score_threshold=score_threshold)
+            return super().search(
+                queries,
+                top_k=top_k,
+                score_threshold=score_threshold,
+                prenormalized=prenormalized,
+            )
         if top_k < 1:
             raise ValueError("top_k must be >= 1")
-        Q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if prenormalized:
+            Q = np.atleast_2d(np.asarray(queries))
+        else:
+            Q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         n_queries = Q.shape[0]
         if self._size == 0:
             return [[] for _ in range(n_queries)]
-        if Q.shape[1] != self._dim:
-            raise ValueError(f"query dim {Q.shape[1]} != index dim {self._dim}")
-        unit, _ = self._normalize(Q)
-        Qn = np.ascontiguousarray(unit, dtype=self._dtype)
+        Qn = self._prepare_queries(Q, prenormalized)
         nlist = self._centroids.shape[0]
         nprobe = min(self._nprobe, nlist)
-        centroid_scores = Qn @ self._centroids.T  # (q, nlist)
-        if nprobe < nlist:
-            probes = np.argpartition(-centroid_scores, kth=nprobe - 1, axis=1)[:, :nprobe]
-        else:
-            probes = np.broadcast_to(np.arange(nlist), (n_queries, nlist))
+        sc = self._scratch
+        centroid_scores = sc.get("ivf.cscores", (n_queries, nlist), self._dtype)
+        np.matmul(Qn, self._centroids.T, out=centroid_scores)
+        probes = sorted_probes(centroid_scores, nprobe)
+        # The threaded scan has no pruning/early-stop hooks (both are
+        # result-invariant no-ops, so the serial loop stays the reference);
+        # a stop_score request falls back to the serial scan.
+        threaded = self._scan_threads > 1 and stop_score is None
+        # Bound pruning only pays on the per-cell early-termination scan;
+        # plain searches take the single-pass batched scan below, where
+        # there is no per-cell control flow left to prune.
+        bounds = None
+        if stop_score is not None and self._prune_probes and not threaded:
+            if self._cell_stats is None:
+                self._compute_cell_stats()
+            bounds = cell_bounds(centroid_scores, self._cell_stats, sc, "ivf.bounds")
         matrix = self._matrix
         results: List[List[IndexHit]] = []
         for qi in range(n_queries):
-            chunks = [
-                self._lists[li].view() for li in probes[qi] if len(self._lists[li])
-            ]
-            if not chunks:
+            plist = probes[qi]
+            total = 0
+            for li in plist:
+                total += len(self._lists[li])
+            if total == 0:
                 results.append([])
                 continue
-            cand_ids = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
-            rows = self._row_of.rows(cand_ids)
-            scores = matrix[rows] @ Qn[qi]
-            results.append(topk_hits(cand_ids, scores, top_k, score_threshold))
+            cand_ids = sc.get("ivf.cand_ids", (total,), np.int64)
+            cand_rows = sc.get("ivf.cand_rows", (total,), np.int64)
+            cand_scores = sc.get("ivf.cand_scores", (total,), self._dtype)
+            qn = Qn[qi]
+            if threaded:
+
+                def score_rows_alloc(rows: np.ndarray, out: np.ndarray) -> None:
+                    np.matmul(matrix[rows], qn, out=out)
+
+                filled = probe_scan_threaded(
+                    plist,
+                    self._lists,
+                    self._row_of,
+                    score_rows_alloc,
+                    cand_ids,
+                    cand_rows,
+                    cand_scores,
+                    self._scan_threads,
+                    self._scan_stats,
+                )
+            elif stop_score is not None:
+
+                def score_rows(rows: np.ndarray, out: np.ndarray) -> None:
+                    rowbuf = sc.get(
+                        "ivf.rowgather", (rows.shape[0], matrix.shape[1]), self._dtype
+                    )
+                    matrix.take(rows, axis=0, out=rowbuf)
+                    np.matmul(rowbuf, qn, out=out)
+
+                kth_buf = sc.get("ivf.kth", (total,), self._dtype)
+                filled = probe_scan(
+                    plist,
+                    self._lists,
+                    self._row_of,
+                    score_rows,
+                    cand_ids,
+                    cand_rows,
+                    cand_scores,
+                    kth_buf,
+                    top_k,
+                    bounds[qi] if bounds is not None else None,
+                    stop_score,
+                    self._scan_stats,
+                )
+            else:
+                # Plain probing: one gather + one matvec over every probed
+                # cell (see probe_scan_batched — per-cell dispatch is the
+                # latency floor once cells are small).  Scores come back in
+                # ascending-row order; translate rows back to ids in place.
+
+                def score_rows_batched(rows: np.ndarray, out: np.ndarray) -> None:
+                    rowbuf = sc.get(
+                        "ivf.rowgather", (rows.shape[0], matrix.shape[1]), self._dtype
+                    )
+                    matrix.take(rows, axis=0, out=rowbuf)
+                    np.matmul(rowbuf, qn, out=out)
+
+                filled = probe_scan_batched(
+                    plist,
+                    self._lists,
+                    self._row_of,
+                    score_rows_batched,
+                    cand_ids,
+                    cand_rows,
+                    cand_scores,
+                    self._scan_stats,
+                )
+                if filled:
+                    self._ids.take(cand_rows[:filled], out=cand_ids[:filled])
+            results.append(
+                topk_hits(cand_ids[:filled], cand_scores[:filled], top_k, score_threshold)
+            )
         return results

@@ -169,6 +169,19 @@ class RowMap:
         )
         self._live += int(ids.size)
 
+    def remap_block(self, ids: np.ndarray, start_row: int = 0) -> None:
+        """Re-point already-mapped ids at consecutive rows.
+
+        Used by layout compaction, which permutes every live row at once:
+        each id stays live (``_live`` is untouched) but moves to the slot the
+        cell-major ordering assigns it.
+        """
+        if ids.size == 0:
+            return
+        self._rows[ids - self._base] = np.arange(
+            start_row, start_row + ids.shape[0], dtype=np.int64
+        )
+
     def move(self, id: int, row: int) -> None:
         """Point ``id`` at a new row (after a swap-with-last delete)."""
         if id < self._base:
@@ -186,6 +199,17 @@ class RowMap:
     def rows(self, ids: np.ndarray) -> np.ndarray:
         """Vectorized translation of an id array to its current rows."""
         return self._rows[ids - self._base]
+
+    def rows_into(self, ids: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Allocation-free :meth:`rows`: translate ``ids`` into ``out``.
+
+        ``out`` must be an int64 array of the same length; it is used as the
+        working buffer for the offset subtraction too, so no temporaries are
+        created (the hot-path variant the probe scans use with scratch
+        buffers).
+        """
+        np.subtract(ids, self._base, out=out)
+        return self._rows.take(out, out=out)
 
     def compaction_due(self, live_size: int) -> bool:
         """Amortized O(1) removal-path trigger for :meth:`maybe_compact`.
@@ -229,6 +253,298 @@ class RowMap:
         self._rows = np.full(64, -1, dtype=np.int64)
         self._base = 0
         self._live = 0
+
+
+class ScratchBuffers:
+    """Grow-only scratch arena killing per-call allocations on hot paths.
+
+    Each key owns one flat buffer that only ever grows (next power of two),
+    and :meth:`get` hands back a correctly shaped view into it, so repeated
+    searches against an index reuse the same memory instead of allocating
+    fresh arrays per call (fresh >128 KiB allocations are mmap-backed and
+    page-fault on first touch, which is exactly the tail-latency noise the
+    hot path must avoid).  Views are only valid until the next ``get`` with
+    the same key; the arena is single-threaded by design — the optional
+    thread-parallel probe scan allocates per-task temporaries instead.
+    """
+
+    __slots__ = ("_bufs",)
+
+    def __init__(self) -> None:
+        self._bufs: dict = {}
+
+    def get(self, key: str, shape: "tuple[int, ...]", dtype) -> np.ndarray:
+        """An uninitialized ``shape``/``dtype`` view backed by reused storage."""
+        size = 1
+        for extent in shape:
+            size *= int(extent)
+        dt = np.dtype(dtype)
+        buf = self._bufs.get(key)
+        if buf is None or buf.dtype != dt or buf.size < size:
+            capacity = max(size, 64)
+            capacity = 1 << (capacity - 1).bit_length()
+            buf = np.empty(capacity, dtype=dt)
+            self._bufs[key] = buf
+        return buf[:size].reshape(shape)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently held by the arena (diagnostic only)."""
+        return int(sum(buf.nbytes for buf in self._bufs.values()))
+
+    def clear(self) -> None:
+        """Release every buffer (e.g. after ``clear()`` on the owning index)."""
+        self._bufs.clear()
+
+
+def det_topk(scores: np.ndarray, k: int) -> np.ndarray:
+    """Deterministic top-``k`` selection: indices of the ``k`` largest scores.
+
+    ``np.argpartition`` breaks ties at the cut value by internal pivot order,
+    which differs between otherwise score-identical scan implementations.
+    This helper makes the *set* of selected rows a pure function of the score
+    values: every row strictly above the cut is taken, and ties at the cut
+    are filled lowest-index-first.  The fused and reference ADC scans rank
+    duplicate codes with exactly equal scan scores, so running both through
+    this selection yields identical candidate sets — the keystone of the
+    decision-invariance parity tests.  Returned indices are sorted ascending.
+    """
+    n = int(scores.shape[0])
+    if k >= n:
+        return np.arange(n, dtype=np.int64)
+    part = np.argpartition(-scores, kth=k - 1)[:k]
+    cut = scores[part].min()
+    above = np.nonzero(scores > cut)[0]
+    ties = np.nonzero(scores == cut)[0]
+    sel = np.concatenate([above, ties[: k - above.shape[0]]])
+    sel.sort()
+    return sel
+
+
+# Pruning margin: a cell is skipped only when its score upper bound sits more
+# than this below the current keff-th best scan score.  Must strictly exceed
+# the float32 scan-score arithmetic error (~1e-5 at d ≤ a few hundred), so a
+# pruned row provably cannot enter the deterministic top-keff selection.
+_PRUNE_EPS = 1e-4
+# Inflates the orthogonal term of the bound against float32 rounding of the
+# query·centroid score (without it, qc² > 1 by one ulp would zero the term
+# while the true orthogonal component is still ~sqrt(2·ulp)).
+_QC_SLACK = 1e-4
+
+
+def cell_bounds(
+    centroid_scores: np.ndarray,
+    cell_stats: "tuple[np.ndarray, np.ndarray, np.ndarray]",
+    scratch: ScratchBuffers,
+    key: str,
+) -> np.ndarray:
+    """Per-(query, cell) upper bounds on any member row's scan score.
+
+    For a unit query ``q``, unit centroid ``c`` and stored row ``u``
+    decomposed as ``u = (u·c)·c + r`` with ``r ⊥ c``::
+
+        q·u = (u·c)(q·c) + q·r
+            ≤ max(qc·a_max, qc·a_min) + sqrt(1 − qc²)·b_max
+
+    where ``cell_stats = (a_min, a_max, b_max)`` hold each cell's extremes of
+    ``u·c`` and its maximum residual norm ``‖r‖``.  The stats stay
+    conservative under removals (a stale extreme only widens the bound) and
+    are anchored at 0 for cells never updated.  ``_QC_SLACK`` inflates the
+    orthogonal term against float32 rounding of ``qc``; callers must keep an
+    additional ``_PRUNE_EPS`` margin when comparing float32 scan scores to
+    the bound.  All temporaries live in ``scratch`` under ``key``.
+    """
+    a_min, a_max, b_max = cell_stats
+    q, nlist = centroid_scores.shape
+    qc = scratch.get(key + ".qc", (q, nlist), np.float64)
+    np.copyto(qc, centroid_scores, casting="same_kind")
+    t = scratch.get(key + ".t", (q, nlist), np.float64)
+    bounds = scratch.get(key + ".bounds", (q, nlist), np.float64)
+    np.multiply(qc, a_max[None, :], out=bounds)
+    np.multiply(qc, a_min[None, :], out=t)
+    np.maximum(bounds, t, out=bounds)
+    np.multiply(qc, qc, out=t)
+    np.subtract(1.0 + _QC_SLACK, t, out=t)
+    np.clip(t, 0.0, None, out=t)
+    np.sqrt(t, out=t)
+    np.multiply(t, b_max[None, :], out=t)
+    np.add(bounds, t, out=bounds)
+    return bounds
+
+
+def probe_scan(
+    probe_cells,
+    lists: List[Postings],
+    row_map: RowMap,
+    score_rows,
+    cand_ids: np.ndarray,
+    cand_rows: np.ndarray,
+    cand_scores: np.ndarray,
+    kth_buf: np.ndarray,
+    keff: int,
+    bounds_row: Optional[np.ndarray],
+    stop_score: Optional[float],
+    stats: dict,
+) -> int:
+    """One query's probe loop, shared by the IVF and routed-quantized scans.
+
+    Iterates ``probe_cells`` (best-first), gathering each cell's ids/rows
+    into the caller's scratch segments and scoring them via ``score_rows``.
+    Two terminations ride along:
+
+    * **Exact-bound pruning** (``bounds_row`` set): once ``keff`` candidates
+      exist, a cell whose upper bound sits ``_PRUNE_EPS`` below the running
+      keff-th best scan score is skipped — provably without changing the
+      deterministic top-keff selection, because every row it could have
+      contributed scores strictly below the (monotonically non-decreasing)
+      cut.  Decision-invariant.
+    * **Threshold early stop** (``stop_score`` set): stop probing once the
+      running best score reaches ``stop_score``.  Lossy by design (further
+      probes could still improve ranks below the best hit), so callers only
+      enable it when the consumer admits on a score threshold the best hit
+      already cleared.
+
+    Returns the number of candidates written.
+    """
+    filled = 0
+    kth = -np.inf
+    best = -np.inf
+    for li in probe_cells:
+        lst = lists[li]
+        c = len(lst)
+        if c == 0:
+            continue
+        if bounds_row is not None and filled >= keff and bounds_row[li] < kth - _PRUNE_EPS:
+            stats["probes_pruned"] += 1
+            continue
+        ids_seg = cand_ids[filled : filled + c]
+        ids_seg[:] = lst.view()
+        # Canonical (ascending-id) order inside each cell: BLAS gemv per-row
+        # results are position-dependent at small shapes, so without this a
+        # cell's scores would depend on its insertion/deletion history — and a
+        # snapshot-restored index (lists rebuilt in row order) would score
+        # the same rows a ulp differently from the live one that wrote it.
+        ids_seg.sort()
+        rows_view = cand_rows[filled : filled + c]
+        row_map.rows_into(ids_seg, rows_view)
+        scores_view = cand_scores[filled : filled + c]
+        score_rows(rows_view, scores_view)
+        filled += c
+        stats["probes_scanned"] += 1
+        stats["rows_scanned"] += c
+        m = float(scores_view.max())
+        if m > best:
+            best = m
+        if stop_score is not None and best >= stop_score:
+            stats["early_stops"] += 1
+            break
+        if bounds_row is not None and filled >= keff:
+            kb = kth_buf[:filled]
+            kb[:] = cand_scores[:filled]
+            kb.partition(filled - keff)
+            kth = float(kb[filled - keff])
+    return filled
+
+
+def probe_scan_batched(
+    probe_cells,
+    lists: List[Postings],
+    row_map: RowMap,
+    score_rows,
+    cand_ids: np.ndarray,
+    cand_rows: np.ndarray,
+    cand_scores: np.ndarray,
+    stats: dict,
+) -> int:
+    """Single-pass probe scan: every probed cell gathered, then ONE scoring call.
+
+    The routed-quantized hot path.  Once cells are small (a few hundred
+    rows), :func:`probe_scan`'s per-cell Python/BLAS dispatch — not the
+    arithmetic — is the latency floor, at tens of microseconds per probe.
+    When neither threshold early termination nor bound pruning is requested
+    there is no per-cell control flow to honour, so this variant
+    concatenates every probed cell's ids, translates them to rows once, and
+    scores the whole block with a single ``score_rows`` call in ascending
+    **row** order.  Row order is the canonical scan order here for two
+    reasons: it is reproducible (snapshots preserve row order byte-for-byte,
+    so a restored index scores the same rows in the same BLAS positions as
+    the live one that wrote it), and it is what makes the gather sequential
+    once the owning index has compacted its storage cell-major — the
+    difference between a DRAM-latency-bound scan and a bandwidth-bound one.
+    Candidate identity is carried by ``cand_rows`` (``cand_ids`` is staging
+    only); callers map rows back to ids via their row→id array.  Returns
+    the number of candidates written.
+    """
+    filled = 0
+    cells = 0
+    for li in probe_cells:
+        lst = lists[li]
+        c = len(lst)
+        if c == 0:
+            continue
+        cand_ids[filled : filled + c] = lst.view()
+        filled += c
+        cells += 1
+    if filled == 0:
+        return 0
+    rows = cand_rows[:filled]
+    row_map.rows_into(cand_ids[:filled], rows)
+    rows.sort()
+    score_rows(rows, cand_scores[:filled])
+    stats["probes_scanned"] += cells
+    stats["rows_scanned"] += filled
+    return filled
+
+
+def probe_scan_threaded(
+    probe_cells,
+    lists: List[Postings],
+    row_map: RowMap,
+    score_rows_alloc,
+    cand_ids: np.ndarray,
+    cand_rows: np.ndarray,
+    cand_scores: np.ndarray,
+    threads: int,
+    stats: dict,
+) -> int:
+    """Thread-parallel probe scan: all probes scored into disjoint segments.
+
+    Byte-identical output to :func:`probe_scan` without pruning/early-stop
+    (each row's score is a per-row dot independent of how the scan is
+    partitioned, and both optimizations are result-invariant no-ops), so the
+    serial loop remains the reference.  NumPy releases the GIL inside the
+    BLAS/gather kernels, so this pays off only on multi-core hosts with
+    large ``nprobe``; ``score_rows_alloc`` must be thread-safe (allocate its
+    own temporaries — the shared scratch arena is single-threaded).
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    segments = []
+    filled = 0
+    for li in probe_cells:
+        c = len(lists[li])
+        if c == 0:
+            continue
+        segments.append((li, filled, c))
+        filled += c
+    if not segments:
+        return 0
+
+    def scan(seg):
+        li, off, c = seg
+        ids_seg = cand_ids[off : off + c]
+        ids_seg[:] = lists[li].view()
+        # Same canonical per-cell order as the serial scan (see probe_scan).
+        ids_seg.sort()
+        rows = row_map.rows(ids_seg)
+        cand_rows[off : off + c] = rows
+        score_rows_alloc(rows, cand_scores[off : off + c])
+
+    with ThreadPoolExecutor(max_workers=min(threads, len(segments))) as pool:
+        list(pool.map(scan, segments))
+    stats["probes_scanned"] += len(segments)
+    stats["rows_scanned"] += filled
+    return filled
 
 
 def build_inverted_lists(
@@ -275,11 +591,11 @@ def topk_hits(
     """
     n = scores.shape[0]
     k = min(top_k if max_duplicates <= 1 else (top_k - 1) * max_duplicates + 1, n)
-    if k < n:
-        top = np.argpartition(-scores, kth=k - 1)[:k]
-        sel = top[np.argsort(-scores[top])]
-    else:
-        sel = np.argsort(-scores)
+    top = det_topk(scores, k)
+    # Order by (-score, id): exact score ties rank the lower id first, so the
+    # final hit list does not depend on candidate order (probe order differs
+    # between the fused and reference scan paths).
+    sel = top[np.lexsort((candidate_ids[top], -scores[top]))]
     ranked_scores = np.clip(scores[sel], -1.0, 1.0)
     ranked_ids = candidate_ids[sel]
     if score_threshold is not None:

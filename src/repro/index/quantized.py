@@ -58,11 +58,37 @@ import numpy as np
 from repro.index.base import IndexHit, VectorIndex
 from repro.index.flat import _MIN_CAPACITY
 from repro.index.flat import normalize_rows as _normalize_rows
+from repro.index.ivf import _ASSIGN_BLOCK_ELEMS
+from repro.index.ivf import sorted_probes as _sorted_probes
 from repro.index.ivf import spherical_kmeans as _spherical_kmeans
-from repro.index.postings import Postings, RowMap, build_inverted_lists, topk_hits
+from repro.index.postings import (
+    Postings,
+    RowMap,
+    ScratchBuffers,
+    build_inverted_lists,
+    cell_bounds,
+    det_topk,
+    probe_scan,
+    probe_scan_batched,
+    probe_scan_threaded,
+    topk_hits,
+)
 
 # Rows per encode/assignment block: bounds the temporary float matrices.
 _ENCODE_BLOCK = 16384
+# Code rows per uint8→float32 cast block in the fused SQ8 scan: large enough
+# to amortize the gemm call, small enough that the cast buffer stays resident
+# in cache (and well under the mmap threshold for fresh allocations).
+_SCAN_BLOCK = 4096
+# Rows per gather+cast+gemv block when scoring a scattered row subset (the
+# routed probe scan): the gathered uint8 block (128KB) and its float32 cast
+# (512KB) both stay L2-resident between the write and the gemv read, which
+# measures ~1.4x faster than a single whole-candidate-set pass at 10^6.
+_GATHER_BLOCK = 2048
+# Query-batch ceiling for the latency-engineered flat scan (per-query LUTs,
+# deterministic per-chunk selection, early stop).  Larger batches take the
+# batched-throughput gemm path, whose per-query cost is already amortized.
+_MIRROR_MAX_BATCH = 4
 
 
 def _lloyd_kmeans(
@@ -170,6 +196,63 @@ class ScalarQuantizer:
         scaled_q = queries * self.scale[None, :]
         return scaled_q @ codes.astype(np.float32).T + (queries @ self.offset)[:, None]
 
+    def scores_fused(
+        self, queries: np.ndarray, codes: np.ndarray, out: np.ndarray, scratch
+    ) -> np.ndarray:
+        """Single-pass fused variant of :meth:`scores`, written into ``out``.
+
+        Same affine identity, but the uint8→float32 cast happens in
+        ``_SCAN_BLOCK``-row blocks reused from ``scratch`` and every
+        intermediate (scaled query, query·offset, cast block) lives in
+        scratch too — no chunk-sized float matrix is ever materialized and
+        nothing query- or chunk-shaped is allocated per call.
+        """
+        q, d = queries.shape
+        n = codes.shape[0]
+        scaled_q = scratch.get("sq8.scaled_q", (q, d), np.float32)
+        np.multiply(queries, self.scale[None, :], out=scaled_q)
+        q_off = scratch.get("sq8.q_off", (q,), np.float32)
+        np.matmul(queries, self.offset, out=q_off)
+        block = scratch.get("sq8.cast", (min(_SCAN_BLOCK, n), d), np.float32)
+        for start in range(0, n, _SCAN_BLOCK):
+            stop = min(start + _SCAN_BLOCK, n)
+            b = block[: stop - start]
+            np.copyto(b, codes[start:stop], casting="unsafe")
+            np.matmul(scaled_q, b.T, out=out[:, start:stop])
+        np.add(out, q_off[:, None], out=out)
+        return out
+
+    def score_rows_fused(
+        self,
+        codes: np.ndarray,
+        rows: np.ndarray,
+        scaled_q: np.ndarray,
+        q_off: float,
+        out: np.ndarray,
+        scratch,
+        key: str,
+    ) -> None:
+        """Fused scoring of a gathered row subset (the routed probe scan).
+
+        ``rows`` are gathered from ``codes`` into a scratch uint8 block,
+        cast and scored with a gemv per ``_SCAN_BLOCK`` rows — the decoded
+        float matrix of the old path never exists, and the cast block stays
+        cache-resident between its write (cast) and read (gemv) instead of
+        making two full-DRAM passes over the candidate set.
+        """
+        c = rows.shape[0]
+        d = codes.shape[1]
+        gathered = scratch.get(key + ".gather", (min(_GATHER_BLOCK, c), d), np.uint8)
+        cast = scratch.get(key + ".cast", (min(_GATHER_BLOCK, c), d), np.float32)
+        for start in range(0, c, _GATHER_BLOCK):
+            stop = min(start + _GATHER_BLOCK, c)
+            g = gathered[: stop - start]
+            codes.take(rows[start:stop], axis=0, out=g)
+            b = cast[: stop - start]
+            np.copyto(b, g, casting="unsafe")
+            np.matmul(b, scaled_q, out=out[start:stop])
+        np.add(out, q_off, out=out)
+
     def snapshot_arrays(self) -> Dict[str, np.ndarray]:
         """Codec tables for the index snapshot (empty while untrained)."""
         if self.scale is None:
@@ -201,6 +284,11 @@ class ProductQuantizer:
     @property
     def is_trained(self) -> bool:
         return self.codebooks is not None
+
+    @property
+    def ksub_eff(self) -> int:
+        """Trained centroids per subspace (< ksub when the train set was small)."""
+        return 0 if self.codebooks is None else int(self.codebooks.shape[1])
 
     def reset(self) -> None:
         self.codebooks = None
@@ -282,6 +370,68 @@ class ProductQuantizer:
             out += lut[:, codes[:, j]]
         return out
 
+    def build_lut(self, query: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """One query's per-subspace ADC table, written into ``out`` (m, ksub_eff)."""
+        for j in range(self.m):
+            np.matmul(
+                self.codebooks[j], query[j * self.dsub : (j + 1) * self.dsub], out=out[j]
+            )
+        return out
+
+    def build_pair_lut(self, lut: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Fuse adjacent subspace tables into ``m/2`` pair tables.
+
+        ``out[p][c0 + k·c1] = lut[2p][c0] + lut[2p+1][c1]`` with
+        ``k = ksub_eff`` — exactly the packing of the index's pair-code
+        mirror, so a pair of stored codes scores with ONE table gather
+        instead of two.  ``out`` is ``(m//2, k·k)`` float32.
+        """
+        k = lut.shape[1]
+        for p in range(self.m // 2):
+            np.add(
+                lut[2 * p][None, :], lut[2 * p + 1][:, None], out=out[p].reshape(k, k)
+            )
+        return out
+
+    def scores_fused_pairs(
+        self,
+        pair_lut: np.ndarray,
+        mirror_cols: np.ndarray,
+        out: np.ndarray,
+        tmp: np.ndarray,
+    ) -> np.ndarray:
+        """Single-query fused ADC over the pair-packed code mirror.
+
+        ``mirror_cols`` is an ``(m//2, c)`` slice of the index's uint16 pair
+        mirror; each of the ``m/2`` gathers reads one contiguous mirror row —
+        half the table lookups of :meth:`scores` and no ``(q, c)`` per-table
+        gather matrices.
+        """
+        np.take(pair_lut[0], mirror_cols[0], out=out)
+        for p in range(1, mirror_cols.shape[0]):
+            np.take(pair_lut[p], mirror_cols[p], out=tmp)
+            np.add(out, tmp, out=out)
+        return out
+
+    def score_rows_lut(
+        self,
+        codes: np.ndarray,
+        rows: np.ndarray,
+        lut: np.ndarray,
+        out: np.ndarray,
+        scratch,
+        key: str,
+    ) -> None:
+        """LUT scoring of a gathered row subset (the routed probe scan)."""
+        c = rows.shape[0]
+        gathered = scratch.get(key + ".gather", (c, codes.shape[1]), np.uint8)
+        codes.take(rows, axis=0, out=gathered)
+        tmp = scratch.get(key + ".tmp", (c,), np.float32)
+        np.take(lut[0], gathered[:, 0], out=out)
+        for j in range(1, self.m):
+            np.take(lut[j], gathered[:, j], out=tmp)
+            np.add(out, tmp, out=out)
+
     def snapshot_arrays(self) -> Dict[str, np.ndarray]:
         """Codec tables for the index snapshot (empty while untrained)."""
         if self.codebooks is None:
@@ -319,6 +469,10 @@ class QuantizedIndex(VectorIndex):
         kmeans_iters: int = 8,
         repartition_growth: float = 2.0,
         seed: int = 0,
+        fused_scan: bool = True,
+        auto_repartition: bool = True,
+        prune_probes: bool = True,
+        scan_threads: int = 1,
     ) -> None:
         if dim is not None and dim < 1:
             raise ValueError("dim must be >= 1")
@@ -340,6 +494,8 @@ class QuantizedIndex(VectorIndex):
             raise ValueError("kmeans_iters must be >= 1")
         if repartition_growth <= 1.0:
             raise ValueError("repartition_growth must be > 1")
+        if scan_threads < 1:
+            raise ValueError("scan_threads must be >= 1")
         if dim is not None:
             quantizer.validate_dim(int(dim))
         self._quantizer = quantizer
@@ -370,6 +526,27 @@ class QuantizedIndex(VectorIndex):
         self._list_of: Dict[int, int] = {}
         self._trained_size = 0
         self._mutations_since_train = 0
+        # Latency engineering state (see the IVFIndex counterparts): fused
+        # single-pass scans vs the decode-to-float64 reference path, deferred
+        # repartitioning behind maintenance(), exact-bound probe pruning, the
+        # optional thread-parallel probe scan, reused scratch buffers, and —
+        # for even-m PQ — a column-major uint16 pair-code mirror of the code
+        # matrix that halves ADC gathers on the single-query path.
+        self._fused_scan = bool(fused_scan)
+        self._auto_repartition = bool(auto_repartition)
+        self._repartition_due = False
+        self._prune_probes = bool(prune_probes)
+        self._scan_threads = int(scan_threads)
+        self._scratch = ScratchBuffers()
+        self._pair_mirror: Optional[np.ndarray] = None  # (m//2, capacity) u16
+        self._cell_stats: "Optional[tuple]" = None
+        self._layout_clustered = False  # rows grouped cell-major on disk?
+        self._scan_stats: Dict[str, int] = {
+            "probes_scanned": 0,
+            "probes_pruned": 0,
+            "rows_scanned": 0,
+            "early_stops": 0,
+        }
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -402,6 +579,22 @@ class QuantizedIndex(VectorIndex):
     def rescore(self) -> int:
         """Exact-rescore multiplier R (top-k·R candidates re-ranked in f64)."""
         return self._rescore
+
+    @property
+    def fused_scan(self) -> bool:
+        """Whether searches use the fused single-pass ADC scans.
+
+        Settable on a live index — the scan-acceleration structures are
+        maintained regardless of the flag, so flipping it switches between
+        the fused path and the decode-to-float reference path in place.
+        The latency benchmark relies on this to A/B both paths against the
+        exact same index state.
+        """
+        return self._fused_scan
+
+    @fused_scan.setter
+    def fused_scan(self, value: bool) -> None:
+        self._fused_scan = bool(value)
 
     @property
     def nlist(self) -> int:
@@ -462,6 +655,62 @@ class QuantizedIndex(VectorIndex):
             total += int(self._centroids.nbytes)
         return int(total)
 
+    @property
+    def fused_scan(self) -> bool:
+        """Fused single-pass ADC scans (True) vs the decode-to-float64
+        reference scan (False).  Togglable at runtime so benchmarks and
+        parity tests compare both paths on one index."""
+        return self._fused_scan
+
+    @fused_scan.setter
+    def fused_scan(self, value: bool) -> None:
+        self._fused_scan = bool(value)
+
+    @property
+    def prune_probes(self) -> bool:
+        """Whether exact-bound probe pruning is enabled (routed, fused mode)."""
+        return self._prune_probes
+
+    @prune_probes.setter
+    def prune_probes(self, value: bool) -> None:
+        self._prune_probes = bool(value)
+
+    @property
+    def scan_threads(self) -> int:
+        """Worker threads for the optional parallel probe scan (1 = serial)."""
+        return self._scan_threads
+
+    @scan_threads.setter
+    def scan_threads(self, value: int) -> None:
+        if int(value) < 1:
+            raise ValueError("scan_threads must be >= 1")
+        self._scan_threads = int(value)
+
+    @property
+    def scan_stats(self) -> Dict[str, int]:
+        """Cumulative scan counters (scanned/pruned probes, rows, early stops)."""
+        return dict(self._scan_stats)
+
+    def reset_scan_stats(self) -> None:
+        """Zero the :attr:`scan_stats` counters."""
+        for key in self._scan_stats:
+            self._scan_stats[key] = 0
+
+    @property
+    def scan_nbytes(self) -> int:
+        """Bytes of the scan-acceleration structures (pair mirror + scratch).
+
+        Deliberately separate from :attr:`nbytes` / :attr:`codec_nbytes` /
+        :attr:`routing_nbytes`: those report the storage the paper's memory
+        accounting tracks, while these buffers exist purely to keep the hot
+        path allocation-free and can be dropped (``clear``) without losing
+        any state.
+        """
+        total = self._scratch.nbytes
+        if self._pair_mirror is not None:
+            total += int(self._pair_mirror.nbytes)
+        return int(total)
+
     def __contains__(self, id: int) -> bool:
         return int(id) in self._id_to_row
 
@@ -518,6 +767,12 @@ class QuantizedIndex(VectorIndex):
             self._codes = grown
         else:
             self._staging = grown
+        if self._pair_mirror is not None:
+            grown_mirror = np.empty(
+                (self._pair_mirror.shape[0], capacity), dtype=np.uint16
+            )
+            grown_mirror[:, : self._size] = self._pair_mirror[:, : self._size]
+            self._pair_mirror = grown_mirror
         grown_norms = np.empty(capacity, dtype=np.float32)
         grown_norms[: self._size] = self._norms[: self._size]
         self._norms = grown_norms
@@ -551,6 +806,25 @@ class QuantizedIndex(VectorIndex):
         self._staging = None
         self._trained_size = self._size
         self._mutations_since_train = 0
+        self._repartition_due = False
+        self._mirror_sync(0, self._size)
+
+    def _assign_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Nearest-centroid cell per float32 row, blocked to bound memory.
+
+        The old one-shot ``rows @ centroids.T`` materialized an
+        ``(n, nlist)`` float32 score matrix — ~16 GB at 10⁶ rows with the
+        default ``nlist ≈ 4√n`` — on every repartition.
+        """
+        nlist = self._centroids.shape[0]
+        block = max(1, _ASSIGN_BLOCK_ELEMS // nlist)
+        out = np.empty(rows.shape[0], dtype=np.int64)
+        for start in range(0, rows.shape[0], block):
+            chunk = rows[start : start + block]
+            out[start : start + chunk.shape[0]] = np.argmax(
+                chunk @ self._centroids.T, axis=1
+            )
+        return out
 
     def _train_routing(self, rows: np.ndarray, sample: np.ndarray) -> None:
         """(Re)fit the coarse centroids and rebuild every inverted list."""
@@ -560,10 +834,14 @@ class QuantizedIndex(VectorIndex):
         self._centroids = _spherical_kmeans(
             sample, nlist, self._kmeans_iters, self._rng
         )
-        assign = np.argmax(rows.astype(np.float32) @ self._centroids.T, axis=1)
+        assign = self._assign_rows(np.asarray(rows, dtype=np.float32))
         self._lists, self._list_of = build_inverted_lists(
             self._ids[:size], assign, self._centroids.shape[0]
         )
+        # Bound stats refer to the old partition; recompute lazily.  Storage
+        # still reflects arrival order until the next maintenance() pass.
+        self._cell_stats = None
+        self._layout_clustered = False
 
     def _retrain_routing(self) -> None:
         """Re-partition from the dequantized rows (the floats are gone)."""
@@ -574,6 +852,150 @@ class QuantizedIndex(VectorIndex):
         self._train_routing(rows, self._training_sample(rows))
         self._trained_size = self._size
         self._mutations_since_train = 0
+        self._repartition_due = False
+
+    # ------------------------------------------------------------------ #
+    # Scan-acceleration structures (pair mirror, probe-pruning bound stats)
+    # ------------------------------------------------------------------ #
+    def _mirror_eligible(self) -> bool:
+        """Whether the PQ pair-code mirror applies to this configuration."""
+        return (
+            isinstance(self._quantizer, ProductQuantizer)
+            and self._quantizer.is_trained
+            and not self._routed
+            and self._quantizer.m % 2 == 0
+        )
+
+    def _mirror_sync(self, start: int, stop: int) -> None:
+        """Keep the pair-packed scan mirror consistent with ``codes[start:stop]``.
+
+        The mirror is a ``(m//2, capacity)`` column-major-by-construction
+        uint16 matrix with ``mirror[p, i] = codes[i, 2p] + ksub_eff ·
+        codes[i, 2p+1]`` — each fused-scan gather then reads one contiguous
+        mirror row.  Maintained whenever eligible (regardless of the
+        ``fused_scan`` toggle) so flipping the flag on a live index needs no
+        rebuild.  Built lazily on the first sync after training or restore.
+        """
+        if self._codes is None or not self._mirror_eligible():
+            return
+        k = self._quantizer.ksub_eff
+        if self._pair_mirror is None:
+            self._pair_mirror = np.empty(
+                (self._quantizer.m // 2, self._codes.shape[0]), dtype=np.uint16
+            )
+            start, stop = 0, self._size
+        if stop <= start:
+            return
+        codes = self._codes[start:stop]
+        pairs = codes[:, 0::2].astype(np.uint16)
+        pairs += np.uint16(k) * codes[:, 1::2]
+        self._pair_mirror[:, start:stop] = pairs.T
+
+    def _cell_stats_update(self, codes: np.ndarray, assign: np.ndarray) -> None:
+        """Fold freshly assigned code rows into the per-cell bound stats.
+
+        Mirrors ``IVFIndex._cell_stats_update`` but decodes the codes first:
+        the bound must cover the *reconstructed* rows the scan actually
+        scores, not the exact originals.
+        """
+        if self._cell_stats is None:
+            return
+        a_min, a_max, b_max = self._cell_stats
+        R = self._quantizer.decode(codes, dtype=np.float64)
+        C = self._centroids[assign].astype(np.float64)
+        a = np.einsum("ij,ij->i", R, C)
+        sq = np.einsum("ij,ij->i", R, R)
+        b = np.sqrt(np.maximum(0.0, sq - a * a))
+        np.minimum.at(a_min, assign, a)
+        np.maximum.at(a_max, assign, a)
+        np.maximum.at(b_max, assign, b)
+
+    def _compute_cell_stats(self) -> None:
+        """(Re)build the per-cell bound stats from every live code row."""
+        nlist = self._centroids.shape[0]
+        self._cell_stats = (np.zeros(nlist), np.zeros(nlist), np.zeros(nlist))
+        if self._size == 0:
+            return
+        assign = np.empty(self._size, dtype=np.int64)
+        for li, lst in enumerate(self._lists):
+            view = lst.view()
+            if view.size:
+                assign[self._row_of.rows(view)] = li
+        block = max(1, _ASSIGN_BLOCK_ELEMS // max(self._dim or 1, 1))
+        for start in range(0, self._size, block):
+            stop = min(start + block, self._size)
+            self._cell_stats_update(self._codes[start:stop], assign[start:stop])
+
+    def _compact_layout(self) -> None:
+        """Reorder storage cell-major: each cell's codes become one
+        contiguous ascending-row range.
+
+        The routed fused scan scores candidates in ascending row order
+        (see :func:`probe_scan_batched`); with arrival-order storage those
+        rows are scattered across the whole code matrix — at 10⁶ entries a
+        64-probe candidate gather touches one ~64-byte row per 4 KB page and
+        the scan is DRAM-latency bound.  After compaction the same gather
+        reads ``nprobe`` sequential runs and the scan is bandwidth bound.
+        Pure storage permutation: ids, cell assignments, quantized codes and
+        all derived stats are unchanged, so recall and ranking semantics are
+        identical — only the BLAS summation order (and thus float ulps)
+        shifts, which the final-ranking float64 rescore absorbs.
+        """
+        n = self._size
+        ids_new = np.empty(n, dtype=np.int64)
+        pos = 0
+        for lst in self._lists:
+            view = lst.view()
+            c = view.shape[0]
+            if c == 0:
+                continue
+            ids_new[pos : pos + c] = np.sort(view)
+            pos += c
+        order = self._row_of.rows(ids_new)  # new row -> old row
+        self._codes[:n] = self._codes[:n].take(order, axis=0)
+        self._norms[:n] = self._norms[:n].take(order)
+        self._ids[:n] = ids_new
+        if self._pair_mirror is not None:
+            self._pair_mirror[:, :n] = self._pair_mirror[:, :n].take(order, axis=1)
+        self._id_to_row = dict(zip(ids_new.tolist(), range(n)))
+        self._row_of.remap_block(ids_new, 0)
+        self._layout_clustered = True
+
+    def maintenance(self) -> Dict[str, object]:
+        """Run deferred repartitioning, layout compaction and bound-stat
+        refreshes off-query.
+
+        With ``auto_repartition=False`` the growth/churn-triggered routing
+        retraining is deferred to this hook (the serving fleet calls it
+        between batching windows); it also groups code storage cell-major so
+        probe gathers read contiguous ranges, and precomputes the
+        probe-pruning stats so the first search after a (re)partition
+        doesn't pay for them.
+        """
+        done: Dict[str, object] = {}
+        if self._repartition_due:
+            self._retrain_routing()
+            done["repartitioned"] = True
+            done["trained_size"] = self._trained_size
+        if (
+            self._routed
+            and self._centroids is not None
+            and self._codes is not None
+            and self._size
+            and not self._layout_clustered
+        ):
+            self._compact_layout()
+            done["layout_compacted"] = True
+        if (
+            self._routed
+            and self._prune_probes
+            and self._centroids is not None
+            and self._cell_stats is None
+            and self._size
+        ):
+            self._compute_cell_stats()
+            done["cell_stats_refreshed"] = True
+        return done
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -649,17 +1071,25 @@ class QuantizedIndex(VectorIndex):
             if self._size >= self._min_train_size:
                 self._train()
             return
+        self._mirror_sync(start_row, start_row + ids.shape[0])
         if self._routed and self._centroids is not None:
-            assign = np.argmax(
-                unit_rows.astype(np.float32) @ self._centroids.T, axis=1
-            )
+            assign = self._assign_rows(np.asarray(unit_rows, dtype=np.float32))
             for id, li in zip(ids.tolist(), assign.tolist()):
                 self._lists[li].append(id)
                 self._list_of[id] = li
+            self._layout_clustered = False
+            self._cell_stats_update(
+                self._codes[start_row : start_row + ids.shape[0]], assign
+            )
             self._mutations_since_train += ids.shape[0]
+            # Inline by default; deferred to maintenance() when the owner
+            # opted the O(n) retraining off the query/add path.
             threshold = self._repartition_growth * self._trained_size
             if self._size >= threshold or self._mutations_since_train >= threshold:
-                self._retrain_routing()
+                if self._auto_repartition:
+                    self._retrain_routing()
+                else:
+                    self._repartition_due = True
 
     def remove(self, id: int) -> None:
         id = int(id)
@@ -671,6 +1101,8 @@ class QuantizedIndex(VectorIndex):
         moved_id: Optional[int] = None
         if row != last:
             payload[row] = payload[last]
+            if self._pair_mirror is not None:
+                self._pair_mirror[:, row] = self._pair_mirror[:, last]
             self._norms[row] = self._norms[last]
             moved_id = int(self._ids[last])
             self._ids[row] = moved_id
@@ -686,6 +1118,7 @@ class QuantizedIndex(VectorIndex):
                 li = self._list_of.pop(id)
                 self._lists[li].discard(id)
                 self._mutations_since_train += 1
+                self._layout_clustered = False
 
     def rebuild(self, vectors: np.ndarray, ids: Sequence[int]) -> None:
         ids = [int(i) for i in ids]
@@ -720,6 +1153,11 @@ class QuantizedIndex(VectorIndex):
         self._list_of = {}
         self._trained_size = 0
         self._mutations_since_train = 0
+        self._repartition_due = False
+        self._pair_mirror = None
+        self._cell_stats = None
+        self._layout_clustered = False
+        self._scratch.clear()
         self._dim = self._constructor_dim
         if reset_ids:
             self._next_id = 0
@@ -727,6 +1165,39 @@ class QuantizedIndex(VectorIndex):
     # ------------------------------------------------------------------ #
     # Search
     # ------------------------------------------------------------------ #
+    supports_stop_score = True
+
+    def _prepare_queries(
+        self, Q: np.ndarray, prenormalized: bool
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """``(float64 unit rows, float32 contiguous rows)`` from scratch.
+
+        Same contract as :meth:`FlatIndex._prepare_queries` (identical
+        normalization ufuncs, zero per-call allocation), but returns both
+        precisions: the float32 rows drive the quantized scans and the
+        float64 rows the exact rescore.  With ``prenormalized=True`` the
+        caller asserts unit rows; a contiguous float32 input is then used
+        for scanning without any copy (float32→float64 widening for the
+        rescore side is exact).
+        """
+        if Q.shape[1] != self._dim:
+            raise ValueError(f"query dim {Q.shape[1]} != index dim {self._dim}")
+        sc = self._scratch
+        if prenormalized:
+            unit = sc.get("query.unit64", Q.shape, np.float64)
+            np.copyto(unit, Q, casting="unsafe")
+            if Q.dtype == np.float32 and Q.flags.c_contiguous:
+                return unit, Q
+            qf = sc.get("query.f32", Q.shape, np.float32)
+            np.copyto(qf, Q, casting="unsafe")
+            return unit, qf
+        norms = np.linalg.norm(Q, axis=1, keepdims=True)
+        unit = sc.get("query.unit64", Q.shape, np.float64)
+        np.divide(Q, np.where(norms > 1e-12, norms, 1.0), out=unit)
+        qf = sc.get("query.f32", Q.shape, np.float32)
+        np.copyto(qf, unit, casting="unsafe")
+        return unit, qf
+
     def _rank(
         self,
         cand_rows: np.ndarray,
@@ -739,13 +1210,18 @@ class QuantizedIndex(VectorIndex):
 
         With ``rescore > 1`` the ``top_k·rescore`` best candidates by
         quantized score are re-scored in float64 against the dequantized
-        codes before the final top-k cut.
+        codes before the final top-k cut.  The candidate cut uses the
+        deterministic :func:`det_topk` selection, so the scan-score → final
+        pipeline is a pure function of the score values — the keystone of
+        the fused/reference decision-invariance contract (see
+        ``docs/benchmarks.md``; with ``rescore == 1`` the raw scan scores
+        are the final scores and the two paths differ within codec error).
         """
         n = cand_scores.shape[0]
         if self._rescore > 1 and self._codes is not None:
             keff = min(top_k * self._rescore, n)
             if keff < n:
-                keep = np.argpartition(-cand_scores, kth=keff - 1)[:keff]
+                keep = det_topk(cand_scores, keff)
                 cand_rows = cand_rows[keep]
                 cand_scores = cand_scores[keep]
             decoded = self._quantizer.decode(self._codes[cand_rows], dtype=np.float64)
@@ -759,6 +1235,9 @@ class QuantizedIndex(VectorIndex):
         queries: np.ndarray,
         top_k: int = 5,
         score_threshold: Optional[float] = None,
+        *,
+        stop_score: Optional[float] = None,
+        prenormalized: bool = False,
     ) -> List[List[IndexHit]]:
         """Batched top-k cosine search over the quantized rows.
 
@@ -767,17 +1246,24 @@ class QuantizedIndex(VectorIndex):
         routed: the ``nprobe`` nearest cells' lists only.  Scores are cosine
         similarities up to the codec's reconstruction error (see the module
         docstring); ``score_threshold`` filters on those scores.
+
+        ``stop_score`` enables lossy threshold early termination: scanning a
+        query stops once its running best scan score reaches the value
+        (honored by the routed probe loop per query, and by the flat scan
+        for single-query and small-batch PQ lookups; ignored while
+        untrained).  ``prenormalized=True`` skips query normalization as in
+        :meth:`FlatIndex.search`.
         """
         if top_k < 1:
             raise ValueError("top_k must be >= 1")
-        Q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if prenormalized:
+            Q = np.atleast_2d(np.asarray(queries))
+        else:
+            Q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         n_queries = Q.shape[0]
         if self._size == 0:
             return [[] for _ in range(n_queries)]
-        if Q.shape[1] != self._dim:
-            raise ValueError(f"query dim {Q.shape[1]} != index dim {self._dim}")
-        unit, _ = _normalize_rows(Q)
-        Qf = np.ascontiguousarray(unit, dtype=np.float32)
+        unit, Qf = self._prepare_queries(Q, prenormalized)
 
         if not self._quantizer.is_trained:
             # Staging phase is bounded by min_train_size: one matmul is fine.
@@ -790,15 +1276,164 @@ class QuantizedIndex(VectorIndex):
             ]
 
         if self._routed and self._centroids is not None:
-            return self._search_routed(Qf, unit, top_k, score_threshold)
+            return self._search_routed(Qf, unit, top_k, score_threshold, stop_score)
 
-        # Flat quantized scan, chunked to bound the (q, chunk) score matrix.
+        if n_queries <= _MIRROR_MAX_BATCH:
+            return self._search_flat_small(
+                Qf, unit, top_k, score_threshold, stop_score
+            )
+        return self._search_flat_batch(Qf, unit, top_k, score_threshold)
+
+    def _search_flat_small(
+        self,
+        Qf: np.ndarray,
+        unit64: np.ndarray,
+        top_k: int,
+        score_threshold: Optional[float],
+        stop_score: Optional[float],
+    ) -> List[List[IndexHit]]:
+        """Latency-path flat scan (≤ ``_MIRROR_MAX_BATCH`` queries).
+
+        Fused mode scores each chunk in a single pass (SQ8: blocked
+        cast+gemv; even-m PQ: pair-LUT gathers over the code mirror) with
+        every intermediate in scratch; reference mode decodes each chunk to
+        a materialized float64 matrix first.  Both modes select each chunk's
+        ``keff`` survivors with the deterministic :func:`det_topk`, so the
+        candidate set is a pure function of the scan scores.
+        """
+        n = self._size
+        n_queries = Qf.shape[0]
+        sc = self._scratch
+        chunk = self._chunk_size
+        keff = min(max(top_k * self._rescore, top_k), n)
+        nchunks = -(-n // chunk)
+        cap = min(keff * nchunks, n)
+        fused = self._fused_scan
+        qz = self._quantizer
+
+        if fused and self._pair_mirror is not None:
+            # Per-query pair-LUT scan over the mirror, early stop per query.
+            k = qz.ksub_eff
+            m2 = qz.m // 2
+            lut = sc.get("flat.lut", (qz.m, k), np.float32)
+            pair_luts = sc.get("flat.pairlut", (n_queries, m2, k * k), np.float32)
+            for qi in range(n_queries):
+                qz.build_lut(Qf[qi], lut)
+                qz.build_pair_lut(lut, pair_luts[qi])
+            srow = sc.get("flat.srow", (min(chunk, n),), np.float32)
+            tmp = sc.get("flat.tmp", (min(chunk, n),), np.float32)
+            acc_rows = sc.get("flat.acc_rows", (cap,), np.int64)
+            acc_scores = sc.get("flat.acc_scores", (cap,), np.float64)
+            results: List[List[IndexHit]] = []
+            for qi in range(n_queries):
+                filled = 0
+                for start in range(0, n, chunk):
+                    stop = min(start + chunk, n)
+                    c = stop - start
+                    out = srow[:c]
+                    qz.scores_fused_pairs(
+                        pair_luts[qi], self._pair_mirror[:, start:stop], out, tmp[:c]
+                    )
+                    sel = det_topk(out, min(keff, c))
+                    cnt = sel.shape[0]
+                    seg = acc_rows[filled : filled + cnt]
+                    seg[:] = sel
+                    seg += start
+                    acc_scores[filled : filled + cnt] = out[sel]
+                    filled += cnt
+                    if (
+                        stop_score is not None
+                        and float(out[sel].max()) >= stop_score
+                    ):
+                        self._scan_stats["early_stops"] += 1
+                        break
+                results.append(
+                    self._rank(
+                        acc_rows[:filled],
+                        acc_scores[:filled],
+                        unit64[qi],
+                        top_k,
+                        score_threshold,
+                    )
+                )
+            return results
+
+        # SQ8 fused (or PQ without a mirror, or the reference path): chunks
+        # are scored for the whole small batch at once; candidates accumulate
+        # per query, early stop applies to single-query lookups.
+        acc_rows = sc.get("flat.acc_rows_b", (n_queries, cap), np.int64)
+        acc_scores = sc.get("flat.acc_scores_b", (n_queries, cap), np.float64)
+        fills = [0] * n_queries
+        sbuf = (
+            sc.get("flat.scores", (n_queries, min(chunk, n)), np.float32)
+            if fused and isinstance(qz, ScalarQuantizer)
+            else None
+        )
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            c = stop - start
+            if sbuf is not None:
+                S = sbuf[:, :c]
+                qz.scores_fused(Qf, self._codes[start:stop], S, sc)
+            elif fused:
+                S = qz.scores(Qf, self._codes[start:stop])
+            else:
+                decoded = qz.decode(self._codes[start:stop], dtype=np.float64)
+                S = unit64 @ decoded.T
+            kk = min(keff, c)
+            for qi in range(n_queries):
+                sel = det_topk(S[qi], kk)
+                cnt = sel.shape[0]
+                seg = acc_rows[qi, fills[qi] : fills[qi] + cnt]
+                seg[:] = sel
+                seg += start
+                acc_scores[qi, fills[qi] : fills[qi] + cnt] = S[qi][sel]
+                fills[qi] += cnt
+            if (
+                stop_score is not None
+                and n_queries == 1
+                and float(acc_scores[0, : fills[0]].max()) >= stop_score
+            ):
+                self._scan_stats["early_stops"] += 1
+                break
+        return [
+            self._rank(
+                acc_rows[qi, : fills[qi]],
+                acc_scores[qi, : fills[qi]],
+                unit64[qi],
+                top_k,
+                score_threshold,
+            )
+            for qi in range(n_queries)
+        ]
+
+    def _search_flat_batch(
+        self,
+        Qf: np.ndarray,
+        unit64: np.ndarray,
+        top_k: int,
+        score_threshold: Optional[float],
+    ) -> List[List[IndexHit]]:
+        """Batched-throughput flat scan (> ``_MIRROR_MAX_BATCH`` queries).
+
+        The chunked gemm/LUT structure of the original scan; ``fused_scan``
+        only switches the per-chunk scorer (quantized vs decode-to-float64
+        reference), and both modes use the same per-chunk selection, so the
+        fused/reference comparison conditions identically on batch size.
+        """
+        n_queries = Qf.shape[0]
         keff = min(max(top_k * self._rescore, top_k), self._size)
         chunk_rows: List[np.ndarray] = []
         chunk_scores: List[np.ndarray] = []
         for start in range(0, self._size, self._chunk_size):
             stop = min(start + self._chunk_size, self._size)
-            S = self._quantizer.scores(Qf, self._codes[start:stop])
+            if self._fused_scan:
+                S = self._quantizer.scores(Qf, self._codes[start:stop])
+            else:
+                decoded = self._quantizer.decode(
+                    self._codes[start:stop], dtype=np.float64
+                )
+                S = unit64 @ decoded.T
             c = stop - start
             kk = min(keff, c)
             if kk < c:
@@ -813,7 +1448,7 @@ class QuantizedIndex(VectorIndex):
         rows = np.concatenate(chunk_rows, axis=1)
         scores = np.concatenate(chunk_scores, axis=1)
         return [
-            self._rank(rows[qi], scores[qi], unit[qi], top_k, score_threshold)
+            self._rank(rows[qi], scores[qi], unit64[qi], top_k, score_threshold)
             for qi in range(n_queries)
         ]
 
@@ -823,31 +1458,141 @@ class QuantizedIndex(VectorIndex):
         unit64: np.ndarray,
         top_k: int,
         score_threshold: Optional[float],
+        stop_score: Optional[float],
     ) -> List[List[IndexHit]]:
-        """Probe the ``nprobe`` nearest cells and rank their lists' codes."""
+        """Probe the ``nprobe`` nearest cells and rank their lists' codes.
+
+        The default scan is :func:`probe_scan_batched`: every probed cell's
+        ids concatenate into one canonical (ascending) candidate block and a
+        single fused scoring call covers them all — per-cell dispatch, not
+        arithmetic, is the latency floor once cells are a few hundred rows.
+        With ``stop_score`` set the scan switches to the per-cell
+        :func:`probe_scan` loop, which honours threshold early termination
+        and (``prune_probes``) exact-bound pruning between cells.  Candidate
+        gathers, casts and scores all live in scratch; the reference path
+        (``fused_scan=False``) decodes probed rows to a materialized float64
+        matrix.
+        """
         n_queries = Qf.shape[0]
         nlist = self._centroids.shape[0]
         nprobe = min(self._nprobe, nlist)
-        centroid_scores = Qf @ self._centroids.T
-        if nprobe < nlist:
-            probes = np.argpartition(-centroid_scores, kth=nprobe - 1, axis=1)[
-                :, :nprobe
-            ]
-        else:
-            probes = np.broadcast_to(np.arange(nlist), (n_queries, nlist))
+        sc = self._scratch
+        qz = self._quantizer
+        centroid_scores = sc.get("rt.cscores", (n_queries, nlist), np.float32)
+        np.matmul(Qf, self._centroids.T, out=centroid_scores)
+        probes = _sorted_probes(centroid_scores, nprobe)
+        fused = self._fused_scan
+        threaded = self._scan_threads > 1 and stop_score is None
+        bounds = None
+        if stop_score is not None and fused and self._prune_probes and not threaded:
+            if self._cell_stats is None:
+                self._compute_cell_stats()
+            bounds = cell_bounds(centroid_scores, self._cell_stats, sc, "rt.bounds")
+        keff_target = top_k * self._rescore if self._rescore > 1 else top_k
+        sq = isinstance(qz, ScalarQuantizer)
+        if fused and sq:
+            scaled_q = sc.get("rt.scaled_q", Qf.shape, np.float32)
+            np.multiply(Qf, qz.scale[None, :], out=scaled_q)
+            q_off = sc.get("rt.q_off", (n_queries,), np.float32)
+            np.matmul(Qf, qz.offset, out=q_off)
+        elif fused:
+            luts = sc.get("rt.lut", (n_queries, qz.m, qz.ksub_eff), np.float32)
+            for qi in range(n_queries):
+                qz.build_lut(Qf[qi], luts[qi])
+        codes = self._codes
         results: List[List[IndexHit]] = []
         for qi in range(n_queries):
-            chunks = [
-                self._lists[li].view() for li in probes[qi] if len(self._lists[li])
-            ]
-            if not chunks:
+            plist = probes[qi]
+            total = 0
+            for li in plist:
+                total += len(self._lists[li])
+            if total == 0:
                 results.append([])
                 continue
-            cand_ids = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
-            rows = self._row_of.rows(cand_ids)
-            scores = self._quantizer.scores(Qf[qi : qi + 1], self._codes[rows])[0]
+            cand_ids = sc.get("rt.cand_ids", (total,), np.int64)
+            cand_rows = sc.get("rt.cand_rows", (total,), np.int64)
+            score_dtype = np.float32 if fused else np.float64
+            cand_scores = sc.get("rt.cand_scores", (total,), score_dtype)
+            if fused and sq:
+                sq_q = scaled_q[qi]
+                off_q = float(q_off[qi])
+
+                def score_rows(rows: np.ndarray, out: np.ndarray) -> None:
+                    qz.score_rows_fused(codes, rows, sq_q, off_q, out, sc, "rt")
+
+                def score_rows_alloc(rows: np.ndarray, out: np.ndarray) -> None:
+                    cast = codes[rows].astype(np.float32)
+                    np.matmul(cast, sq_q, out=out)
+                    np.add(out, off_q, out=out)
+
+            elif fused:
+                lut_q = luts[qi]
+
+                def score_rows(rows: np.ndarray, out: np.ndarray) -> None:
+                    qz.score_rows_lut(codes, rows, lut_q, out, sc, "rt")
+
+                def score_rows_alloc(rows: np.ndarray, out: np.ndarray) -> None:
+                    gathered = codes[rows]
+                    np.take(lut_q[0], gathered[:, 0], out=out)
+                    for j in range(1, qz.m):
+                        out += lut_q[j][gathered[:, j]]
+
+            else:
+                u64 = unit64[qi]
+
+                def score_rows(rows: np.ndarray, out: np.ndarray) -> None:
+                    decoded = qz.decode(codes[rows], dtype=np.float64)
+                    np.matmul(decoded, u64, out=out)
+
+                score_rows_alloc = score_rows
+
+            if threaded:
+                filled = probe_scan_threaded(
+                    plist,
+                    self._lists,
+                    self._row_of,
+                    score_rows_alloc,
+                    cand_ids,
+                    cand_rows,
+                    cand_scores,
+                    self._scan_threads,
+                    self._scan_stats,
+                )
+            elif stop_score is not None:
+                kth_buf = sc.get("rt.kth", (total,), score_dtype)
+                filled = probe_scan(
+                    plist,
+                    self._lists,
+                    self._row_of,
+                    score_rows,
+                    cand_ids,
+                    cand_rows,
+                    cand_scores,
+                    kth_buf,
+                    keff_target,
+                    bounds[qi] if bounds is not None else None,
+                    stop_score,
+                    self._scan_stats,
+                )
+            else:
+                filled = probe_scan_batched(
+                    plist,
+                    self._lists,
+                    self._row_of,
+                    score_rows,
+                    cand_ids,
+                    cand_rows,
+                    cand_scores,
+                    self._scan_stats,
+                )
             results.append(
-                self._rank(rows, scores, unit64[qi], top_k, score_threshold)
+                self._rank(
+                    cand_rows[:filled],
+                    cand_scores[:filled],
+                    unit64[qi],
+                    top_k,
+                    score_threshold,
+                )
             )
         return results
 
@@ -875,6 +1620,10 @@ class QuantizedIndex(VectorIndex):
             "kmeans_iters": self._kmeans_iters,
             "repartition_growth": self._repartition_growth,
             "seed": self._seed,
+            "fused_scan": self._fused_scan,
+            "auto_repartition": self._auto_repartition,
+            "prune_probes": self._prune_probes,
+            "scan_threads": self._scan_threads,
         }
 
     def _snapshot_state(self) -> Dict[str, object]:
@@ -884,6 +1633,8 @@ class QuantizedIndex(VectorIndex):
             "trained": bool(self._quantizer.is_trained),
             "trained_size": self._trained_size,
             "mutations_since_train": self._mutations_since_train,
+            "repartition_due": self._repartition_due,
+            "layout_clustered": self._layout_clustered,
             "rng_state": self._rng.bit_generator.state,
         }
 
@@ -954,6 +1705,14 @@ class QuantizedIndex(VectorIndex):
         self._next_id = int(state["next_id"])
         self._trained_size = int(state["trained_size"])
         self._mutations_since_train = int(state["mutations_since_train"])
+        self._repartition_due = bool(state.get("repartition_due", False))
+        # Snapshots preserve row order byte-for-byte, so cell-major layout
+        # survives the round trip and the flag can be restored as-is.
+        self._layout_clustered = bool(state.get("layout_clustered", False))
+        # Scan-acceleration structures are derived state: rebuild the PQ
+        # pair mirror from the restored codes; cell stats recompute lazily.
+        self._mirror_sync(0, self._size)
+        self._cell_stats = None
         rng_state = state.get("rng_state")
         if rng_state is not None:
             rng = np.random.default_rng(self._seed)
@@ -974,6 +1733,8 @@ class SQ8Index(QuantizedIndex):
     routed, nlist, nprobe:
         Enable IVF coarse routing over the quantized rows (the registry's
         ``"ivf+sq8"``).
+    fused_scan, auto_repartition, prune_probes, scan_threads:
+        Hot-path scan knobs shared with :class:`QuantizedIndex`.
     """
 
     def __init__(
@@ -990,6 +1751,10 @@ class SQ8Index(QuantizedIndex):
         kmeans_iters: int = 8,
         repartition_growth: float = 2.0,
         seed: int = 0,
+        fused_scan: bool = True,
+        auto_repartition: bool = True,
+        prune_probes: bool = True,
+        scan_threads: int = 1,
     ) -> None:
         super().__init__(
             ScalarQuantizer(),
@@ -1005,6 +1770,10 @@ class SQ8Index(QuantizedIndex):
             kmeans_iters=kmeans_iters,
             repartition_growth=repartition_growth,
             seed=seed,
+            fused_scan=fused_scan,
+            auto_repartition=auto_repartition,
+            prune_probes=prune_probes,
+            scan_threads=scan_threads,
         )
 
     @property
@@ -1044,6 +1813,10 @@ class PQIndex(QuantizedIndex):
         kmeans_iters: int = 8,
         repartition_growth: float = 2.0,
         seed: int = 0,
+        fused_scan: bool = True,
+        auto_repartition: bool = True,
+        prune_probes: bool = True,
+        scan_threads: int = 1,
     ) -> None:
         super().__init__(
             ProductQuantizer(m=m, ksub=ksub, kmeans_iters=max(kmeans_iters, 1)),
@@ -1059,6 +1832,10 @@ class PQIndex(QuantizedIndex):
             kmeans_iters=kmeans_iters,
             repartition_growth=repartition_growth,
             seed=seed,
+            fused_scan=fused_scan,
+            auto_repartition=auto_repartition,
+            prune_probes=prune_probes,
+            scan_threads=scan_threads,
         )
         self._m = int(m)
         self._ksub = int(ksub)

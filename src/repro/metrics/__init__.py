@@ -9,7 +9,7 @@ from repro.metrics.classification import (
     precision,
     recall,
 )
-from repro.metrics.timing import Timer, SimulatedClock
+from repro.metrics.timing import LatencyHistogram, Timer, SimulatedClock
 from repro.metrics.reporting import format_table, format_confusion_matrix
 
 __all__ = [
@@ -20,6 +20,7 @@ __all__ = [
     "fbeta_score",
     "accuracy",
     "evaluate_decisions",
+    "LatencyHistogram",
     "Timer",
     "SimulatedClock",
     "format_table",

@@ -70,10 +70,16 @@ class FleetConfig:
         arrivals, approaching sequential semantics.
     enroll_on_miss:
         Whether misses enrol the LLM's response in the user's cache.
+    index_maintenance:
+        Run each touched cache's ``index.maintenance()`` between batching
+        windows, so deferred index reorganization (IVF repartitioning with
+        ``auto_repartition=False``, cell-stat refreshes) happens off the
+        lookup path rather than inside a query.
     """
 
     batch_window_s: float = 0.25
     enroll_on_miss: bool = True
+    index_maintenance: bool = True
 
     def __post_init__(self) -> None:
         if self.batch_window_s < 0:
@@ -591,6 +597,14 @@ class FleetSimulator:
                 # window fire before the next window's lookups, on the
                 # trace's virtual clock.
                 self.adaptation.advance(window[-1].time_s)
+            if self.config.index_maintenance:
+                # Deferred index work (repartitioning, stat refreshes) runs
+                # here, between windows, for every cache this window touched
+                # — the query path itself never pays for reorganization.
+                for adapter, _ in by_cache.values():
+                    index = getattr(adapter.cache, "index", None)
+                    if index is not None and hasattr(index, "maintenance"):
+                        index.maintenance()
         wall_clock = time.perf_counter() - start
         # Count the users actually served rather than echoing the trace's
         # configured fleet size: with churn, cold-start successors appear

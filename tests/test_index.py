@@ -373,3 +373,80 @@ class TestCacheIndexIntegration:
         cache.remove(cache.entries[0].entry_id)
         cache.rebuild_embeddings()
         assert cache.lookup("bake chocolate cookies").hit
+
+
+class TestPrenormalizedZeroCopy:
+    """The prenormalized fast path must not copy or allocate per call.
+
+    ISSUE 7 regression guards: the fleet's hot path hands the index an
+    already-normalized, contiguous float32 query block, and the index must
+    pass it straight to the kernel (zero copies) while scoring into reused
+    scratch buffers (zero steady-state allocations).
+    """
+
+    def _unit_queries(self, rng, n, dim):
+        q = rng.normal(size=(n, dim))
+        q /= np.linalg.norm(q, axis=1, keepdims=True)
+        return np.ascontiguousarray(q, dtype=np.float32)
+
+    def test_flat_passthrough_shares_memory(self, rng):
+        index = FlatIndex(dim=32)
+        index.add_batch(rng.normal(size=(50, 32)))
+        q = self._unit_queries(rng, 4, 32)
+        prepared = index._prepare_queries(q, prenormalized=True)
+        assert prepared is q
+        assert np.shares_memory(prepared, q)
+        # A non-contiguous batch pays exactly one cast into scratch — never
+        # a silent chain of intermediate copies.
+        odd = np.asfortranarray(q)
+        prepared = index._prepare_queries(odd, prenormalized=True)
+        assert not np.shares_memory(prepared, odd)
+        np.testing.assert_array_equal(prepared, q)
+
+    def test_quantized_passthrough_shares_memory(self, rng):
+        from repro.index import make_index
+
+        index = make_index("sq8", dim=32, min_train_size=24, seed=7)
+        index.add_batch(rng.normal(size=(64, 32)))
+        assert index.is_trained
+        q = self._unit_queries(rng, 4, 32)
+        unit, qf = index._prepare_queries(q, prenormalized=True)
+        assert np.shares_memory(qf, q)
+
+    def test_prenormalized_matches_default_path_bitwise(self, rng):
+        index = FlatIndex(dim=32)
+        index.add_batch(rng.normal(size=(200, 32)))
+        q64 = rng.normal(size=(6, 32))
+        q64 /= np.linalg.norm(q64, axis=1, keepdims=True)
+        q32 = np.ascontiguousarray(q64, dtype=np.float32)
+        default = index.search(q32, top_k=5)
+        fast = index.search(q32, top_k=5, prenormalized=True)
+        assert [[(h.id, h.score) for h in hits] for hits in default] == [
+            [(h.id, h.score) for h in hits] for hits in fast
+        ]
+
+    def test_steady_state_search_allocates_nothing_query_shaped(self, rng):
+        import gc
+        import tracemalloc
+
+        index = FlatIndex(dim=32)
+        index.add_batch(rng.normal(size=(4000, 32)))
+        q = self._unit_queries(rng, 16, 32)
+        # Warm the scratch buffers and any lazy caches.
+        for _ in range(5):
+            index.search(q, top_k=5, prenormalized=True)
+        gc.collect()
+        tracemalloc.start()
+        base, _ = tracemalloc.get_traced_memory()
+        for _ in range(20):
+            index.search(q, top_k=5, prenormalized=True)
+        retained, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # Retained growth is the regression signal: a path that re-allocates
+        # score matrices or grows a cache leaks query-shaped arrays every
+        # call (a fresh (16, 4000) float32 block is 256 KB; 20 calls > 5 MB).
+        # The scratch-backed path retains only the returned hit objects
+        # (~12 KB measured).  Transient top-k temporaries inside one call
+        # are bounded separately and loosely.
+        assert retained - base < 120_000, f"retained {retained - base} bytes"
+        assert peak - base < 8_000_000, f"peak {peak - base} bytes"

@@ -16,7 +16,7 @@ from repro.metrics.classification import (
     recall,
 )
 from repro.metrics.reporting import format_confusion_matrix, format_metric_comparison, format_table
-from repro.metrics.timing import SimulatedClock, Timer
+from repro.metrics.timing import LatencyHistogram, SimulatedClock, Timer
 
 
 class TestConfusionMatrix:
@@ -116,6 +116,81 @@ class TestTiming:
             clock.advance(-1.0)
         clock.reset()
         assert clock.now == 0.0
+
+
+class TestLatencyHistogram:
+    def test_nearest_rank_percentiles(self):
+        hist = LatencyHistogram()
+        for ns in range(1, 101):  # 1..100ns
+            hist.record(ns)
+        # Nearest-rank: pXX over 1..100 is exactly XX, and every reported
+        # value is an observed sample.
+        assert hist.p50 == 50.0
+        assert hist.p95 == 95.0
+        assert hist.p99 == 99.0
+        assert hist.percentile(100.0) == 100.0
+        assert hist.percentile(1.0) == 1.0
+        assert hist.mean == pytest.approx(50.5)
+        assert hist.count == 100
+
+    def test_single_sample_and_empty(self):
+        hist = LatencyHistogram()
+        assert hist.p99 == 0.0 and hist.mean == 0.0 and hist.count == 0
+        hist.record(42)
+        assert hist.p50 == 42.0 and hist.p99 == 42.0 and hist.mean == 42.0
+
+    def test_warmup_samples_are_dropped(self):
+        hist = LatencyHistogram(warmup=2)
+        for ns in (10_000, 20_000, 1, 2, 3):
+            hist.record(ns)
+        assert hist.count == 3
+        assert hist.samples == [1, 2, 3]
+        assert hist.p99 == 3.0
+
+    def test_time_context_manager_records(self):
+        hist = LatencyHistogram()
+        with hist.time():
+            sum(range(1000))
+        assert hist.count == 1
+        assert hist.p50 > 0.0
+
+    def test_merge_combines_samples(self):
+        a = LatencyHistogram()
+        b = LatencyHistogram()
+        for ns in (1, 2):
+            a.record(ns)
+        for ns in (3, 4):
+            b.record(ns)
+        merged = a.merge(b)
+        assert merged.count == 4
+        assert merged.percentile(100.0) == 4.0
+        # Sources are untouched.
+        assert a.count == 2 and b.count == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(warmup=-1)
+        hist = LatencyHistogram()
+        with pytest.raises(ValueError):
+            hist.record(-5)
+        hist.record(7)
+        with pytest.raises(ValueError):
+            hist.percentile(0.0)
+        with pytest.raises(ValueError):
+            hist.percentile(101.0)
+
+    def test_to_dict_round_numbers(self):
+        hist = LatencyHistogram()
+        for ns in (100, 200, 300):
+            hist.record(ns)
+        d = hist.to_dict()
+        assert d == {
+            "count": 3.0,
+            "p50_ns": 200.0,
+            "p95_ns": 300.0,
+            "p99_ns": 300.0,
+            "mean_ns": 200.0,
+        }
 
 
 class TestLatencyModel:
