@@ -1,0 +1,72 @@
+"""Benchmark: live serving tier under threaded wall-clock load.
+
+Drives ``repro.experiments.serving_bench`` — real client threads replaying a
+10^4-user trace through a started :class:`~repro.serving.server.CacheServer`
+— and records throughput, p50/p99 end-to-end latency, queue-depth/batch-size
+distributions and shed rate in ``BENCH_serving.json`` at the repo root.
+
+CI floors (relative, same-host — methodology in docs/benchmarks.md):
+
+* cross-user micro-batching must beat batch-size-1 throughput on identical
+  traffic (the amortization headline; both modes run seconds apart on the
+  same host, so the ratio is robust to absolute host speed);
+* nothing is shed at the benchmark's queue bound, every request completes;
+* the batcher really coalesces (mean flush size well above 1) and the
+  latency histogram is sane (p50 ≤ p99, both positive).
+
+``REPRO_BENCH_SCALE`` (e.g. ``0.1`` in CI) shrinks the fleet for constrained
+runners; the floors are scale-independent ratios.
+
+Run with ``pytest benchmarks/test_bench_serving.py -s``.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from conftest import emit
+
+from repro.experiments.serving_bench import run_serving_bench
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+SERVING_BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+N_USERS = max(200, int(10_000 * SERVING_BENCH_SCALE))
+QUERIES_PER_USER = 2
+N_CLIENT_THREADS = 16
+
+
+def test_serving_throughput_and_latency():
+    from repro.embeddings.zoo import load_encoder
+
+    result = run_serving_bench(
+        n_users=N_USERS,
+        queries_per_user=QUERIES_PER_USER,
+        n_client_threads=N_CLIENT_THREADS,
+        encoder=load_encoder("albert-sim"),
+        seed=0,
+    )
+    emit("Wall-clock serving benchmark", result.format())
+    BENCH_JSON.write_text(
+        json.dumps(result.to_dict(), indent=2) + "\n", encoding="utf-8"
+    )
+    emit("BENCH_serving.json", f"written to {BENCH_JSON}")
+
+    batched, unbatched = result.batched, result.unbatched
+    # Every offered request completed; the bench queue bound sheds nothing.
+    for point in (batched, unbatched):
+        assert point.n_requests == N_USERS * QUERIES_PER_USER
+        assert point.shed == 0 and point.shed_rate == 0.0
+        assert 0.0 < point.e2e_p50_ms <= point.e2e_p99_ms
+        assert point.throughput_rps > 0
+    # The micro-batcher really coalesces cross-user traffic...
+    assert batched.mean_batch_size > 1.5
+    assert unbatched.mean_batch_size == 1.0
+    # ...and coalescing pays: same traffic, same caches, same host, measured
+    # seconds apart — batched throughput must beat batch-size-1.
+    assert result.batching_speedup > 1.05, (
+        f"batching speedup {result.batching_speedup:.2f}x "
+        f"({batched.throughput_rps:.0f} vs {unbatched.throughput_rps:.0f} rps)"
+    )
+    # Batching changes grouping, not decisions: hit rates agree.
+    assert abs(batched.hit_rate - unbatched.hit_rate) < 0.01

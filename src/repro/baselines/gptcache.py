@@ -244,17 +244,29 @@ class GPTCache:
         self.lookups += 1
         return self.pipeline.run_one(query)
 
-    def lookup_batch(self, queries: Sequence[str], user_id: str = "default") -> List[GPTCacheDecision]:
+    def lookup_batch(
+        self,
+        queries: Sequence[str],
+        user_id: str = "default",
+        embeddings: Optional[np.ndarray] = None,
+    ) -> List[GPTCacheDecision]:
         """Vectorized equivalent of calling :meth:`lookup` per query in order.
 
         One encoder call embeds the whole batch and one matmul searches it;
         the measured embed/search wall-clock is split evenly per query.
+        ``embeddings`` (one row per query, from this cache's encoder) skips
+        the embed call entirely — the serving micro-batcher's amortization
+        hook.
         """
         queries = require_query_texts(queries)
         if not queries:
             return []
         self.lookups += len(queries)
-        return self.pipeline.run([Probe.make(query) for query in queries])
+        if embeddings is not None:
+            embeddings = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+        return self.pipeline.run(
+            [Probe.make(query) for query in queries], reprs=embeddings
+        )
 
     # ------------------------------------------------------------------ #
     # Persistence (versioned npz + JSON manifest snapshot)

@@ -326,6 +326,7 @@ class MeanCache:
         self,
         queries: Sequence[str],
         contexts: Optional[Sequence[Sequence[str]]] = None,
+        embeddings: Optional[np.ndarray] = None,
     ) -> List[CacheDecision]:
         """Decide hit/miss for a whole batch of queries in one vectorized pass.
 
@@ -346,6 +347,11 @@ class MeanCache:
         contexts:
             Optional per-query conversational contexts, aligned with
             ``queries``; ``None`` means every probe is standalone.
+        embeddings:
+            Optional precomputed probe embeddings (one row per query,
+            encoded with this cache's encoder and compression setting) —
+            the serving micro-batcher's amortization hook: one cross-user
+            encoder call upstream, no per-cache re-encode here.
 
         Returns
         -------
@@ -361,7 +367,9 @@ class MeanCache:
             Probe.make(query, contexts[i] if contexts is not None else ())
             for i, query in enumerate(queries)
         ]
-        return self.pipeline.run(probes)
+        if embeddings is not None:
+            embeddings = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+        return self.pipeline.run(probes, reprs=embeddings)
 
     # ------------------------------------------------------------------ #
     # Insertion (Algorithm 1, line 9) and eviction

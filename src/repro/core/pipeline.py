@@ -529,19 +529,33 @@ class LookupPipeline:
             embedding=embedding,
         )
 
-    def run(self, probes: Sequence[Probe]) -> List:
+    def run(self, probes: Sequence[Probe], reprs: Optional[Sequence] = None) -> List:
         """Drive a whole batch of probes through every stage.
 
         One embed call and one retrieval call cover the batch; their
         wall-clock cost is split evenly over the probes.  Returns the decide
         stage's output per probe, in input order.
+
+        ``reprs``, when given, bypasses the Embed stage with precomputed
+        probe representations (one per probe, aligned by position) — the
+        serving layer's cross-cache micro-batcher embeds a whole flush of
+        many users' queries with a single encoder call and hands each cache
+        its slice, so per-cache pipelines never pay a second forward.  The
+        representations must come from the same embed configuration this
+        pipeline's Embed stage would apply (same encoder and compression);
+        ``embed_time_s`` is reported as 0 since the cost was paid upstream.
         """
         if not probes:
             return []
         n = len(probes)
-        start = time.perf_counter()
-        reprs = self.embed.encode_batch([p.query for p in probes])
-        embed_time = (time.perf_counter() - start) / n
+        if reprs is None:
+            start = time.perf_counter()
+            reprs = self.embed.encode_batch([p.query for p in probes])
+            embed_time = (time.perf_counter() - start) / n
+        else:
+            if len(reprs) != n:
+                raise ValueError("reprs must align with probes")
+            embed_time = 0.0
 
         if self.retrieve.is_empty():
             hit_lists: List[List[IndexHit]] = [[] for _ in probes]

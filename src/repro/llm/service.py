@@ -12,8 +12,9 @@ experiment.  The service:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.llm.latency import LatencyModel, LatencyModelConfig
 from repro.llm.responses import ResponseGenerator, count_tokens
@@ -57,7 +58,14 @@ class LLMServiceConfig:
 
 @dataclass(frozen=True)
 class LLMResponse:
-    """The result of one service request."""
+    """The result of one service request.
+
+    ``issued_at_s``/``completed_at_s`` are stamps on the *caller's* clock —
+    the simulator's virtual event clock or the live server's monotonic wall
+    clock (see :class:`SimulatedLLMService`'s ``clock`` parameter).  They
+    stay ``None`` when neither a ``now`` argument nor a service clock is
+    available, which is the historical behaviour.
+    """
 
     query: str
     text: str
@@ -65,6 +73,8 @@ class LLMResponse:
     response_tokens: int
     latency_s: float
     cost_usd: float
+    issued_at_s: Optional[float] = None
+    completed_at_s: Optional[float] = None
 
 
 @dataclass
@@ -87,14 +97,42 @@ class ServiceStats:
 
 
 class SimulatedLLMService:
-    """Deterministic, offline substitute for an LLM web service."""
+    """Deterministic, offline substitute for an LLM web service.
 
-    def __init__(self, config: Optional[LLMServiceConfig] = None) -> None:
+    Two clocks can drive a deployment of this service, and the historical
+    implementation silently assumed the first:
+
+    * the **virtual event clock** — the fleet simulator replays a trace at
+      virtual arrival times and passes each request's ``now`` explicitly;
+    * the **wall clock** — the live asyncio server issues requests in real
+      time, so request stamps must come from ``time.monotonic``.
+
+    ``clock`` makes the choice injectable: a zero-argument callable the
+    service reads whenever a request arrives without an explicit ``now``.
+    Responses then carry ``issued_at_s``/``completed_at_s`` on whichever
+    clock applied, so callers never mix modelled virtual latencies into
+    measured wall-clock sums (the latent bug the live server surfaced).
+    With neither ``clock`` nor ``now`` the stamps stay ``None`` and
+    behaviour is byte-identical to the historical service.
+
+    ``thread_safe=True`` guards the accounting (`stats`, per-client totals)
+    with a lock; the historical unsynchronized ``+=`` updates lose requests
+    under the server's multi-threaded miss path.
+    """
+
+    def __init__(
+        self,
+        config: Optional[LLMServiceConfig] = None,
+        clock: Optional[Callable[[], float]] = None,
+        thread_safe: bool = False,
+    ) -> None:
         self.config = config or LLMServiceConfig()
+        self.clock = clock
         self._latency = LatencyModel(self.config.latency, seed=self.config.seed)
         self._responses = ResponseGenerator(self.config.response_tokens)
         self.stats = ServiceStats()
         self._per_client: Dict[str, ServiceStats] = {}
+        self._lock = threading.Lock() if thread_safe else None
 
     def query(
         self,
@@ -102,12 +140,15 @@ class SimulatedLLMService:
         client_id: str = "default",
         context: Optional[List[str]] = None,
         response_tokens: Optional[int] = None,
+        now: Optional[float] = None,
     ) -> LLMResponse:
         """Answer ``prompt`` (optionally with conversational ``context``).
 
         The context contributes to prompt-token accounting and latency (longer
         prefill) but not to the response content, matching how the evaluation
-        treats the service as a black box.
+        treats the service as a black box.  ``now`` stamps the request on the
+        caller's clock (the simulator passes virtual arrival times); when it
+        is omitted the service falls back to its injected ``clock``.
         """
         if not isinstance(prompt, str) or not prompt.strip():
             raise ValueError("prompt must be a non-empty string")
@@ -123,6 +164,9 @@ class SimulatedLLMService:
             prompt_tokens / 1000.0 * self.config.price_per_1k_prompt_tokens
             + resp_tokens / 1000.0 * self.config.price_per_1k_response_tokens
         )
+        issued_at = now
+        if issued_at is None and self.clock is not None:
+            issued_at = float(self.clock())
         response = LLMResponse(
             query=prompt,
             text=text,
@@ -130,9 +174,16 @@ class SimulatedLLMService:
             response_tokens=resp_tokens,
             latency_s=latency,
             cost_usd=cost,
+            issued_at_s=issued_at,
+            completed_at_s=None if issued_at is None else issued_at + latency,
         )
-        self.stats.record(response)
-        self._per_client.setdefault(client_id, ServiceStats()).record(response)
+        if self._lock is not None:
+            with self._lock:
+                self.stats.record(response)
+                self._per_client.setdefault(client_id, ServiceStats()).record(response)
+        else:
+            self.stats.record(response)
+            self._per_client.setdefault(client_id, ServiceStats()).record(response)
         return response
 
     def client_stats(self, client_id: str) -> ServiceStats:

@@ -19,6 +19,13 @@ cache, sharing one LLM web service:
   multi-tenant mixes, external log import, plus the declarative
   :class:`ScenarioSpec` registry the evaluation matrix
   (:mod:`repro.experiments.scenario_bench`) drives.
+* :mod:`repro.serving.scheduling` — the shared scheduler abstraction:
+  :class:`BatchExecutor` (the two-phase batch execution core both frontends
+  drive), :class:`CacheAdapter`, and :class:`Scheduler` policies.
+* :mod:`repro.serving.server` — :class:`CacheServer`, the live asyncio
+  serving tier: hash-sharded per-user caches behind per-shard locks, a
+  bounded admission queue with :class:`BackpressureError` shedding, and an
+  adaptive cross-user micro-batcher (:class:`MicroBatcher`).
 """
 
 from repro.serving.fleet import (
@@ -27,6 +34,21 @@ from repro.serving.fleet import (
     FleetSimulator,
     LookupOutcome,
     UserStats,
+)
+from repro.serving.scheduling import (
+    BatchExecutor,
+    CacheAdapter,
+    Scheduler,
+    VirtualClockScheduler,
+    iter_windows,
+)
+from repro.serving.server import (
+    BackpressureError,
+    CacheServer,
+    MicroBatcher,
+    ServerConfig,
+    ServerMetrics,
+    ServerResponse,
 )
 from repro.serving.scenarios import (
     CohortSpec,
@@ -62,6 +84,17 @@ __all__ = [
     "FleetSimulator",
     "LookupOutcome",
     "UserStats",
+    "BatchExecutor",
+    "CacheAdapter",
+    "Scheduler",
+    "VirtualClockScheduler",
+    "iter_windows",
+    "BackpressureError",
+    "CacheServer",
+    "MicroBatcher",
+    "ServerConfig",
+    "ServerMetrics",
+    "ServerResponse",
     "ArrivalSchedule",
     "DriftPhase",
     "Trace",

@@ -8,16 +8,17 @@ scheduled together — each cache's queries in the window go through a single
 ``lookup_batch`` call, so the per-query embed/search overhead amortizes the
 way a deployed batching frontend would.
 
-Windowed batching has the standard batched-lookup semantics: all of a
-window's lookups complete before any of its misses enrol, so an entry
-enrolled in window *k* is visible from window *k+1* on.  Duplicate queries
-that miss inside the *same* window therefore each pay the LLM and each
-enrol (where a fully sequential replay would serve the second as a hit);
-narrow the window — ``batch_window_s=0`` batches only simultaneous
-arrivals — to approach sequential semantics, or widen it to favour
-amortization.
+Since PR 8 the simulator is one *scheduler* over the shared serving core
+(:mod:`repro.serving.scheduling`): a
+:class:`~repro.serving.scheduling.VirtualClockScheduler` turns the trace
+into deterministic virtual-time windows and a
+:class:`~repro.serving.scheduling.BatchExecutor` runs each window through
+the same two-phase lookup/enroll semantics the live asyncio server
+(:class:`~repro.serving.server.CacheServer`) uses under wall-clock load —
+``tests/test_serving_parity.py`` pins the two frontends byte-identical on a
+shared trace.
 
-Any cache variant rides along: the simulator adapts MeanCache-style decision
+Any cache variant rides along: the executor adapts MeanCache-style decision
 objects, GPTCache-style decisions and KeywordCache's plain ``Optional[str]``
 responses to one outcome shape (see :class:`LookupOutcome`), and enrolment
 goes through the variant's pipeline Enroll/Evict stage.  A ``cache_factory``
@@ -40,19 +41,28 @@ aggregate.
 
 from __future__ import annotations
 
-import inspect
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.index.snapshot import SnapshotError, read_manifest, write_manifest
 from repro.llm.service import SimulatedLLMService
-from repro.serving.workload import Trace, WorkloadEvent
+from repro.serving.scheduling import (
+    BatchExecutor,
+    CacheAdapter,
+    LookupOutcome,
+    VirtualClockScheduler,
+)
+from repro.serving.workload import Trace
 
 #: Snapshot format tag / version of ``FleetSimulator.checkpoint`` directories.
 FLEET_FORMAT = "repro-fleet"
 FLEET_VERSION = 1
+
+# Backwards-compatible aliases: these classes lived here before the shared
+# scheduling layer factored them out for the live server to reuse.
+_CacheAdapter = CacheAdapter
 
 
 @dataclass(frozen=True)
@@ -84,36 +94,6 @@ class FleetConfig:
     def __post_init__(self) -> None:
         if self.batch_window_s < 0:
             raise ValueError("batch_window_s must be >= 0")
-
-
-@dataclass
-class LookupOutcome:
-    """Variant-agnostic result of one fleet lookup."""
-
-    event: WorkloadEvent
-    hit: bool
-    response: Optional[str]
-    cache_overhead_s: float = 0.0
-    llm_latency_s: float = 0.0
-    cost_usd: float = 0.0
-    #: probe embedding from the lookup (reused by enrolment; None for
-    #: non-vector variants)
-    embedding: Optional[object] = None
-    #: best retrieved similarity (1.0/0.0 for exact-match variants); feeds
-    #: the online adaptation loop's near-threshold miss mining
-    similarity: float = 0.0
-    #: the matched entry's query text on a hit (None when the variant does
-    #: not report one)
-    matched_query: Optional[str] = None
-    #: hit verification against the workload's intent oracle: True = the hit
-    #: answered the probe's intent, False = a false hit, None = unverifiable
-    #: (miss, no intent metadata, or an entry the fleet never saw enrol)
-    verified: Optional[bool] = None
-
-    @property
-    def total_latency_s(self) -> float:
-        """Latency the user experienced for this query."""
-        return self.cache_overhead_s + self.llm_latency_s
 
 
 @dataclass
@@ -279,97 +259,6 @@ class FleetResult:
         )
 
 
-@dataclass
-class _BatchLookup:
-    """One normalised per-query result out of :meth:`_CacheAdapter.lookup_batch`."""
-
-    hit: bool
-    response: Optional[str]
-    overhead_s: float
-    embedding: Optional[object]
-    similarity: float
-    matched_query: Optional[str]
-    top_query: Optional[str]
-
-
-class _CacheAdapter:
-    """Normalises any cache variant to one batched lookup/enroll surface."""
-
-    def __init__(self, cache) -> None:
-        """Wrap ``cache`` and sniff whether its lookups accept contexts."""
-        self.cache = cache
-        params = inspect.signature(cache.lookup_batch).parameters
-        self._accepts_contexts = "contexts" in params
-
-    def lookup_batch(
-        self,
-        queries: Sequence[str],
-        contexts: Sequence[Sequence[str]],
-    ) -> List[_BatchLookup]:
-        """Batched lookup normalised to one :class:`_BatchLookup` per query.
-
-        Decision objects must expose ``hit``/``response``/``total_overhead_s``
-        (attribute errors surface loudly rather than skewing aggregates with
-        silent defaults); ``similarity``/``matched_query`` are optional (the
-        adaptation loop degrades gracefully without them).  A bare
-        ``str | None`` is the exact-match shape: similarity 1.0 on a hit.
-        """
-        if self._accepts_contexts:
-            raw = self.cache.lookup_batch(list(queries), contexts=[list(c) for c in contexts])
-        else:
-            raw = self.cache.lookup_batch(list(queries))
-        outcomes: List[_BatchLookup] = []
-        for item in raw:
-            if item is None or isinstance(item, str):
-                # KeywordCache-style: the response itself (or None on miss).
-                outcomes.append(
-                    _BatchLookup(
-                        hit=item is not None,
-                        response=item,
-                        overhead_s=0.0,
-                        embedding=None,
-                        similarity=1.0 if item is not None else 0.0,
-                        matched_query=None,
-                        top_query=None,
-                    )
-                )
-            else:
-                outcomes.append(
-                    _BatchLookup(
-                        hit=bool(item.hit),
-                        response=item.response,
-                        overhead_s=float(item.total_overhead_s),
-                        embedding=getattr(item, "embedding", None),
-                        similarity=float(getattr(item, "similarity", 0.0)),
-                        matched_query=getattr(item, "matched_query", None),
-                        top_query=getattr(item, "top_candidate_query", None),
-                    )
-                )
-        return outcomes
-
-    def enroll(
-        self,
-        query: str,
-        response: str,
-        context: Sequence[str],
-        user_id: str,
-        embedding: Optional[object] = None,
-    ) -> None:
-        """Enrol through the variant's pipeline Enroll/Evict stage.
-
-        ``user_id`` keeps per-user attribution in central shared caches
-        (per-device caches ignore it); ``embedding`` reuses the lookup's
-        Embed-stage output so enrolment skips a second encoder forward.
-        """
-        pipeline = getattr(self.cache, "pipeline", None)
-        if pipeline is not None and pipeline.enroll is not None:
-            pipeline.enroll.enroll(
-                query, response, context=context, user_id=user_id, embedding=embedding
-            )
-        else:  # pragma: no cover - every repo variant has a pipeline
-            self.cache.insert(query, response)
-
-
 class FleetSimulator:
     """Runs a traffic trace over N per-user caches and one shared service."""
 
@@ -400,26 +289,18 @@ class FleetSimulator:
         self.service = service or SimulatedLLMService()
         self.config = config or FleetConfig()
         self.adaptation = adaptation
-        self.caches: Dict[str, _CacheAdapter] = {}
-        #: per underlying cache object: enrolled query text -> intent key,
-        #: the oracle used to verify hits (user feedback stand-in)
-        self._intent_maps: Dict[int, Dict[str, str]] = {}
+        self.executor = BatchExecutor(
+            cache_factory=cache_factory,
+            service=self.service,
+            enroll_on_miss=self.config.enroll_on_miss,
+            adaptation=adaptation,
+        )
+        self.scheduler = VirtualClockScheduler(self.config.batch_window_s)
 
-    # ------------------------------------------------------------------ #
-    def _register(self, user_id: str, adapter: _CacheAdapter) -> None:
-        """Track a new user's cache (intent oracle + adaptation loop)."""
-        self.caches[user_id] = adapter
-        self._intent_maps.setdefault(id(adapter.cache), {})
-        if self.adaptation is not None:
-            self.adaptation.register_user(user_id, adapter.cache)
-
-    def _adapter(self, user_id: str) -> _CacheAdapter:
-        """The user's cache adapter, creating it via the factory on first use."""
-        adapter = self.caches.get(user_id)
-        if adapter is None:
-            adapter = _CacheAdapter(self.cache_factory(user_id))
-            self._register(user_id, adapter)
-        return adapter
+    @property
+    def caches(self) -> Dict[str, CacheAdapter]:
+        """Live user-id → cache-adapter map (owned by the executor)."""
+        return self.executor.adapters
 
     # ------------------------------------------------------------------ #
     # Checkpoint / warm-start
@@ -469,34 +350,9 @@ class FleetSimulator:
         users = manifest.get("users")
         if not isinstance(users, dict):
             raise SnapshotError(f"fleet checkpoint at {path} has a corrupted user map")
-        adapter_of_key = {
-            key: _CacheAdapter(loader(path / key)) for key in sorted(set(users.values()))
-        }
+        cache_of_key = {key: loader(path / key) for key in sorted(set(users.values()))}
         for user_id, key in users.items():
-            self._register(user_id, adapter_of_key[key])
-
-    @staticmethod
-    def _windows(trace: Trace, width: float):
-        """Split the event stream into batching windows.
-
-        The stream is re-sorted by arrival time first: the windowing and the
-        "enrolments become visible next window" invariant both assume time
-        order, and a hand-merged replay file may not provide it.
-        """
-        events = sorted(trace.events, key=lambda e: (e.time_s, e.user_id))
-        window: List[WorkloadEvent] = []
-        window_end = None
-        for event in events:
-            if window_end is None:
-                window_end = event.time_s + width
-            if event.time_s <= window_end:
-                window.append(event)
-            else:
-                yield window
-                window = [event]
-                window_end = event.time_s + width
-        if window:
-            yield window
+            self.executor.register(user_id, cache_of_key[key])
 
     def run(self, trace: Trace, collect_outcomes: bool = False) -> FleetResult:
         """Replay ``trace`` through the fleet and aggregate the results.
@@ -513,98 +369,21 @@ class FleetSimulator:
         outcomes: List[LookupOutcome] = []
         virtual_end = 0.0
         start = time.perf_counter()
-        for window in self._windows(trace, self.config.batch_window_s):
-            # Phase 1 — lookups.  Group the window's arrivals by *underlying
-            # cache object* (per-user fleets: one group per user; a shared
-            # central cache: one group for the whole window), preserving
-            # arrival order within each group, and classify each group with
-            # one lookup_batch call.
-            by_cache: Dict[int, Tuple[_CacheAdapter, List[WorkloadEvent]]] = {}
-            for event in window:
-                adapter = self._adapter(event.user_id)
-                by_cache.setdefault(id(adapter.cache), (adapter, []))[1].append(event)
-            looked_up: Dict[int, _BatchLookup] = {}
-            for adapter, events in by_cache.values():
-                results = adapter.lookup_batch(
-                    [e.query for e in events], [e.context for e in events]
-                )
-                for event, result in zip(events, results):
-                    looked_up[id(event)] = result
-            # Phase 2 — misses and enrolment, in arrival order.  All window
-            # lookups complete before any enrolment, so a decision can only
-            # depend on entries enrolled in *previous* windows — no event can
-            # hit an entry enrolled by a later-arriving event, even on a
-            # shared cache, and results are independent of grouping order.
-            for event in window:
-                result = looked_up[id(event)]
-                adapter = self._adapter(event.user_id)
-                intent_map = self._intent_maps[id(adapter.cache)]
-                # Verification against the intent oracle (the user-feedback
-                # stand-in): on a hit, whether the served entry answers the
-                # probe's intent; on a miss, whether the *top retrieved
-                # candidate* would have (feeding near-miss pair mining).
-                verified: Optional[bool] = None
-                reference = result.matched_query if result.hit else result.top_query
-                if reference is not None and event.intent_key:
-                    reference_intent = intent_map.get(reference)
-                    if reference_intent is not None:
-                        verified = reference_intent == event.intent_key
-                outcome = LookupOutcome(
-                    event=event,
-                    hit=result.hit,
-                    response=result.response,
-                    cache_overhead_s=result.overhead_s,
-                    embedding=result.embedding,
-                    similarity=result.similarity,
-                    matched_query=result.matched_query,
-                    verified=verified,
-                )
-                if not result.hit:
-                    llm = self.service.query(
-                        event.query, client_id=event.user_id, context=list(event.context)
-                    )
-                    outcome.response = llm.text
-                    outcome.llm_latency_s = llm.latency_s
-                    outcome.cost_usd = llm.cost_usd
-                    if self.config.enroll_on_miss:
-                        adapter.enroll(
-                            event.query,
-                            llm.text,
-                            event.context,
-                            event.user_id,
-                            embedding=result.embedding,
-                        )
-                        if event.intent_key:
-                            intent_map[event.query] = event.intent_key
-                stats = per_user.setdefault(event.user_id, UserStats())
+        for window in self.scheduler.batches(trace):
+            for outcome in self.executor.execute(window):
+                stats = per_user.setdefault(outcome.event.user_id, UserStats())
                 stats.record(outcome)
-                virtual_end = max(virtual_end, event.time_s + outcome.total_latency_s)
-                if self.adaptation is not None:
-                    self.adaptation.observe(
-                        event.user_id,
-                        similarity=outcome.similarity,
-                        hit=outcome.hit,
-                        verified=outcome.verified,
-                        followup=event.is_followup,
-                        query=event.query,
-                        matched_query=outcome.matched_query or result.top_query,
-                        time_s=event.time_s,
-                    )
+                virtual_end = max(
+                    virtual_end, outcome.event.time_s + outcome.total_latency_s
+                )
                 if collect_outcomes:
                     outcomes.append(outcome)
-            if self.adaptation is not None:
-                # Windows arrive in time order; rounds due inside this
-                # window fire before the next window's lookups, on the
-                # trace's virtual clock.
-                self.adaptation.advance(window[-1].time_s)
+            # Windows arrive in time order; adaptation rounds due inside
+            # this window fire before the next window's lookups, on the
+            # trace's virtual clock.
+            self.executor.advance_adaptation(window[-1].time_s)
             if self.config.index_maintenance:
-                # Deferred index work (repartitioning, stat refreshes) runs
-                # here, between windows, for every cache this window touched
-                # — the query path itself never pays for reorganization.
-                for adapter, _ in by_cache.values():
-                    index = getattr(adapter.cache, "index", None)
-                    if index is not None and hasattr(index, "maintenance"):
-                        index.maintenance()
+                self.executor.maintenance()
         wall_clock = time.perf_counter() - start
         # Count the users actually served rather than echoing the trace's
         # configured fleet size: with churn, cold-start successors appear

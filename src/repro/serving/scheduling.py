@@ -1,0 +1,450 @@
+"""The shared scheduling layer under every serving frontend.
+
+PR 2 gave the repo a deterministic virtual-clock simulator
+(:class:`~repro.serving.fleet.FleetSimulator`); the live asyncio server
+(:class:`~repro.serving.server.CacheServer`) needs to drive the *same*
+pipeline stages under real wall-clock concurrency.  This module factors the
+piece both share — "take a batch of arrivals, classify them through their
+caches, forward misses to the LLM service, enrol" — out of the simulator so
+the two frontends cannot drift:
+
+* :class:`CacheAdapter` — normalises any cache variant (MeanCache decision
+  objects, GPTCache decisions, KeywordCache's plain ``Optional[str]``) to one
+  batched lookup/enroll surface.
+* :class:`BatchExecutor` — executes one batch of
+  :class:`~repro.serving.workload.WorkloadEvent` arrivals with the
+  two-phase semantics the simulator pinned byte-exact in PR 2: **all** of a
+  batch's lookups complete before **any** of its misses enrol, so no event
+  can hit an entry enrolled by a later-arriving event and results are
+  independent of grouping order.  The executor owns the per-cache intent
+  oracle (hit verification), the optional online-adaptation hookup, and the
+  deferred index-maintenance pass.
+* :class:`Scheduler` — turns a trace into an ordered stream of batches.
+  :class:`VirtualClockScheduler` is the simulator's windowing policy
+  (arrivals within ``batch_window_s`` of a window's first event batch
+  together); the live server's adaptive micro-batcher
+  (:class:`~repro.serving.server.MicroBatcher`) is the wall-clock
+  counterpart.  ``tests/test_serving_parity.py`` replays one trace through
+  both frontends and asserts byte-identical per-event decisions.
+
+Concurrency contract
+--------------------
+:class:`BatchExecutor` is **not** thread-safe: it mutates caches, whose
+index backends share scratch buffers and rewire postings in place (no
+:class:`~repro.index.VectorIndex` backend supports concurrent calls — see
+``docs/api.md``).  The simulator runs one executor on one thread; the server
+runs one executor per shard and serializes each behind that shard's lock.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serving.workload import Trace, WorkloadEvent
+
+
+@dataclass
+class LookupOutcome:
+    """Variant-agnostic result of one served lookup."""
+
+    event: WorkloadEvent
+    hit: bool
+    response: Optional[str]
+    cache_overhead_s: float = 0.0
+    llm_latency_s: float = 0.0
+    cost_usd: float = 0.0
+    #: probe embedding from the lookup (reused by enrolment; None for
+    #: non-vector variants)
+    embedding: Optional[object] = None
+    #: best retrieved similarity (1.0/0.0 for exact-match variants); feeds
+    #: the online adaptation loop's near-threshold miss mining
+    similarity: float = 0.0
+    #: the matched entry's query text on a hit (None when the variant does
+    #: not report one)
+    matched_query: Optional[str] = None
+    #: hit verification against the workload's intent oracle: True = the hit
+    #: answered the probe's intent, False = a false hit, None = unverifiable
+    #: (miss, no intent metadata, or an entry the fleet never saw enrol)
+    verified: Optional[bool] = None
+    #: where the response came from: ``"local"`` (the user's cache tier),
+    #: ``"shared"`` (the executor's miss fallback, e.g. the server's L2) or
+    #: ``"llm"`` (a full miss forwarded to the service)
+    source: str = "llm"
+
+    @property
+    def total_latency_s(self) -> float:
+        """Latency the user experienced for this query."""
+        return self.cache_overhead_s + self.llm_latency_s
+
+
+@dataclass
+class BatchLookup:
+    """One normalised per-query result out of :meth:`CacheAdapter.lookup_batch`."""
+
+    hit: bool
+    response: Optional[str]
+    overhead_s: float
+    embedding: Optional[object]
+    similarity: float
+    matched_query: Optional[str]
+    top_query: Optional[str]
+
+
+class CacheAdapter:
+    """Normalises any cache variant to one batched lookup/enroll surface."""
+
+    def __init__(self, cache) -> None:
+        """Wrap ``cache`` and sniff its batched-lookup capabilities."""
+        self.cache = cache
+        params = inspect.signature(cache.lookup_batch).parameters
+        self._accepts_contexts = "contexts" in params
+        self._accepts_embeddings = "embeddings" in params
+
+    def lookup_batch(
+        self,
+        queries: Sequence[str],
+        contexts: Sequence[Sequence[str]],
+        embeddings: Optional[np.ndarray] = None,
+    ) -> List[BatchLookup]:
+        """Batched lookup normalised to one :class:`BatchLookup` per query.
+
+        Decision objects must expose ``hit``/``response``/``total_overhead_s``
+        (attribute errors surface loudly rather than skewing aggregates with
+        silent defaults); ``similarity``/``matched_query`` are optional (the
+        adaptation loop degrades gracefully without them).  A bare
+        ``str | None`` is the exact-match shape: similarity 1.0 on a hit.
+
+        ``embeddings`` (one row per query) is the cross-cache micro-batcher's
+        amortization hook: when the serving layer already embedded the whole
+        flush with one encoder call, vector caches skip their own Embed stage.
+        Variants that cannot consume precomputed embeddings (the keyword
+        baseline) silently ignore them.
+        """
+        kwargs: Dict[str, object] = {}
+        if self._accepts_contexts:
+            kwargs["contexts"] = [list(c) for c in contexts]
+        if self._accepts_embeddings and embeddings is not None:
+            kwargs["embeddings"] = embeddings
+        raw = self.cache.lookup_batch(list(queries), **kwargs)
+        outcomes: List[BatchLookup] = []
+        for item in raw:
+            if item is None or isinstance(item, str):
+                # KeywordCache-style: the response itself (or None on miss).
+                outcomes.append(
+                    BatchLookup(
+                        hit=item is not None,
+                        response=item,
+                        overhead_s=0.0,
+                        embedding=None,
+                        similarity=1.0 if item is not None else 0.0,
+                        matched_query=None,
+                        top_query=None,
+                    )
+                )
+            else:
+                outcomes.append(
+                    BatchLookup(
+                        hit=bool(item.hit),
+                        response=item.response,
+                        overhead_s=float(item.total_overhead_s),
+                        embedding=getattr(item, "embedding", None),
+                        similarity=float(getattr(item, "similarity", 0.0)),
+                        matched_query=getattr(item, "matched_query", None),
+                        top_query=getattr(item, "top_candidate_query", None),
+                    )
+                )
+        return outcomes
+
+    def enroll(
+        self,
+        query: str,
+        response: str,
+        context: Sequence[str],
+        user_id: str,
+        embedding: Optional[object] = None,
+    ) -> None:
+        """Enrol through the variant's pipeline Enroll/Evict stage.
+
+        ``user_id`` keeps per-user attribution in central shared caches
+        (per-device caches ignore it); ``embedding`` reuses the lookup's
+        Embed-stage output so enrolment skips a second encoder forward.
+        """
+        pipeline = getattr(self.cache, "pipeline", None)
+        if pipeline is not None and pipeline.enroll is not None:
+            pipeline.enroll.enroll(
+                query, response, context=context, user_id=user_id, embedding=embedding
+            )
+        else:  # pragma: no cover - every repo variant has a pipeline
+            self.cache.insert(query, response)
+
+
+class BatchExecutor:
+    """Executes batches of arrivals against per-user caches + one service.
+
+    The execution core shared by :class:`~repro.serving.fleet.FleetSimulator`
+    and :class:`~repro.serving.server.CacheServer`.  One executor owns a set
+    of users' caches (created through ``cache_factory`` on first use), the
+    per-cache intent oracle used to verify hits, and the optional online
+    adaptation hookup; :meth:`execute` runs one batch with the pinned
+    two-phase semantics (all lookups, then misses/enrolment in arrival
+    order).
+
+    ``stamp_event_time=True`` (the simulator) timestamps LLM requests with
+    each event's virtual arrival time; ``False`` (the live server) lets the
+    service read its own injected wall clock instead — the two-clocks fix
+    from :class:`~repro.llm.service.SimulatedLLMService`.
+
+    ``miss_fallback`` inserts a second cache tier between a local miss and
+    the LLM: an object with ``lookup(event, embedding) ->
+    Optional[(response, similarity)]`` (probe the tier) and
+    ``enroll(event, response, embedding)`` (called after the LLM answers a
+    full miss).  The server wires its optional shared L2 through this hook;
+    the hook object owns its own synchronization (it may be contended by
+    several shard executors at once).
+    """
+
+    def __init__(
+        self,
+        cache_factory: Callable[[str], object],
+        service,
+        enroll_on_miss: bool = True,
+        adaptation: Optional[object] = None,
+        stamp_event_time: bool = True,
+        miss_fallback: Optional[object] = None,
+    ) -> None:
+        self.cache_factory = cache_factory
+        self.service = service
+        self.enroll_on_miss = enroll_on_miss
+        self.adaptation = adaptation
+        self.stamp_event_time = stamp_event_time
+        self.miss_fallback = miss_fallback
+        self.adapters: Dict[str, CacheAdapter] = {}
+        #: per underlying cache object: enrolled query text -> intent key,
+        #: the oracle used to verify hits (user feedback stand-in)
+        self._intent_maps: Dict[int, Dict[str, str]] = {}
+        self._touched: Dict[int, CacheAdapter] = {}
+        self._service_accepts_now = "now" in inspect.signature(service.query).parameters
+
+    # ------------------------------------------------------------------ #
+    def register(self, user_id: str, cache) -> CacheAdapter:
+        """Attach a user's cache (intent oracle + adaptation loop).
+
+        Idempotent per user; a cache object shared by several users gets one
+        intent map no matter how many users route to it.
+        """
+        adapter = self.adapters.get(user_id)
+        if adapter is None or adapter.cache is not cache:
+            adapter = CacheAdapter(cache)
+            self.adapters[user_id] = adapter
+            self._intent_maps.setdefault(id(cache), {})
+            if self.adaptation is not None:
+                self.adaptation.register_user(user_id, cache)
+        return adapter
+
+    def adapter(self, user_id: str) -> CacheAdapter:
+        """The user's cache adapter, creating it via the factory on first use."""
+        adapter = self.adapters.get(user_id)
+        if adapter is None:
+            adapter = self.register(user_id, self.cache_factory(user_id))
+        return adapter
+
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        events: Sequence[WorkloadEvent],
+        embeddings: Optional[np.ndarray] = None,
+    ) -> List[LookupOutcome]:
+        """Run one batch of arrivals; returns outcomes in input order.
+
+        Phase 1 — lookups.  The batch's arrivals are grouped by *underlying
+        cache object* (per-user fleets: one group per user; a shared central
+        cache: one group for the whole batch), preserving arrival order
+        within each group, and each group is classified with one
+        ``lookup_batch`` call.  ``embeddings`` (one row per event, e.g. the
+        server's single cross-user encoder call for the whole flush) is
+        sliced per group and handed to caches that accept precomputed
+        embeddings.
+
+        Phase 2 — misses and enrolment, in input order.  All lookups
+        complete before any enrolment, so a decision can only depend on
+        entries enrolled by *previous* batches — no event can hit an entry
+        enrolled by a later-arriving event, even on a shared cache, and
+        results are independent of grouping order.
+        """
+        by_cache: Dict[int, Tuple[CacheAdapter, List[int]]] = {}
+        for i, event in enumerate(events):
+            adapter = self.adapter(event.user_id)
+            by_cache.setdefault(id(adapter.cache), (adapter, []))[1].append(i)
+        looked_up: Dict[int, BatchLookup] = {}
+        for adapter, rows in by_cache.values():
+            group = [events[i] for i in rows]
+            group_embs = embeddings[np.asarray(rows)] if embeddings is not None else None
+            results = adapter.lookup_batch(
+                [e.query for e in group],
+                [e.context for e in group],
+                embeddings=group_embs,
+            )
+            for i, result in zip(rows, results):
+                looked_up[i] = result
+        self._touched = {id(a.cache): a for a, _ in by_cache.values()}
+
+        outcomes: List[LookupOutcome] = []
+        for i, event in enumerate(events):
+            result = looked_up[i]
+            adapter = self.adapters[event.user_id]
+            intent_map = self._intent_maps[id(adapter.cache)]
+            # Verification against the intent oracle (the user-feedback
+            # stand-in): on a hit, whether the served entry answers the
+            # probe's intent; on a miss, whether the *top retrieved
+            # candidate* would have (feeding near-miss pair mining).
+            verified: Optional[bool] = None
+            reference = result.matched_query if result.hit else result.top_query
+            if reference is not None and event.intent_key:
+                reference_intent = intent_map.get(reference)
+                if reference_intent is not None:
+                    verified = reference_intent == event.intent_key
+            outcome = LookupOutcome(
+                event=event,
+                hit=result.hit,
+                response=result.response,
+                cache_overhead_s=result.overhead_s,
+                embedding=result.embedding,
+                similarity=result.similarity,
+                matched_query=result.matched_query,
+                verified=verified,
+                source="local" if result.hit else "llm",
+            )
+            if not result.hit:
+                fallback_hit = None
+                if self.miss_fallback is not None:
+                    fallback_hit = self.miss_fallback.lookup(event, result.embedding)
+                if fallback_hit is not None:
+                    response, similarity = fallback_hit
+                    outcome.hit = True
+                    outcome.response = response
+                    outcome.similarity = max(outcome.similarity, float(similarity))
+                    outcome.source = "shared"
+                else:
+                    kwargs: Dict[str, object] = {}
+                    if self._service_accepts_now and self.stamp_event_time:
+                        kwargs["now"] = event.time_s
+                    llm = self.service.query(
+                        event.query,
+                        client_id=event.user_id,
+                        context=list(event.context),
+                        **kwargs,
+                    )
+                    outcome.response = llm.text
+                    outcome.llm_latency_s = llm.latency_s
+                    outcome.cost_usd = llm.cost_usd
+                    if self.enroll_on_miss:
+                        adapter.enroll(
+                            event.query,
+                            llm.text,
+                            event.context,
+                            event.user_id,
+                            embedding=result.embedding,
+                        )
+                        if event.intent_key:
+                            intent_map[event.query] = event.intent_key
+                        if self.miss_fallback is not None:
+                            self.miss_fallback.enroll(
+                                event, llm.text, result.embedding
+                            )
+            if self.adaptation is not None:
+                self.adaptation.observe(
+                    event.user_id,
+                    similarity=outcome.similarity,
+                    hit=outcome.hit,
+                    verified=outcome.verified,
+                    followup=event.is_followup,
+                    query=event.query,
+                    matched_query=outcome.matched_query or result.top_query,
+                    time_s=event.time_s,
+                )
+            outcomes.append(outcome)
+        return outcomes
+
+    def advance_adaptation(self, now_s: float) -> None:
+        """Fire adaptation rounds due at ``now_s`` (no-op without a loop)."""
+        if self.adaptation is not None:
+            self.adaptation.advance(now_s)
+
+    def maintenance(self) -> None:
+        """Deferred index work for every cache the last batch touched.
+
+        IVF repartitioning (``auto_repartition=False``), probe-bound stat
+        refreshes and layout compaction run here, between batches — the
+        query path itself never pays for reorganization.
+        """
+        for adapter in self._touched.values():
+            index = getattr(adapter.cache, "index", None)
+            if index is not None and hasattr(index, "maintenance"):
+                index.maintenance()
+
+
+# --------------------------------------------------------------------------- #
+# Schedulers
+# --------------------------------------------------------------------------- #
+def iter_windows(
+    events: Iterable[WorkloadEvent], width: float
+) -> Iterator[List[WorkloadEvent]]:
+    """Split an event stream into virtual-time batching windows.
+
+    The stream is re-sorted by arrival time first: the windowing and the
+    "enrolments become visible next window" invariant both assume time
+    order, and a hand-merged replay file may not provide it.
+    """
+    ordered = sorted(events, key=lambda e: (e.time_s, e.user_id))
+    window: List[WorkloadEvent] = []
+    window_end: Optional[float] = None
+    for event in ordered:
+        if window_end is None:
+            window_end = event.time_s + width
+        if event.time_s <= window_end:
+            window.append(event)
+        else:
+            yield window
+            window = [event]
+            window_end = event.time_s + width
+    if window:
+        yield window
+
+
+class Scheduler:
+    """Turns a trace into an ordered stream of executor batches.
+
+    A scheduler decides *which arrivals run together*; the
+    :class:`BatchExecutor` decides what happens inside a batch.  The
+    deterministic simulator and the live server differ only in scheduler:
+    virtual-time windows vs a wall-clock adaptive micro-batcher.
+    """
+
+    def batches(self, trace: Trace) -> Iterator[List[WorkloadEvent]]:
+        """Yield the trace's events as ordered batches."""
+        raise NotImplementedError
+
+
+class VirtualClockScheduler(Scheduler):
+    """The simulator's policy: batch arrivals within ``batch_window_s``.
+
+    Windowed batching has the standard batched-lookup semantics: all of a
+    window's lookups complete before any of its misses enrol, so an entry
+    enrolled in window *k* is visible from window *k+1* on.  Duplicate
+    queries that miss inside the *same* window therefore each pay the LLM
+    and each enrol; ``batch_window_s=0`` batches only simultaneous arrivals,
+    approaching sequential semantics.
+    """
+
+    def __init__(self, batch_window_s: float = 0.25) -> None:
+        if batch_window_s < 0:
+            raise ValueError("batch_window_s must be >= 0")
+        self.batch_window_s = batch_window_s
+
+    def batches(self, trace: Trace) -> Iterator[List[WorkloadEvent]]:
+        """Yield virtual-time windows over the trace."""
+        return iter_windows(trace.events, self.batch_window_s)

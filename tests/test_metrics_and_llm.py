@@ -308,3 +308,71 @@ class TestSimulatedService:
     def test_invalid_jitter_mode_rejected(self):
         with pytest.raises(ValueError):
             LLMServiceConfig(jitter_mode="bogus")
+
+
+class TestServiceClocks:
+    """Regression tests for the two-clocks fix (injectable service clock).
+
+    The historical service silently assumed the simulator's virtual event
+    clock; stamping live wall-clock requests with it mixed modelled virtual
+    latencies into measured wall-clock sums.  The clock is now injectable:
+    the simulator passes ``now=<virtual arrival>`` per request, the live
+    server constructs the service with ``clock=time.monotonic`` and passes
+    nothing.  Both modes must stamp correctly — and neither may change the
+    modelled latency/cost, which depend only on the request itself.
+    """
+
+    def test_explicit_now_stamps_virtual_time(self):
+        service = SimulatedLLMService()
+        resp = service.query("sort a python list", client_id="u1", now=123.5)
+        assert resp.issued_at_s == 123.5
+        assert resp.completed_at_s == pytest.approx(123.5 + resp.latency_s)
+
+    def test_injected_clock_stamps_wall_time(self):
+        ticks = iter([1000.0, 2000.0])
+        service = SimulatedLLMService(clock=lambda: next(ticks))
+        first = service.query("sort a python list")
+        second = service.query("plan a trip")
+        assert first.issued_at_s == 1000.0
+        assert second.issued_at_s == 2000.0
+        assert second.completed_at_s == pytest.approx(2000.0 + second.latency_s)
+
+    def test_explicit_now_overrides_injected_clock(self):
+        service = SimulatedLLMService(clock=lambda: 777.0)
+        resp = service.query("sort a python list", now=3.25)
+        assert resp.issued_at_s == 3.25
+
+    def test_no_clock_keeps_historical_behaviour(self):
+        resp = SimulatedLLMService().query("sort a python list")
+        assert resp.issued_at_s is None
+        assert resp.completed_at_s is None
+
+    def test_clock_choice_never_changes_modelled_latency_or_cost(self):
+        virtual = SimulatedLLMService(LLMServiceConfig(seed=0))
+        wall = SimulatedLLMService(LLMServiceConfig(seed=0), clock=lambda: 55.5)
+        a = virtual.query("identical prompt", client_id="u1", now=1.0)
+        b = wall.query("identical prompt", client_id="u1")
+        assert a.latency_s == b.latency_s
+        assert a.cost_usd == b.cost_usd
+        assert a.issued_at_s == 1.0 and b.issued_at_s == 55.5
+
+    def test_thread_safe_accounting_under_contention(self):
+        import threading
+
+        service = SimulatedLLMService(thread_safe=True)
+        n_threads, per_thread = 8, 50
+
+        def worker(tid):
+            for i in range(per_thread):
+                service.query(f"worker {tid} request {i}", client_id=f"u{tid}")
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert service.stats.n_requests == n_threads * per_thread
+        for tid in range(n_threads):
+            assert service.client_stats(f"u{tid}").n_requests == per_thread

@@ -1,0 +1,319 @@
+"""Thread-hammer tests for the serving tier's concurrency contract.
+
+No :class:`~repro.index.VectorIndex` backend is thread-safe: the flat scan
+reuses per-index scratch buffers, IVF rewires postings in place, and
+eviction compacts entry layouts — concurrent calls corrupt them.  The fix
+lives in the **server adapter layer**, not in FlatIndex: every cache hangs
+off exactly one shard of :class:`~repro.serving.server.CacheServer` and all
+access to it runs under that shard's lock.  Putting a lock inside FlatIndex
+instead would tax the single-threaded simulator and benchmarks on every
+call, serialize at the wrong granularity (per index, when the unit of
+consistency is the cache: entries dict + index + stats must move together),
+and still leave the cache-level compound operations racy.
+
+These tests hammer a live server from real client threads — interleaved
+lookup, insert (miss→enrol) and eviction churn — and assert:
+
+* every submitted request resolves exactly once (none lost, none duplicated);
+* cache/index invariants hold afterwards (index ids == entry ids, sizes
+  match, capacity respected);
+* results match a sequential oracle replay of the same traffic;
+* the server never lets two threads into one cache at once (probed with an
+  instrumented cache that detects re-entrancy).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from conftest import make_tiny_encoder
+from repro.core.cache import MeanCache, MeanCacheConfig
+from repro.llm.service import LLMServiceConfig, SimulatedLLMService
+from repro.serving.server import CacheServer, ServerConfig
+
+pytestmark = pytest.mark.serving
+
+N_THREADS = 6
+REQUESTS_PER_THREAD = 20
+
+
+def _fast_service():
+    """A thread-safe service (latency is modelled, never slept)."""
+    return SimulatedLLMService(LLMServiceConfig(seed=0), thread_safe=True)
+
+
+def _server(factory, **config_kwargs):
+    config = ServerConfig(
+        n_shards=config_kwargs.pop("n_shards", 4),
+        max_batch_size=config_kwargs.pop("max_batch_size", 16),
+        max_batch_wait_s=config_kwargs.pop("max_batch_wait_s", 0.002),
+        **config_kwargs,
+    )
+    return CacheServer(factory, service=_fast_service(), config=config)
+
+
+def _hammer(server, queries_of_thread):
+    """Drive the server from N client threads; returns responses and errors."""
+    responses = {}
+    errors = []
+
+    def client(tid):
+        try:
+            for query in queries_of_thread[tid]:
+                future = server.submit_threadsafe(f"user-{tid}", query)
+                responses[(tid, query)] = future.result(timeout=60)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append((tid, exc))
+
+    threads = [
+        threading.Thread(target=client, args=(tid,))
+        for tid in range(len(queries_of_thread))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return responses, errors
+
+
+def assert_cache_invariants(cache):
+    """Entries dict, vector index and capacity agree with each other."""
+    entry_ids = sorted(cache._entries.keys())
+    index_ids = sorted(cache.index.ids)
+    assert index_ids == entry_ids, "index ids diverged from entry ids"
+    assert len(cache.index) == len(cache._entries)
+    assert len(cache) <= cache.config.max_entries
+    for entry_id, entry in cache._entries.items():
+        assert entry.entry_id == entry_id
+
+
+class TestThreadedHammer:
+    def test_per_user_caches_miss_then_hit_rounds(self):
+        """Two hammer rounds match the sequential oracle exactly.
+
+        Round 1 offers each thread distinct never-seen queries: every
+        request must miss, pay the (zero-latency) LLM and enrol.  Round 2
+        re-submits the identical queries: every request must hit its own
+        round-1 enrolment.  That is precisely what a sequential replay of
+        the same per-user streams produces, so any lost/duplicated/crossed
+        request under concurrency breaks the assertions.
+        """
+        encoder = make_tiny_encoder()
+        caches = {}
+
+        def factory(user_id):
+            # τ high enough that only (near-)exact duplicates hit: round 1's
+            # distinct queries all miss, round 2's replays all hit.
+            caches[user_id] = MeanCache(
+                encoder, MeanCacheConfig(similarity_threshold=0.999)
+            )
+            return caches[user_id]
+
+        queries_of_thread = {
+            tid: [
+                f"thread {tid} unique question number {i} about subject {tid}-{i}"
+                for i in range(REQUESTS_PER_THREAD)
+            ]
+            for tid in range(N_THREADS)
+        }
+        server = _server(factory)
+        server.start()
+        try:
+            first, errors = _hammer(server, queries_of_thread)
+            assert not errors
+            second, errors = _hammer(server, queries_of_thread)
+            assert not errors
+        finally:
+            server.stop()
+
+        n_requests = N_THREADS * REQUESTS_PER_THREAD
+        assert len(first) == n_requests and len(second) == n_requests
+        assert all(not r.hit for r in first.values()), "round 1 must be all misses"
+        assert all(r.hit for r in second.values()), "round 2 must be all hits"
+        # Round-2 hits serve exactly the response round 1 enrolled.
+        for key, response in second.items():
+            assert response.response == first[key].response
+        # Sequential oracle on cache state: each user's cache holds exactly
+        # its own round-1 misses, once each.
+        assert set(caches) == {f"user-{tid}" for tid in range(N_THREADS)}
+        for tid in range(N_THREADS):
+            cache = caches[f"user-{tid}"]
+            assert_cache_invariants(cache)
+            assert sorted(e.query for e in cache.entries) == sorted(
+                queries_of_thread[tid]
+            )
+        # Accounting survived the interleaving (thread-safe service stats).
+        assert server.service.stats.n_requests == n_requests
+        assert server.metrics.completed == 2 * n_requests
+        assert server.metrics.hits == n_requests
+
+    def test_shared_central_cache_under_contention(self):
+        """All threads hammer ONE cache object; per-shard lock keeps it sane."""
+        encoder = make_tiny_encoder()
+        central = MeanCache(encoder, MeanCacheConfig(similarity_threshold=0.8))
+        queries_of_thread = {
+            tid: [
+                f"central topic {tid}-{i} with distinctive wording {tid * 100 + i}"
+                for i in range(REQUESTS_PER_THREAD)
+            ]
+            for tid in range(N_THREADS)
+        }
+        server = _server(lambda uid: central)
+        server.start()
+        try:
+            responses, errors = _hammer(server, queries_of_thread)
+        finally:
+            server.stop()
+        assert not errors
+        assert len(responses) == N_THREADS * REQUESTS_PER_THREAD
+        assert_cache_invariants(central)
+        # Every miss enrolled exactly once; hits served an enrolled entry.
+        misses = [r for r in responses.values() if not r.hit]
+        assert len(central) == len(misses)
+        enrolled = {e.query for e in central.entries}
+        for response in responses.values():
+            if not response.hit:
+                assert response.query in enrolled
+        # The shared object was pinned to one shard (identity collapse).
+        assert len({server.shard_of(f"user-{t}") for t in range(N_THREADS)}) == 1
+
+    def test_eviction_churn_keeps_invariants(self):
+        """A capacity-8 shared cache under 120 concurrent inserts stays sane."""
+        encoder = make_tiny_encoder()
+        central = MeanCache(
+            encoder,
+            MeanCacheConfig(similarity_threshold=0.95, max_entries=8),
+        )
+        queries_of_thread = {
+            tid: [
+                f"churn workload item {tid}-{i} body {i * 7 + tid}"
+                for i in range(REQUESTS_PER_THREAD)
+            ]
+            for tid in range(N_THREADS)
+        }
+        server = _server(lambda uid: central, max_batch_size=8)
+        server.start()
+        try:
+            responses, errors = _hammer(server, queries_of_thread)
+        finally:
+            server.stop()
+        assert not errors
+        assert len(responses) == N_THREADS * REQUESTS_PER_THREAD
+        assert_cache_invariants(central)
+        assert len(central) <= 8
+
+    def test_server_never_overlaps_access_to_one_cache(self):
+        """Re-entrancy probe: two threads never run one cache concurrently.
+
+        The instrumented cache sleeps inside ``lookup_batch`` while tracking
+        concurrent entries; without the per-shard lock, 6 client threads
+        with sub-millisecond batching would overlap with near certainty.
+        """
+        import time as _time
+
+        encoder = make_tiny_encoder()
+
+        class ProbedCache(MeanCache):
+            overlaps = 0
+            _inside = 0
+            _guard = threading.Lock()
+
+            def lookup_batch(self, queries, contexts=None, embeddings=None):
+                cls = ProbedCache
+                with cls._guard:
+                    cls._inside += 1
+                    if cls._inside > 1:
+                        cls.overlaps += 1
+                _time.sleep(0.002)
+                try:
+                    return super().lookup_batch(
+                        queries, contexts=contexts, embeddings=embeddings
+                    )
+                finally:
+                    with cls._guard:
+                        cls._inside -= 1
+
+        central = ProbedCache(encoder, MeanCacheConfig(similarity_threshold=0.8))
+        queries_of_thread = {
+            tid: [f"probe {tid}-{i}" for i in range(10)] for tid in range(N_THREADS)
+        }
+        server = _server(lambda uid: central, max_batch_size=4, max_batch_wait_s=0.0005)
+        server.start()
+        try:
+            _, errors = _hammer(server, queries_of_thread)
+        finally:
+            server.stop()
+        assert not errors
+        assert ProbedCache.overlaps == 0
+
+
+@pytest.mark.slow
+class TestSlowHammer:
+    """Heavier wall-clock hammers, excluded from tier-1 (run via ``-m slow``)."""
+
+    def test_large_scale_hammer_with_backpressure(self):
+        """16 threads, tiny queue: some requests shed, none lost or corrupted.
+
+        Shed requests must surface as the typed BackpressureError at submit
+        time; everything admitted must resolve; cache invariants must hold
+        through the contention; accounting must balance exactly.
+        """
+        from repro.serving.server import BackpressureError
+
+        encoder = make_tiny_encoder()
+        caches = {}
+
+        def factory(user_id):
+            caches[user_id] = MeanCache(
+                encoder, MeanCacheConfig(similarity_threshold=0.999, max_entries=32)
+            )
+            return caches[user_id]
+
+        server = _server(
+            factory,
+            n_shards=8,
+            max_queue_depth=8,  # deliberately tiny: force shedding
+            max_batch_size=8,
+            max_batch_wait_s=0.0005,
+        )
+        server.start()
+        served = []
+        shed_count = [0]
+        errors = []
+        n_threads, per_thread = 16, 40
+
+        def client(tid):
+            try:
+                for i in range(per_thread):
+                    try:
+                        future = server.submit_threadsafe(
+                            f"user-{tid}", f"slow hammer {tid} item {i}"
+                        )
+                        served.append(future.result(timeout=60))
+                    except BackpressureError as exc:
+                        assert exc.limit == 8 and exc.queue_depth >= 8
+                        shed_count[0] += 1
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append((tid, exc))
+
+        threads = [
+            threading.Thread(target=client, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        server.stop()
+
+        assert not errors
+        offered = n_threads * per_thread
+        assert len(served) + shed_count[0] == offered
+        assert server.metrics.completed == len(served)
+        assert server.metrics.shed == shed_count[0]
+        assert server.metrics.offered == offered
+        for cache in caches.values():
+            assert_cache_invariants(cache)
+        # The admission bound was honoured at every sampled depth.
+        assert server.metrics.max_depth_seen <= 8

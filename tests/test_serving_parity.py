@@ -1,0 +1,193 @@
+"""Simulator / server parity regression (the PR 8 scheduler-refactor pin).
+
+:class:`~repro.serving.fleet.FleetSimulator` and
+:class:`~repro.serving.server.CacheServer` are two frontends over the same
+scheduling core (:mod:`repro.serving.scheduling`): the simulator windows a
+trace on the virtual clock, the server micro-batches wall-clock arrivals.
+Replaying one trace through both — the server in its single-worker
+deterministic mode with matching window width — must produce **identical
+per-event decisions**: same hit/miss bits, same responses, bit-exact
+similarities, same admission of every event.
+
+Decision streams are compared in the golden-decision canonical form of
+``tests/golden_decisions.py`` (hits as a ``"0"/"1"`` string, similarities as
+``float.hex()``), and one MeanCache stream is additionally pinned against
+``tests/fixtures/golden_serving_decisions.json`` so a change that shifts
+*both* frontends together is caught too.  Regenerate that fixture only for a
+deliberate, documented decision-level change::
+
+    PYTHONPATH=src:tests python -m test_serving_parity
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from conftest import make_tiny_encoder
+from repro.baselines.gptcache import GPTCache, GPTCacheConfig
+from repro.baselines.keyword_cache import KeywordCache
+from repro.core.cache import MeanCache, MeanCacheConfig
+from repro.llm.service import LLMServiceConfig, SimulatedLLMService
+from repro.serving.fleet import FleetConfig, FleetSimulator
+from repro.serving.server import CacheServer, ServerConfig
+from repro.serving.workload import WorkloadConfig, WorkloadGenerator
+
+FIXTURE_PATH = (
+    Path(__file__).resolve().parent / "fixtures" / "golden_serving_decisions.json"
+)
+
+TRACE_SEED = 17
+BATCH_WINDOW_S = 0.25
+
+
+def _make_trace():
+    config = WorkloadConfig(
+        n_users=10, queries_per_user=14, duplicate_rate=0.4, followup_rate=0.3
+    )
+    return WorkloadGenerator(config, seed=TRACE_SEED).generate()
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return _make_trace()
+
+
+def _service():
+    return SimulatedLLMService(LLMServiceConfig(seed=0))
+
+
+def _event_key(outcome):
+    return (outcome.event.user_id, outcome.event.time_s, outcome.event.query)
+
+
+def _decision_stream(outcomes):
+    """Canonical decision summary (golden_decisions.py form), in event order."""
+    ordered = sorted(outcomes, key=_event_key)
+    return {
+        "events": [list(_event_key(o)) for o in ordered],
+        "hits": "".join("1" if o.hit else "0" for o in ordered),
+        "sims": [float(o.similarity).hex() for o in ordered],
+        "responses": [o.response for o in ordered],
+        "matches": [o.matched_query if o.hit else None for o in ordered],
+        "verified": [o.verified for o in ordered],
+    }
+
+
+def _run_simulator(trace, factory):
+    simulator = FleetSimulator(
+        factory, _service(), FleetConfig(batch_window_s=BATCH_WINDOW_S)
+    )
+    return simulator.run(trace, collect_outcomes=True)
+
+
+def _run_server(trace, factory, n_shards=4, **server_kwargs):
+    server = CacheServer(
+        factory,
+        service=_service(),
+        config=ServerConfig(deterministic=True, n_shards=n_shards),
+        **server_kwargs,
+    )
+    return server.replay(
+        trace, batch_window_s=BATCH_WINDOW_S, collect_outcomes=True
+    ), server
+
+
+def _meancache_factory(encoder):
+    return lambda uid: MeanCache(encoder, MeanCacheConfig(similarity_threshold=0.8))
+
+
+def collect_parity_summary():
+    """The pinned MeanCache decision stream (fixture-regeneration entry)."""
+    trace = _make_trace()
+    encoder = make_tiny_encoder()
+    result = _run_simulator(trace, _meancache_factory(encoder))
+    summary = _decision_stream(result.outcomes)
+    summary["trace_seed"] = TRACE_SEED
+    summary["batch_window_s"] = BATCH_WINDOW_S
+    return summary
+
+
+class TestSimulatorServerParity:
+    def assert_identical_streams(self, sim_result, srv_result, n_events):
+        """Both frontends served every event with byte-identical decisions."""
+        assert len(sim_result.outcomes) == n_events
+        assert len(srv_result.outcomes) == n_events  # nothing shed or lost
+        assert _decision_stream(sim_result.outcomes) == _decision_stream(
+            srv_result.outcomes
+        )
+
+    def test_meancache_fleet_byte_identical(self, trace):
+        encoder = make_tiny_encoder()
+        sim_result = _run_simulator(trace, _meancache_factory(encoder))
+        srv_result, server = _run_server(trace, _meancache_factory(encoder))
+        self.assert_identical_streams(sim_result, srv_result, len(trace))
+        # The aggregates derive from the same streams.
+        assert srv_result.hit_rate == sim_result.hit_rate
+        assert srv_result.total_cost_usd == pytest.approx(sim_result.total_cost_usd)
+        assert server.metrics.shed == 0
+        # Users really spread over the shards (sharding happened, parity held).
+        shards_used = {server.shard_of(uid) for uid in trace.user_ids}
+        assert len(shards_used) > 1
+
+    def test_shared_central_cache_byte_identical(self, trace):
+        """One GPTCache for the whole fleet: the server pins it to one shard."""
+        encoder = make_tiny_encoder()
+        central_sim = GPTCache(encoder, GPTCacheConfig(similarity_threshold=0.8))
+        sim_result = _run_simulator(trace, lambda uid: central_sim)
+        central_srv = GPTCache(encoder, GPTCacheConfig(similarity_threshold=0.8))
+        srv_result, server = _run_server(trace, lambda uid: central_srv)
+        self.assert_identical_streams(sim_result, srv_result, len(trace))
+        # Every user collapsed onto the shared cache's owning shard.
+        assert len({server.shard_of(uid) for uid in trace.user_ids}) == 1
+
+    def test_keyword_variant_byte_identical(self, trace):
+        sim_result = _run_simulator(trace, lambda uid: KeywordCache())
+        srv_result, _ = _run_server(trace, lambda uid: KeywordCache())
+        self.assert_identical_streams(sim_result, srv_result, len(trace))
+
+    def test_parity_independent_of_shard_count(self, trace):
+        encoder = make_tiny_encoder()
+        baseline, _ = _run_server(trace, _meancache_factory(encoder), n_shards=1)
+        resharded, _ = _run_server(trace, _meancache_factory(encoder), n_shards=7)
+        assert _decision_stream(baseline.outcomes) == _decision_stream(
+            resharded.outcomes
+        )
+
+    def test_precomputed_embeddings_preserve_decisions(self, trace):
+        """The cross-user batched embed changes grouping, not decisions.
+
+        One encoder call per flush slices rows per cache, so the GEMM batch
+        composition differs from per-cache encoding — similarities may move
+        at float rounding scale, decisions must not.
+        """
+        encoder = make_tiny_encoder()
+        plain, _ = _run_server(trace, _meancache_factory(encoder))
+        fused, server = _run_server(
+            trace, _meancache_factory(encoder), encoder=encoder
+        )
+        plain_stream = _decision_stream(plain.outcomes)
+        fused_stream = _decision_stream(fused.outcomes)
+        assert fused_stream["hits"] == plain_stream["hits"]
+        assert fused_stream["responses"] == plain_stream["responses"]
+        assert fused_stream["matches"] == plain_stream["matches"]
+        for fused_hex, plain_hex in zip(fused_stream["sims"], plain_stream["sims"]):
+            assert float.fromhex(fused_hex) == pytest.approx(
+                float.fromhex(plain_hex), abs=1e-9
+            )
+
+    def test_golden_fixture_pin(self):
+        """Both frontends still reproduce the committed decision stream."""
+        golden = json.loads(FIXTURE_PATH.read_text(encoding="utf-8"))
+        assert golden["trace_seed"] == TRACE_SEED
+        current = collect_parity_summary()
+        assert current == golden
+
+
+if __name__ == "__main__":
+    FIXTURE_PATH.write_text(
+        json.dumps(collect_parity_summary(), indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {FIXTURE_PATH}")
