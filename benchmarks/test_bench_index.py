@@ -15,7 +15,11 @@ trajectory:
 * ``latency`` — single-query p50/p95/p99 of the quantized backends' fused
   scans against their decode-to-float reference path on the same index
   state, at 10^5 and 10^6 entries, with same-run relative regression gates
-  (methodology in ``docs/benchmarks.md``).
+  (methodology in ``docs/benchmarks.md``);
+* ``persistence`` — snapshot restore wall-time (full-copy vs mmap
+  zero-copy) and bytes-per-entry at 10^6 entries, delta-append cost vs
+  snapshot size, and the tiered fleet's bytes-vs-hit-rate trade against an
+  all-exact fleet.
 
 Run with ``pytest benchmarks/test_bench_index.py -s``.  Set
 ``REPRO_BENCH_SCALE`` (e.g. ``0.1`` in CI) to shrink the latency corpus
@@ -32,6 +36,12 @@ from repro.experiments.index_bench import (
     run_backend_sweep,
     run_index_bench,
     run_latency_bench,
+)
+from repro.experiments.persistence_bench import (
+    format_persistence_report,
+    run_delta_bench,
+    run_restore_bench,
+    run_tiered_fleet_bench,
 )
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_index.json"
@@ -89,6 +99,31 @@ def _latency_p99_floors(n_entries):
     if n_entries >= 50_000:
         return {"sq8": 4.0, "pq": 4.0, "ivf+sq8": 1.5}
     return {"sq8": 3.0, "pq": 3.0, "ivf+sq8": 1.1}
+
+
+# ---------------------------------------------------------------------- #
+# Persistence gates (ISSUE 9): crash-safe snapshots + mmap warm starts.
+# ---------------------------------------------------------------------- #
+# REPRO_BENCH_SCALE shrinks the snapshot sizes like the latency corpus;
+# the mmap-restore floor adapts because the fixed manifest/entry-map cost
+# has not amortized away at small snapshot sizes.
+PERSISTENCE_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+RESTORE_ENTRIES = max(50_000, int(1_000_000 * PERSISTENCE_SCALE))
+DELTA_SMALL_ENTRIES = 10_000
+DELTA_LARGE_ENTRIES = RESTORE_ENTRIES
+# At 10^6 entries a full-copy restore reads + copies 256MB of float32 rows
+# while the mmap path maps them and defers the id->row table: >=20x.  Below
+# ~500k the fixed per-load costs (manifest parse, file opens) are a larger
+# share of both paths, so the floor relaxes to 5x.
+MIN_MMAP_SPEEDUP = 20.0 if RESTORE_ENTRIES >= 500_000 else 5.0
+# Appending a 1k-row delta must cost a small fraction of rewriting the
+# large snapshot, and must not scale with the snapshot being appended to.
+MIN_DELTA_SPEEDUP_VS_FULL_SAVE = 10.0
+MAX_DELTA_SIZE_SENSITIVITY = 10.0
+# Fleet memory hierarchy: tiered fleet stores at most half the bytes per
+# entry of the all-exact fleet while staying within 2pp of its hit rate.
+MAX_TIERED_BYTES_RATIO = 0.5
+MAX_TIERED_HIT_RATE_GAP = 0.02
 
 
 def _write_payload(update):
@@ -225,3 +260,46 @@ def test_single_query_latency_gates(benchmark):
     for size in LATENCY_SIZES:
         for backend in QUANTIZED_BACKENDS + ROUTED_QUANTIZED_BACKENDS:
             assert result.point(backend, size, "fused").count == LATENCY_QUERIES
+
+
+def test_persistence_gates(benchmark):
+    def run():
+        restore = run_restore_bench(n_entries=RESTORE_ENTRIES, dim=DIM, seed=7)
+        delta = run_delta_bench(
+            small_entries=DELTA_SMALL_ENTRIES,
+            large_entries=DELTA_LARGE_ENTRIES,
+            delta_rows=1_000,
+            dim=DIM,
+            seed=11,
+        )
+        tiered = run_tiered_fleet_bench(seed=13)
+        return restore, delta, tiered
+
+    restore, delta, tiered = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Persistence benchmark", format_persistence_report(restore, delta, tiered))
+
+    _write_payload(
+        {
+            "persistence": {
+                "restore": restore.to_dict(),
+                "delta": delta.to_dict(),
+                "tiered_fleet": tiered.to_dict(),
+            }
+        }
+    )
+    emit("BENCH_index.json", f"persistence section written to {BENCH_JSON}")
+
+    # Warm-start floor: the mmap restore adopts the stored row matrix and
+    # defers the id->row table, so restore time is O(1) in entries while
+    # the full-copy path reads + copies the whole matrix.
+    assert restore.mmap_speedup >= MIN_MMAP_SPEEDUP, restore.to_dict()
+    # Delta floor: appending 1k rows costs a small fraction of rewriting
+    # the snapshot, and does not grow with the snapshot being appended to.
+    assert (
+        delta.append_speedup_vs_full_save >= MIN_DELTA_SPEEDUP_VS_FULL_SAVE
+    ), delta.to_dict()
+    assert delta.size_sensitivity <= MAX_DELTA_SIZE_SENSITIVITY, delta.to_dict()
+    # Memory-hierarchy floor: the tiered fleet halves stored bytes per
+    # entry without giving up hit rate on duplicate-heavy fleet traffic.
+    assert tiered.bytes_ratio <= MAX_TIERED_BYTES_RATIO, tiered.to_dict()
+    assert tiered.hit_rate_gap <= MAX_TIERED_HIT_RATE_GAP, tiered.to_dict()

@@ -43,14 +43,20 @@ from repro.index import IndexHit, VectorIndex
 from repro.index.registry import resolve_index, validate_backend
 from repro.index.snapshot import (
     SnapshotError,
+    atomic_snapshot_dir,
     load_index,
+    read_arrays,
     read_manifest,
+    write_arrays,
     write_manifest,
 )
 
 #: Snapshot format tag / version of ``GPTCache.save`` directories.
+#: Version 2 writes atomically and stores embeddings as a raw ``.npy`` at
+#: the index's native dtype; version 1 (in-place npz, float64) snapshots
+#: are still readable.
 GPTCACHE_FORMAT = "repro-gptcache"
-GPTCACHE_VERSION = 1
+GPTCACHE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -269,44 +275,51 @@ class GPTCache:
         )
 
     # ------------------------------------------------------------------ #
-    # Persistence (versioned npz + JSON manifest snapshot)
+    # Persistence (versioned, atomically-published snapshot directory)
     # ------------------------------------------------------------------ #
     def save(self, path: "str | Path") -> Path:
         """Snapshot the central cache to a directory (see ``MeanCache.save``).
 
         Stores the config, hit counters, every entry's texts/user id, the
-        float64 embeddings and the vector index's own snapshot.
+        embeddings (at the index's native dtype) and the vector index's own
+        snapshot.  The write is atomic: the whole directory is staged in a
+        ``tmp-`` sibling and renamed into place, so a crash mid-save leaves
+        the previous snapshot generation intact.
         """
         path = Path(path)
-        path.mkdir(parents=True, exist_ok=True)
         meta = [
             {"query": e.query, "response": e.response, "user_id": e.user_id}
             for e in self._entries
         ]
-        (path / "entries.json").write_text(
-            json.dumps(meta, indent=1) + "\n", encoding="utf-8"
-        )
+        native = np.dtype(getattr(self._index, "dtype", np.float32))
+        if native.kind != "f":
+            native = np.dtype(np.float32)
         embeddings = (
-            np.stack([e.embedding for e in self._entries])
+            np.stack([e.embedding for e in self._entries]).astype(native, copy=False)
             if self._entries
-            else np.zeros((0, self._index.dim or 0), dtype=np.float64)
+            else np.zeros((0, self._index.dim or 0), dtype=native)
         )
-        np.savez(path / "arrays.npz", embeddings=embeddings)
-        self._index.save(path / "index")
         config = asdict(self.config)
         config["index_params"] = (
             dict(self.config.index_params) if self.config.index_params else None
         )
-        write_manifest(
-            path,
-            {
-                "format": GPTCACHE_FORMAT,
-                "version": GPTCACHE_VERSION,
-                "config": config,
-                "lookups": int(self.lookups),
-                "hits": int(self.hits),
-            },
-        )
+        with atomic_snapshot_dir(path) as stage:
+            (stage / "entries.json").write_text(
+                json.dumps(meta, indent=1) + "\n", encoding="utf-8"
+            )
+            write_arrays(stage, {"embeddings": embeddings})
+            self._index.save(stage / "index")
+            write_manifest(
+                stage,
+                {
+                    "format": GPTCACHE_FORMAT,
+                    "version": GPTCACHE_VERSION,
+                    "config": config,
+                    "lookups": int(self.lookups),
+                    "hits": int(self.hits),
+                    "arrays": ["embeddings"],
+                },
+            )
         return path
 
     @classmethod
@@ -332,9 +345,15 @@ class GPTCache:
         cache = cls(encoder=encoder, config=config)
         cache._index = load_index(path / "index")
         cache.pipeline = cache._build_pipeline()
-        meta = json.loads((path / "entries.json").read_text(encoding="utf-8"))
-        with np.load(path / "arrays.npz") as data:
-            embeddings = np.asarray(data["embeddings"], dtype=np.float64)
+        try:
+            meta = json.loads((path / "entries.json").read_text(encoding="utf-8"))
+        except FileNotFoundError as exc:
+            raise SnapshotError(f"snapshot at {path} has no entries.json") from exc
+        # Keep the stored dtype — version-2 snapshots persist at the index's
+        # native dtype (version-1 float64 payloads load as saved).
+        embeddings = np.asarray(
+            read_arrays(path, expected=["embeddings"])["embeddings"]
+        )
         if len(meta) != embeddings.shape[0]:
             raise SnapshotError(
                 f"snapshot at {path} is inconsistent: {len(meta)} entry records "

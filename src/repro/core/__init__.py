@@ -10,6 +10,9 @@
 * :mod:`repro.core.pipeline` — the shared composable lookup pipeline
   (Embed → Retrieve → Threshold → ContextVerify → Decide → Enroll/Evict)
   every cache variant runs on.
+* :mod:`repro.core.tiered` — :class:`TieredCache`: a small exact L1 over a
+  large (optionally shared) quantized L2 with promotion/demotion and
+  crash-safe delta-logged snapshots.
 * :mod:`repro.core.compression` — cache-level embedding compression utility.
 * :mod:`repro.core.client` — :class:`MeanCacheClient`, the end-user session
   that wires a local MeanCache to the (simulated) LLM web service.
@@ -17,6 +20,7 @@
 
 from repro.core.cache import MeanCache, MeanCacheConfig, CacheDecision, CacheEntry
 from repro.core.client import MeanCacheClient, ClientQueryResult
+from repro.core.tiered import QuantizedTier, TierEntry, TieredCache
 from repro.core.context import ContextChain, context_matches
 from repro.core.pipeline import LookupPipeline, Probe, Selection
 from repro.core.policy import LRUPolicy, LFUPolicy, FIFOPolicy, make_policy
@@ -43,4 +47,7 @@ __all__ = [
     "DiskStore",
     "compress_cache",
     "CompressionReport",
+    "QuantizedTier",
+    "TierEntry",
+    "TieredCache",
 ]

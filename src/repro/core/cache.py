@@ -45,14 +45,20 @@ from repro.index import IndexHit, VectorIndex
 from repro.index.registry import resolve_index, validate_backend
 from repro.index.snapshot import (
     SnapshotError,
+    atomic_snapshot_dir,
     load_index,
+    read_arrays,
     read_manifest,
+    write_arrays,
     write_manifest,
 )
 
 #: Snapshot format tag / version of ``MeanCache.save`` directories.
+#: Version 2 writes atomically (staged + renamed), stores arrays as raw
+#: per-array ``.npy`` files and persists embeddings at the index's native
+#: dtype; version 1 (in-place npz, float64) snapshots are still readable.
 MEANCACHE_FORMAT = "repro-meancache"
-MEANCACHE_VERSION = 1
+MEANCACHE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -279,10 +285,11 @@ class MeanCache:
     def embedding_storage_bytes(self) -> int:
         """Bytes used by cached query embeddings (the Fig. 10a quantity).
 
-        Counts the float64 embeddings the entries store (the seed's and the
-        paper's accounting) plus the context-chain embeddings.  The index's
-        float32 search matrix is a separate structure; inspect
-        ``cache.index.nbytes`` for its footprint.
+        Counts the embeddings the entries store (float64 for a live-built
+        cache, the index's native dtype after a snapshot reload) plus the
+        context-chain embeddings.  The index's float32 search matrix is a
+        separate structure; inspect ``cache.index.nbytes`` for its
+        footprint.
         """
         return sum(
             int(e.embedding.nbytes)
@@ -378,10 +385,16 @@ class MeanCache:
         self,
         query: str,
         response: str,
-        context: Sequence[str] = (),
+        context: "Sequence[str] | ContextChain" = (),
         embedding: Optional[np.ndarray] = None,
     ) -> int:
-        """Enrol a (query, response) pair; returns the new entry id."""
+        """Enrol a (query, response) pair; returns the new entry id.
+
+        ``context`` may be a sequence of parent-query texts (embedded here)
+        or an already-embedded :class:`ContextChain` — the tiered cache's
+        promotion/demotion path hands chains across tiers without paying a
+        re-encode.
+        """
         require_query_text(query)
         if embedding is None:
             embedding, _ = self.embed(query)
@@ -398,7 +411,11 @@ class MeanCache:
             query=query,
             response=response,
             embedding=embedding,
-            context=self._embed_context(context),
+            context=(
+                context
+                if isinstance(context, ContextChain)
+                else self._embed_context(context)
+            ),
             entry_id=self._next_id,
             created_at=time.time(),
             last_accessed=time.time(),
@@ -499,6 +516,17 @@ class MeanCache:
             if not entry.context.is_empty:
                 entry.context = self._embed_context(list(entry.context.texts))
 
+    def maintenance(self) -> None:
+        """Off-query-path upkeep: delegate to the index's maintenance hook.
+
+        The serving scheduler calls this between batching windows; subclasses
+        and wrappers (e.g. the tiered cache) extend it with their own
+        background work such as delta-log compaction.
+        """
+        maintain = getattr(self._index, "maintenance", None)
+        if maintain is not None:
+            maintain()
+
     def set_threshold(self, threshold: float) -> None:
         """Update the adaptive similarity threshold τ.
 
@@ -516,22 +544,26 @@ class MeanCache:
         self.config = replace(self.config, similarity_threshold=threshold)
 
     # ------------------------------------------------------------------ #
-    # Persistence (versioned npz + JSON manifest snapshot)
+    # Persistence (versioned, atomically-published snapshot directory)
     # ------------------------------------------------------------------ #
     def save(self, path: "str | Path") -> Path:
-        """Snapshot the whole cache state to a directory.
+        """Snapshot the whole cache state to a directory, atomically.
 
         The snapshot holds ``manifest.json`` (config, stats, eviction-policy
         state, next entry id), ``entries.json`` (texts and per-entry
-        metadata), ``arrays.npz`` (entry and context-chain embeddings) and
-        an ``index/`` subdirectory with the vector index's own snapshot.
-        :meth:`load` rebuilds a cache whose lookup decisions are
-        byte-identical to this one's.  The encoder is *not* serialized —
-        model weights are distributed by the FL pipeline, so ``load`` takes
-        the encoder as an argument.
+        metadata), ``arrays/`` (entry and context-chain embeddings, stored at
+        the index's native dtype so snapshot bytes agree with the restored
+        in-memory size) and an ``index/`` subdirectory with the vector
+        index's own snapshot.  The whole directory is staged in a ``tmp-``
+        sibling and published with one atomic rename: a crash mid-save
+        leaves the previous snapshot generation untouched, and files the new
+        generation does not write (stale delta logs, larger prior arrays)
+        cannot survive into it.  :meth:`load` rebuilds a cache whose lookup
+        decisions are byte-identical to this one's.  The encoder is *not*
+        serialized — model weights are distributed by the FL pipeline, so
+        ``load`` takes the encoder as an argument.
         """
         path = Path(path)
-        path.mkdir(parents=True, exist_ok=True)
         entries = list(self._entries.values())
         meta = [
             {
@@ -545,50 +577,57 @@ class MeanCache:
             }
             for e in entries
         ]
-        (path / "entries.json").write_text(
-            json.dumps(meta, indent=1) + "\n", encoding="utf-8"
-        )
         dim = entries[0].embedding.shape[0] if entries else (self._index.dim or 0)
+        native = np.dtype(getattr(self._index, "dtype", np.float32))
+        if native.kind != "f":
+            native = np.dtype(np.float32)
         embeddings = (
-            np.stack([e.embedding for e in entries])
+            np.stack([e.embedding for e in entries]).astype(native, copy=False)
             if entries
-            else np.zeros((0, dim), dtype=np.float64)
+            else np.zeros((0, dim), dtype=native)
         )
         ctx_ids = [int(e.entry_id) for e in entries if e.context.embedding is not None]
         ctx_embeddings = (
             np.stack(
                 [e.context.embedding for e in entries if e.context.embedding is not None]
-            )
+            ).astype(native, copy=False)
             if ctx_ids
-            else np.zeros((0, dim), dtype=np.float64)
+            else np.zeros((0, dim), dtype=native)
         )
-        np.savez(
-            path / "arrays.npz",
-            embeddings=embeddings,
-            entry_ids=np.asarray([int(e.entry_id) for e in entries], dtype=np.int64),
-            ctx_entry_ids=np.asarray(ctx_ids, dtype=np.int64),
-            ctx_embeddings=ctx_embeddings,
-        )
-        self._index.save(path / "index")
+        arrays = {
+            "embeddings": embeddings,
+            "entry_ids": np.asarray(
+                [int(e.entry_id) for e in entries], dtype=np.int64
+            ),
+            "ctx_entry_ids": np.asarray(ctx_ids, dtype=np.int64),
+            "ctx_embeddings": ctx_embeddings,
+        }
         config = asdict(self.config)
         config["index_params"] = (
             dict(self.config.index_params) if self.config.index_params else None
         )
-        write_manifest(
-            path,
-            {
-                "format": MEANCACHE_FORMAT,
-                "version": MEANCACHE_VERSION,
-                "config": config,
-                "next_id": int(self._next_id),
-                "stats": asdict(self.stats),
-                "policy": {
-                    "name": self.config.eviction_policy,
-                    "state": self._policy.state_dict(),
+        with atomic_snapshot_dir(path) as stage:
+            (stage / "entries.json").write_text(
+                json.dumps(meta, indent=1) + "\n", encoding="utf-8"
+            )
+            write_arrays(stage, arrays)
+            self._index.save(stage / "index")
+            write_manifest(
+                stage,
+                {
+                    "format": MEANCACHE_FORMAT,
+                    "version": MEANCACHE_VERSION,
+                    "config": config,
+                    "next_id": int(self._next_id),
+                    "stats": asdict(self.stats),
+                    "policy": {
+                        "name": self.config.eviction_policy,
+                        "state": self._policy.state_dict(),
+                    },
+                    "embedding_dim": int(dim) if dim else None,
+                    "arrays": sorted(arrays),
                 },
-                "embedding_dim": int(dim) if dim else None,
-            },
-        )
+            )
         return path
 
     @classmethod
@@ -636,14 +675,25 @@ class MeanCache:
         # The pipeline's retrieve stage captured the constructor-built index;
         # rebuild it over the loaded one.
         cache.pipeline = cache._build_pipeline()
-        meta = json.loads((path / "entries.json").read_text(encoding="utf-8"))
-        with np.load(path / "arrays.npz") as data:
-            embeddings = np.asarray(data["embeddings"], dtype=np.float64)
-            entry_ids = [int(i) for i in data["entry_ids"]]
-            ctx_embedding_of = {
-                int(i): np.asarray(emb, dtype=np.float64)
-                for i, emb in zip(data["ctx_entry_ids"], data["ctx_embeddings"])
-            }
+        try:
+            meta = json.loads((path / "entries.json").read_text(encoding="utf-8"))
+        except FileNotFoundError as exc:
+            raise SnapshotError(f"snapshot at {path} has no entries.json") from exc
+        expected = manifest.get("arrays")
+        data = read_arrays(
+            path, expected=expected if isinstance(expected, list) else None
+        )
+        # Keep the stored dtype: version-2 snapshots persist at the index's
+        # native dtype, so the restored in-memory footprint matches the
+        # on-disk bytes instead of silently doubling back to float64.
+        embeddings = np.asarray(data["embeddings"])
+        entry_ids = [int(i) for i in np.asarray(data["entry_ids"])]
+        ctx_embedding_of = {
+            int(i): np.asarray(emb)
+            for i, emb in zip(
+                np.asarray(data["ctx_entry_ids"]), np.asarray(data["ctx_embeddings"])
+            )
+        }
         if len(meta) != len(entry_ids):
             raise SnapshotError(
                 f"snapshot at {path} is inconsistent: {len(meta)} entry records "
@@ -654,7 +704,7 @@ class MeanCache:
             if int(record["entry_id"]) != entry_id:
                 raise SnapshotError(
                     f"snapshot at {path} is inconsistent: entries.json and "
-                    "arrays.npz disagree on entry ids"
+                    "the embedding arrays disagree on entry ids"
                 )
             entries[entry_id] = CacheEntry(
                 query=record["query"],

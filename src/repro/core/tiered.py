@@ -1,0 +1,870 @@
+"""Tiered L1/L2 cache hierarchy: exact hot tier over a shared quantized tier.
+
+The paper's fleet of per-user semantic caches reaches production scale
+(10^5–10^6 users, 10^6–10^7 total entries — ROADMAP open items 1 and 2) only
+if most entries live in a compact representation while the hot working set
+keeps exact-search quality.  :class:`TieredCache` composes the two existing
+building blocks into that memory hierarchy:
+
+* **L1** — a small exact per-user :class:`~repro.core.cache.MeanCache` over a
+  flat float index, running the full lookup pipeline (Embed → Retrieve →
+  Threshold → ContextVerify → Decide).  Hot entries live here at full
+  precision.
+* **L2** — a large :class:`QuantizedTier` over a quantized index (``sq8``,
+  ``pq`` or ``ivf+sq8``): per-entry storage is the code row (e.g. 1 byte per
+  dimension for sq8) instead of a float64 embedding plus a float32 index row.
+  One ``QuantizedTier`` may be **shared** by many ``TieredCache`` instances —
+  the :class:`~repro.serving.server.CacheServer` slots a ``TieredCache`` in
+  as the shard-local cache with the quantized tier shared across shards (the
+  tier carries its own lock, exactly like the server's ``_SharedL2`` hook).
+
+Data movement:
+
+* an **L1 miss falls through** to L2: the probe's own embedding (from the
+  pipeline's Embed stage) is searched against the quantized rows under the
+  same live τ and context-verification rule, so no query is re-encoded;
+* an **L2 hit promotes** the entry into L1 (the dequantized vector is
+  reconstructed from the code row — again no re-encode);
+* an **L1 eviction demotes** the victim into L2, re-using the entry's stored
+  embedding.
+
+The tiers are disjoint (promotion removes from L2, demotion removes from
+L1), so an entry is scored **at most once per probe** across the hierarchy.
+In :meth:`TieredCache.lookup_batch`, promotions are applied only after every
+probe in the batch has been matched, so duplicate probes in one batch all
+see the entry (decision parity with a single exact cache on duplicate-heavy
+traffic — pinned in ``tests/test_tiered.py``).
+
+Persistence: a ``QuantizedTier`` given a ``snapshot_dir`` keeps a crash-safe
+snapshot there — full generations written atomically via
+:func:`~repro.index.snapshot.atomic_snapshot_dir`, incremental mutations
+appended to the snapshot's delta log (:func:`~repro.index.snapshot.append_delta`)
+by :meth:`QuantizedTier.flush`, and the log folded back into a full snapshot
+by :meth:`QuantizedTier.maintenance` once it grows past ``compact_every``
+records.  :meth:`QuantizedTier.load` (``mmap=True``) adopts the code matrix
+as a read-only memory map — the zero-copy warm start benchmarked in
+``BENCH_index.json``'s ``persistence`` section.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cache import (
+    CacheDecision,
+    CacheEntry,
+    CacheStats,
+    MeanCache,
+    MeanCacheConfig,
+)
+from repro.core.context import ContextChain, context_matches
+from repro.core.storage import object_nbytes
+from repro.core.validation import require_query_text
+from repro.embeddings.model import SiameseEncoder
+from repro.index import make_index
+from repro.index.snapshot import (
+    SnapshotError,
+    append_delta,
+    atomic_snapshot_dir,
+    delta_log_size,
+    load_index,
+    read_arrays,
+    read_deltas,
+    read_manifest,
+    save_index,
+    write_arrays,
+    write_manifest,
+)
+
+#: Snapshot format tags of the tiered cache and its quantized tier.
+TIERED_FORMAT = "repro-tiered"
+TIERED_VERSION = 1
+TIER_FORMAT = "repro-tiered-l2"
+TIER_VERSION = 1
+
+
+@dataclass
+class TierEntry:
+    """One demoted (query, response) pair resident in the quantized tier.
+
+    Unlike :class:`~repro.core.cache.CacheEntry` there is **no** per-entry
+    float embedding: the vector lives only as a code row in the tier's
+    quantized index, which is the whole bytes-per-entry win.
+    """
+
+    entry_id: int
+    query: str
+    response: str
+    context: ContextChain
+
+    def nbytes(self) -> int:
+        """Text + context footprint (the code row is counted by the index)."""
+        return (
+            object_nbytes(self.query)
+            + object_nbytes(self.response)
+            + (
+                int(self.context.embedding.nbytes)
+                if self.context.embedding is not None
+                else 0
+            )
+            + sum(object_nbytes(t) for t in self.context.texts)
+        )
+
+
+class QuantizedTier:
+    """The shared L2: texts keyed by id over a quantized vector index.
+
+    Thread-safe behind one re-entrant lock (several shard executors may
+    probe a shared tier at once — the same concurrency story as the
+    server's ``_SharedL2``).  Capacity is FIFO-bounded when ``max_entries``
+    is set; an unbounded tier never drops entries.
+
+    With ``snapshot_dir`` set the tier maintains a crash-safe on-disk
+    snapshot: :meth:`flush` appends pending mutations to the snapshot's
+    delta log (cost proportional to the delta, never a full rewrite) and
+    :meth:`maintenance` folds the log into a fresh full snapshot once it
+    exceeds ``compact_every`` records.
+    """
+
+    def __init__(
+        self,
+        dim: Optional[int] = None,
+        backend: str = "sq8",
+        params: Optional[Mapping[str, object]] = None,
+        max_entries: Optional[int] = None,
+        snapshot_dir: "str | Path | None" = None,
+        compact_every: int = 64,
+    ) -> None:
+        params = dict(params or {})
+        if dim is not None:
+            params.setdefault("dim", dim)
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 when set")
+        if compact_every < 1:
+            raise ValueError("compact_every must be >= 1")
+        self._backend = backend
+        self._params = dict(params)
+        self._index = make_index(backend, **params)
+        self._entries: Dict[int, TierEntry] = {}  # id -> entry, FIFO order
+        self._next_id = 0
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self.lock = threading.RLock()
+        self.snapshot_dir: Optional[Path] = (
+            Path(snapshot_dir) if snapshot_dir is not None else None
+        )
+        self.compact_every = int(compact_every)
+        # Mutations since the last flush; one delta record commits them all.
+        self._pending_ids: List[int] = []
+        self._pending_vectors: List[np.ndarray] = []
+        self._pending_meta: List[Dict[str, object]] = []
+        self._pending_removed: List[int] = []
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, entry_id: int) -> bool:
+        return int(entry_id) in self._entries
+
+    @property
+    def index(self):
+        """The quantized vector index holding the tier's code rows."""
+        return self._index
+
+    @property
+    def entries(self) -> List[TierEntry]:
+        """Live tier entries in FIFO (insertion) order."""
+        return list(self._entries.values())
+
+    def entry(self, entry_id: int) -> TierEntry:
+        """The tier entry for ``entry_id`` (KeyError when absent)."""
+        return self._entries[int(entry_id)]
+
+    def embedding_storage_bytes(self) -> int:
+        """Bytes of vector state: code rows + codec/routing + ctx chains."""
+        with self.lock:
+            total = int(self._index.nbytes)
+            total += int(getattr(self._index, "codec_nbytes", 0))
+            total += int(getattr(self._index, "routing_nbytes", 0))
+            total += sum(
+                int(e.context.embedding.nbytes)
+                for e in self._entries.values()
+                if e.context.embedding is not None
+            )
+            return total
+
+    def total_storage_bytes(self) -> int:
+        """Bytes of the whole tier (texts + contexts + index payload)."""
+        with self.lock:
+            return self.embedding_storage_bytes() + sum(
+                object_nbytes(e.query)
+                + object_nbytes(e.response)
+                + sum(object_nbytes(t) for t in e.context.texts)
+                for e in self._entries.values()
+            )
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def insert(
+        self,
+        query: str,
+        response: str,
+        embedding: np.ndarray,
+        context: Optional[ContextChain] = None,
+    ) -> int:
+        """Enrol a demoted entry; quantizes ``embedding`` into the index.
+
+        Returns the tier-local entry id (a namespace separate from any L1's
+        entry ids).  Inserting past ``max_entries`` drops the oldest entry
+        first (FIFO) and counts an eviction.
+        """
+        require_query_text(query)
+        context = context if context is not None else ContextChain.empty()
+        # float32 up front: the delta log persists float32 rows, so feeding
+        # the index the same bits keeps replayed scores byte-identical.
+        vector = np.asarray(embedding, dtype=np.float32).reshape(-1)
+        with self.lock:
+            if self.max_entries is not None:
+                while len(self._entries) >= self.max_entries:
+                    oldest = next(iter(self._entries))
+                    self._remove_locked(oldest)
+                    self.stats.evictions += 1
+            entry_id = self._next_id
+            self._next_id += 1
+            self._index.add(vector, id=entry_id)
+            self._entries[entry_id] = TierEntry(
+                entry_id=entry_id, query=query, response=response, context=context
+            )
+            self.stats.insertions += 1
+            if self.snapshot_dir is not None:
+                self._pending_ids.append(entry_id)
+                self._pending_vectors.append(vector)
+                self._pending_meta.append(_tier_entry_record(self._entries[entry_id]))
+            return entry_id
+
+    def _remove_locked(self, entry_id: int) -> None:
+        del self._entries[entry_id]
+        self._index.remove(entry_id)
+        if self.snapshot_dir is not None:
+            if entry_id in self._pending_ids:
+                # Added and removed within one flush window: cancel the add
+                # instead of logging a dead row.
+                pos = self._pending_ids.index(entry_id)
+                del self._pending_ids[pos]
+                del self._pending_vectors[pos]
+                del self._pending_meta[pos]
+            else:
+                self._pending_removed.append(entry_id)
+
+    def pop(self, entry_id: int) -> Tuple[TierEntry, np.ndarray]:
+        """Remove and return ``(entry, embedding)`` — the promotion path.
+
+        The embedding is reconstructed from the tier's own storage (exact
+        while the index is untrained, dequantized after), so promotion never
+        re-encodes the query text.
+        """
+        entry_id = int(entry_id)
+        with self.lock:
+            entry = self._entries[entry_id]
+            embedding = np.asarray(self._index.get(entry_id), dtype=np.float64)
+            self._remove_locked(entry_id)
+            return entry, embedding
+
+    # ------------------------------------------------------------------ #
+    # Lookup (the L1-miss fall-through)
+    # ------------------------------------------------------------------ #
+    def match(
+        self,
+        embedding: np.ndarray,
+        top_k: int,
+        threshold: float,
+        probe_context: Optional[Callable[[], ContextChain]] = None,
+        context_threshold: float = 0.7,
+        verify_context: bool = True,
+    ) -> Optional[Tuple[int, float]]:
+        """Best admissible candidate for a probe embedding, or ``None``.
+
+        Applies the same decision rule as the L1 pipeline's Threshold +
+        ContextVerify stages: candidates are scanned in descending score
+        order, must clear ``threshold``, and (when ``verify_context``) must
+        match the probe's context chain.  ``probe_context`` is a lazy
+        callable so the probe's chain is embedded only when a candidate
+        actually needs verification.  Counts one lookup (and a hit or miss)
+        on the tier's :class:`~repro.core.cache.CacheStats`.
+        """
+        with self.lock:
+            self.stats.lookups += 1
+            if not self._entries:
+                self.stats.misses += 1
+                return None
+            query = np.atleast_2d(np.asarray(embedding, dtype=np.float64))
+            hits = self._index.search(query, top_k=top_k)[0]
+            chain: Optional[ContextChain] = None
+            for hit in hits:
+                if hit.score < threshold:
+                    break  # descending order: nothing later clears τ
+                entry = self._entries.get(hit.id)
+                if entry is None:
+                    continue
+                if verify_context:
+                    if chain is None:
+                        chain = (
+                            probe_context()
+                            if probe_context is not None
+                            else ContextChain.empty()
+                        )
+                    if not context_matches(chain, entry.context, context_threshold):
+                        continue
+                self.stats.hits += 1
+                return int(hit.id), float(hit.score)
+            self.stats.misses += 1
+            return None
+
+    def clear(self) -> None:
+        """Drop every entry (pending delta buffers included)."""
+        with self.lock:
+            self._entries.clear()
+            self._index.clear()
+            self._pending_ids.clear()
+            self._pending_vectors.clear()
+            self._pending_meta.clear()
+            self._pending_removed.clear()
+
+    # ------------------------------------------------------------------ #
+    # Persistence: atomic full snapshots + append-only delta log
+    # ------------------------------------------------------------------ #
+    def save(self, path: "str | Path") -> Path:
+        """Write a full snapshot atomically (discarding any delta log)."""
+        path = Path(path)
+        with self.lock:
+            entries = list(self._entries.values())
+            meta = [_tier_entry_record(e, with_ctx_embedding=False) for e in entries]
+            ctx_ids = [
+                int(e.entry_id) for e in entries if e.context.embedding is not None
+            ]
+            dim = self._index.dim or 0
+            ctx_embeddings = (
+                np.stack(
+                    [
+                        np.asarray(e.context.embedding, dtype=np.float32)
+                        for e in entries
+                        if e.context.embedding is not None
+                    ]
+                )
+                if ctx_ids
+                else np.zeros((0, dim), dtype=np.float32)
+            )
+            arrays = {
+                "ctx_entry_ids": np.asarray(ctx_ids, dtype=np.int64),
+                "ctx_embeddings": ctx_embeddings,
+            }
+            with atomic_snapshot_dir(path) as stage:
+                (stage / "entries.json").write_text(
+                    json.dumps(meta, indent=1) + "\n", encoding="utf-8"
+                )
+                write_arrays(stage, arrays)
+                save_index(self._index, stage / "index")
+                write_manifest(
+                    stage,
+                    {
+                        "format": TIER_FORMAT,
+                        "version": TIER_VERSION,
+                        "backend": self._backend,
+                        "params": dict(self._params),
+                        "next_id": int(self._next_id),
+                        "max_entries": self.max_entries,
+                        "compact_every": self.compact_every,
+                        "stats": {
+                            "lookups": self.stats.lookups,
+                            "hits": self.stats.hits,
+                            "misses": self.stats.misses,
+                            "insertions": self.stats.insertions,
+                            "evictions": self.stats.evictions,
+                        },
+                        "arrays": sorted(arrays),
+                    },
+                )
+            # The published snapshot captures every pending mutation.
+            self._pending_ids.clear()
+            self._pending_vectors.clear()
+            self._pending_meta.clear()
+            self._pending_removed.clear()
+        return path
+
+    def flush(self) -> None:
+        """Commit pending mutations to the snapshot's delta log.
+
+        Costs O(delta), not O(tier): the vectors land in one per-delta
+        ``.npy`` and one JSON line commits them.  The first flush (no
+        snapshot on disk yet) writes the full baseline instead.
+        """
+        if self.snapshot_dir is None:
+            return
+        with self.lock:
+            if not (self.snapshot_dir / "manifest.json").is_file():
+                self.save(self.snapshot_dir)
+                return
+            if not (self._pending_ids or self._pending_removed):
+                return
+            append_delta(
+                self.snapshot_dir,
+                vectors=(
+                    np.stack(self._pending_vectors) if self._pending_ids else None
+                ),
+                ids=list(self._pending_ids),
+                removed=list(self._pending_removed),
+                meta={"entries": list(self._pending_meta)},
+            )
+            self._pending_ids.clear()
+            self._pending_vectors.clear()
+            self._pending_meta.clear()
+            self._pending_removed.clear()
+
+    def maintenance(self) -> None:
+        """Off-query-path upkeep: index maintenance, flush, compaction."""
+        with self.lock:
+            maintain = getattr(self._index, "maintenance", None)
+            if maintain is not None:
+                maintain()
+            self.flush()
+            if self.snapshot_dir is not None and (
+                self.snapshot_dir / "manifest.json"
+            ).is_file():
+                n_records, _rows = delta_log_size(self.snapshot_dir)
+                if n_records >= self.compact_every:
+                    self.save(self.snapshot_dir)
+
+    @classmethod
+    def load(cls, path: "str | Path", mmap: bool = False) -> "QuantizedTier":
+        """Rebuild a tier from :meth:`save` plus any delta log on top.
+
+        ``mmap=True`` adopts the snapshot's code matrix as a read-only
+        memory map (zero-copy warm start) — replaying a non-empty delta log
+        materializes it again, so compacted snapshots restore fastest.  The
+        loaded tier keeps ``snapshot_dir = path`` and continues appending
+        there; set it to ``None`` to detach.
+        """
+        path = Path(path)
+        manifest = read_manifest(path, TIER_FORMAT, TIER_VERSION)
+        try:
+            backend = str(manifest["backend"])
+            params = dict(manifest.get("params") or {})
+            next_id = int(manifest["next_id"])
+            max_entries = manifest.get("max_entries")
+            compact_every = int(manifest.get("compact_every", 64))
+            stats = CacheStats(**manifest.get("stats", {}))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(
+                f"snapshot at {path} has a corrupted manifest payload: {exc}"
+            ) from exc
+        tier = cls.__new__(cls)
+        tier._backend = backend
+        tier._params = params
+        tier._index = load_index(path / "index", mmap=mmap)
+        tier._entries = {}
+        tier._next_id = next_id
+        tier.max_entries = int(max_entries) if max_entries is not None else None
+        tier.stats = stats
+        tier.lock = threading.RLock()
+        tier.snapshot_dir = path
+        tier.compact_every = compact_every
+        tier._pending_ids = []
+        tier._pending_vectors = []
+        tier._pending_meta = []
+        tier._pending_removed = []
+        try:
+            meta = json.loads((path / "entries.json").read_text(encoding="utf-8"))
+        except FileNotFoundError as exc:
+            raise SnapshotError(f"snapshot at {path} has no entries.json") from exc
+        expected = manifest.get("arrays")
+        data = read_arrays(
+            path, expected=expected if isinstance(expected, list) else None
+        )
+        ctx_embedding_of = {
+            int(i): np.asarray(emb)
+            for i, emb in zip(
+                np.asarray(data["ctx_entry_ids"]), np.asarray(data["ctx_embeddings"])
+            )
+        }
+        for record in meta:
+            entry = _tier_entry_from_record(
+                record, ctx_embedding_of.get(int(record["entry_id"]))
+            )
+            tier._entries[entry.entry_id] = entry
+        if set(tier._entries) != set(tier._index.ids):
+            raise SnapshotError(
+                f"snapshot at {path} is inconsistent: entry ids and index ids differ"
+            )
+        # Replay the delta log (texts from each record's meta, vectors into
+        # the index) — mutations committed after the base snapshot.
+        for record in read_deltas(path):
+            if record.vectors is not None and record.ids:
+                tier._index.add_batch(record.vectors, ids=list(record.ids))
+            entry_records = (record.meta or {}).get("entries", [])
+            for entry_record in entry_records:
+                ctx_embedding = entry_record.get("ctx_embedding")
+                entry = _tier_entry_from_record(
+                    entry_record,
+                    np.asarray(ctx_embedding, dtype=np.float32)
+                    if ctx_embedding is not None
+                    else None,
+                )
+                tier._entries[entry.entry_id] = entry
+            for removed_id in record.removed:
+                removed_id = int(removed_id)
+                if removed_id in tier._entries:
+                    del tier._entries[removed_id]
+                    tier._index.remove(removed_id)
+            if record.ids:
+                tier._next_id = max(tier._next_id, max(record.ids) + 1)
+        return tier
+
+
+def _tier_entry_record(
+    entry: TierEntry, with_ctx_embedding: bool = True
+) -> Dict[str, object]:
+    record: Dict[str, object] = {
+        "entry_id": int(entry.entry_id),
+        "query": entry.query,
+        "response": entry.response,
+        "context": list(entry.context.texts),
+    }
+    if with_ctx_embedding:
+        # Delta records are JSON lines; the chain embedding (contextual
+        # entries only) rides along as a float list.
+        record["ctx_embedding"] = (
+            np.asarray(entry.context.embedding, dtype=np.float32).tolist()
+            if entry.context.embedding is not None
+            else None
+        )
+    return record
+
+
+def _tier_entry_from_record(
+    record: Mapping[str, object], ctx_embedding: Optional[np.ndarray]
+) -> TierEntry:
+    texts = tuple(record.get("context") or ())
+    return TierEntry(
+        entry_id=int(record["entry_id"]),
+        query=str(record["query"]),
+        response=str(record["response"]),
+        context=ContextChain(
+            texts=texts,
+            embedding=(
+                np.asarray(ctx_embedding) if ctx_embedding is not None else None
+            ),
+        ),
+    )
+
+
+class _L1Cache(MeanCache):
+    """MeanCache whose evictions hand the victim to a demotion hook."""
+
+    #: set by the owning TieredCache; receives the full CacheEntry *before*
+    #: it leaves L1 (embedding and context chain intact — no re-encode).
+    on_evict: Optional[Callable[[CacheEntry], None]] = None
+
+    def _evict_one(self) -> None:
+        victim_id = self._policy.select_victim()
+        if self.on_evict is not None:
+            self.on_evict(self._entries[victim_id])
+        self.remove(victim_id)
+        self.stats.evictions += 1
+
+
+class TieredCache:
+    """L1 (exact, per-user) over L2 (quantized, optionally shared).
+
+    Drop-in for :class:`~repro.core.cache.MeanCache` wherever the serving
+    layer's :class:`~repro.serving.scheduling.CacheAdapter` duck-typing
+    reaches: ``lookup_batch(queries, contexts=, embeddings=)``, a
+    ``pipeline`` whose enroll stage inserts into L1, ``save``/``load``,
+    ``set_threshold`` and ``maintenance``.  Pass a pre-built ``l2`` to share
+    one quantized tier across many per-user caches (fleet/server mode); by
+    default each instance owns a private tier.
+    """
+
+    def __init__(
+        self,
+        encoder: SiameseEncoder,
+        config: Optional[MeanCacheConfig] = None,
+        l2: Optional[QuantizedTier] = None,
+        l2_backend: str = "sq8",
+        l2_params: Optional[Mapping[str, object]] = None,
+        l2_max_entries: Optional[int] = None,
+        promote_on_hit: bool = True,
+        snapshot_dir: "str | Path | None" = None,
+        compact_every: int = 64,
+    ) -> None:
+        """``config`` is the L1's MeanCacheConfig — ``max_entries`` is the
+        L1 capacity (its evictions demote rather than drop).  ``l2`` wins
+        over the ``l2_*`` knobs when given."""
+        self.l1 = _L1Cache(encoder, config)
+        self.l1.on_evict = self._demote
+        if l2 is None:
+            l2 = QuantizedTier(
+                backend=l2_backend,
+                params=l2_params,
+                max_entries=l2_max_entries,
+                snapshot_dir=(
+                    Path(snapshot_dir) / "l2" if snapshot_dir is not None else None
+                ),
+                compact_every=compact_every,
+            )
+        self.l2 = l2
+        self.promote_on_hit = bool(promote_on_hit)
+        # L2→L1 promotions pass through l1.insert; tracked so the combined
+        # stats can report them as movement rather than new insertions.
+        self._promotions = 0
+
+    # ------------------------------------------------------------------ #
+    # MeanCache-compatible surface
+    # ------------------------------------------------------------------ #
+    @property
+    def encoder(self) -> SiameseEncoder:
+        return self.l1.encoder
+
+    @property
+    def config(self) -> MeanCacheConfig:
+        """The L1 tier's config (τ, context threshold, capacity, …)."""
+        return self.l1.config
+
+    @property
+    def pipeline(self):
+        """The L1 lookup pipeline (its enroll stage inserts into L1)."""
+        return self.l1.pipeline
+
+    @property
+    def index(self):
+        """The L1 tier's exact index."""
+        return self.l1.index
+
+    def __len__(self) -> int:
+        return len(self.l1) + len(self.l2)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Hierarchy-level counters derived from the per-tier stats.
+
+        ``lookups``/``hits``/``misses`` see the hierarchy as one cache (an
+        L2 hit is a cache hit, not a miss); ``insertions`` counts entries
+        entering through L1 (demotions are movement, not new data);
+        ``evictions`` counts entries actually dropped (L2 FIFO evictions —
+        an L1 eviction merely demotes).  Inspect ``l1.stats`` / ``l2.stats``
+        for the per-tier view.
+        """
+        l1, l2 = self.l1.stats, self.l2.stats
+        return CacheStats(
+            lookups=l1.lookups,
+            hits=l1.hits + l2.hits,
+            misses=max(0, l1.misses - l2.hits),
+            insertions=max(0, l1.insertions - self._promotions),
+            evictions=l2.evictions,
+        )
+
+    def tier_stats(self) -> Dict[str, CacheStats]:
+        """Per-tier counters: ``{"l1": ..., "l2": ...}``."""
+        return {"l1": self.l1.stats, "l2": self.l2.stats}
+
+    def embedding_storage_bytes(self) -> int:
+        """Embedding bytes across both tiers (L1 float entries + L2 codes)."""
+        return self.l1.embedding_storage_bytes() + self.l2.embedding_storage_bytes()
+
+    def total_storage_bytes(self) -> int:
+        """Bytes of the whole hierarchy (texts + embeddings + codes)."""
+        return self.l1.total_storage_bytes() + self.l2.total_storage_bytes()
+
+    def storage_breakdown(self) -> Dict[str, int]:
+        """Fleet-accounting view: entries and bytes per tier.
+
+        ``l1_bytes`` counts the exact tier's entry embeddings plus its
+        float index rows; ``l2_bytes`` counts the quantized payload (code
+        rows + codec/routing tables + context chains).
+        """
+        return {
+            "l1_entries": len(self.l1),
+            "l2_entries": len(self.l2),
+            "l1_bytes": self.l1.embedding_storage_bytes()
+            + int(self.l1.index.nbytes),
+            "l2_bytes": self.l2.embedding_storage_bytes(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Lookup: L1 pipeline, then the L2 fall-through
+    # ------------------------------------------------------------------ #
+    def lookup(self, query: str, context: Sequence[str] = ()) -> CacheDecision:
+        """Single-probe lookup through both tiers."""
+        return self.lookup_batch([query], contexts=[context])[0]
+
+    def lookup_batch(
+        self,
+        queries: Sequence[str],
+        contexts: Optional[Sequence[Sequence[str]]] = None,
+        embeddings: Optional[np.ndarray] = None,
+    ) -> List[CacheDecision]:
+        """Batched lookup: one L1 pipeline pass, then per-miss L2 probes.
+
+        Each L1 miss probes L2 with the pipeline's own probe embedding (no
+        re-encode) under the live τ and context rule.  Promotions happen
+        only after **every** probe in the batch is matched, so duplicate
+        probes all see the entry exactly once (in whichever tier held it
+        when the batch started) — an entry is never scored twice for one
+        probe.
+        """
+        decisions = self.l1.lookup_batch(
+            queries, contexts=contexts, embeddings=embeddings
+        )
+        # l2_id -> [(decision index, score), ...]
+        matched: Dict[int, List[Tuple[int, float]]] = {}
+        for i, decision in enumerate(decisions):
+            if decision.hit or decision.embedding is None:
+                continue
+            ctx_texts = tuple(contexts[i]) if contexts is not None else ()
+            found = self.l2.match(
+                decision.embedding,
+                top_k=self.l1.config.top_k,
+                threshold=self.l1.config.similarity_threshold,
+                probe_context=_lazy_chain(self.l1, ctx_texts),
+                context_threshold=self.l1.config.context_threshold,
+                verify_context=self.l1.config.verify_context,
+            )
+            if found is not None:
+                l2_id, score = found
+                matched.setdefault(l2_id, []).append((i, score))
+        for l2_id, probe_hits in matched.items():
+            if self.promote_on_hit:
+                entry, embedding = self.l2.pop(l2_id)
+                entry_id = self.l1.insert(
+                    entry.query,
+                    entry.response,
+                    context=entry.context,
+                    embedding=embedding,
+                )
+                self._promotions += 1
+            else:
+                entry = self.l2.entry(l2_id)
+                entry_id = l2_id
+            for i, score in probe_hits:
+                decision = decisions[i]
+                decision.hit = True
+                decision.response = entry.response
+                decision.matched_query = entry.query
+                decision.entry_id = entry_id
+                decision.similarity = score
+                decision.context_verified = (
+                    self.l1.config.verify_context and not entry.context.is_empty
+                )
+        return decisions
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def insert(
+        self,
+        query: str,
+        response: str,
+        context: "Sequence[str] | ContextChain" = (),
+        embedding: Optional[np.ndarray] = None,
+    ) -> int:
+        """Enrol into L1 (new entries are hot); may cascade a demotion."""
+        return self.l1.insert(query, response, context=context, embedding=embedding)
+
+    def _demote(self, entry: CacheEntry) -> None:
+        """L1 eviction hook: move the victim into L2, embedding and all."""
+        self.l2.insert(
+            entry.query,
+            entry.response,
+            embedding=entry.embedding,
+            context=entry.context,
+        )
+
+    def set_threshold(self, threshold: float) -> None:
+        """Update τ for both tiers (L2 reads the L1 config live)."""
+        self.l1.set_threshold(threshold)
+
+    def clear(self) -> None:
+        """Drop all entries in both tiers."""
+        self.l1.clear()
+        self.l2.clear()
+
+    def maintenance(self) -> None:
+        """Between-batch upkeep: both indexes, then L2 flush/compaction."""
+        self.l1.maintenance()
+        self.l2.maintenance()
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: "str | Path") -> Path:
+        """Snapshot both tiers atomically under one directory.
+
+        The published directory holds ``l1/`` (a full MeanCache snapshot),
+        ``l2/`` (the quantized tier's snapshot) and a manifest; the whole
+        tree appears with one rename, so a crash mid-save leaves any
+        previous generation intact.  A *shared* L2 is snapshotted as part
+        of every owning cache's save — restore topology (which caches share
+        a tier) is the caller's to re-establish, exactly as with the fleet
+        checkpoint's user map.
+        """
+        path = Path(path)
+        with atomic_snapshot_dir(path) as stage:
+            self.l1.save(stage / "l1")
+            self.l2.save(stage / "l2")
+            write_manifest(
+                stage,
+                {
+                    "format": TIERED_FORMAT,
+                    "version": TIERED_VERSION,
+                    "promote_on_hit": self.promote_on_hit,
+                    "promotions": self._promotions,
+                },
+            )
+        return path
+
+    @classmethod
+    def load(
+        cls,
+        path: "str | Path",
+        encoder: SiameseEncoder,
+        mmap: bool = False,
+    ) -> "TieredCache":
+        """Rebuild a tiered cache from :meth:`save`.
+
+        ``mmap=True`` memory-maps the L2 code matrix (zero-copy warm start
+        for the big tier; L1 is small and always materialized).
+        """
+        path = Path(path)
+        manifest = read_manifest(path, TIERED_FORMAT, TIERED_VERSION)
+        l1 = _L1Cache.load(path / "l1", encoder)
+        l2 = QuantizedTier.load(path / "l2", mmap=mmap)
+        cache = cls.__new__(cls)
+        cache.l1 = l1
+        cache.l1.on_evict = cache._demote
+        cache.l2 = l2
+        cache.promote_on_hit = bool(manifest.get("promote_on_hit", True))
+        cache._promotions = int(manifest.get("promotions", 0))
+        return cache
+
+
+def _lazy_chain(
+    cache: MeanCache, ctx_texts: Tuple[str, ...]
+) -> Callable[[], ContextChain]:
+    """Embed a probe's context chain at most once, and only when needed."""
+    memo: List[ContextChain] = []
+
+    def build() -> ContextChain:
+        if not memo:
+            memo.append(cache._embed_context(ctx_texts))
+        return memo[0]
+
+    return build

@@ -6,8 +6,11 @@ and one-matmul batched search — plus sublinear approximate backends (IVF
 inverted lists, random-hyperplane LSH), quantized storage tiers (int8 scalar
 quantization, product quantization, and their IVF-routed compositions)
 behind the same :class:`VectorIndex` contract, selected by name through
-:func:`make_index`.  Every backend snapshots to a versioned npz + JSON
-manifest directory via ``index.save(path)`` / :func:`load_index`.  See
+:func:`make_index`.  Every backend snapshots to a crash-safe versioned
+directory (JSON manifest + per-array ``.npy``, published atomically) via
+``index.save(path)`` / :func:`load_index` — ``mmap=True`` restores without
+copying, and :func:`append_delta` / :func:`compact_snapshot` maintain an
+append-only mutation log on top.  See
 ``docs/architecture.md`` for the design, ``docs/api.md`` for the public
 surface and ``docs/benchmarks.md`` for the measured recall/throughput/memory
 trade-off.
@@ -26,7 +29,16 @@ from repro.index.ivf import IVFIndex
 from repro.index.lsh import LSHIndex
 from repro.index.quantized import PQIndex, QuantizedIndex, SQ8Index
 from repro.index.registry import available_backends, make_index, register_index
-from repro.index.snapshot import SnapshotError, load_index
+from repro.index.snapshot import (
+    SnapshotError,
+    append_delta,
+    atomic_snapshot_dir,
+    compact_snapshot,
+    delta_log_size,
+    load_index,
+    read_deltas,
+    save_index,
+)
 
 __all__ = [
     "FlatIndex",
@@ -38,8 +50,14 @@ __all__ = [
     "SQ8Index",
     "SnapshotError",
     "VectorIndex",
+    "append_delta",
+    "atomic_snapshot_dir",
     "available_backends",
+    "compact_snapshot",
+    "delta_log_size",
     "load_index",
     "make_index",
+    "read_deltas",
     "register_index",
+    "save_index",
 ]

@@ -121,7 +121,7 @@ class VectorIndex(abc.ABC):
         return {}
 
     # ------------------------------------------------------------------ #
-    # Snapshot protocol (versioned npz + JSON manifest persistence)
+    # Snapshot protocol (JSON manifest + per-array .npy persistence)
     # ------------------------------------------------------------------ #
     #: The registry name written into snapshot manifests, or None for
     #: backends that do not support persistence.  Concrete backends either
@@ -130,13 +130,16 @@ class VectorIndex(abc.ABC):
     snapshot_backend: Optional[str] = None
 
     def save(self, path: "str | Path") -> Path:
-        """Snapshot the live index state to a directory.
+        """Snapshot the live index state to a directory, atomically.
 
-        Writes a versioned ``manifest.json`` (backend name, constructor
-        parameters, scalar state) plus an ``arrays.npz`` of the live numpy
-        state; :func:`repro.index.load_index` rebuilds an identical index
-        from it.  Raises :class:`repro.index.snapshot.SnapshotError` for
-        backends without snapshot support.
+        Stages a versioned ``manifest.json`` (backend name, constructor
+        parameters, scalar state) plus raw per-array ``.npy`` files of the
+        live numpy state under ``arrays/``, then publishes the directory
+        with one rename; :func:`repro.index.load_index` rebuilds an
+        identical index from it (``mmap=True`` adopts the storage matrix
+        without copying).  Raises
+        :class:`repro.index.snapshot.SnapshotError` for backends without
+        snapshot support.
         """
         from repro.index.snapshot import save_index
 
@@ -155,7 +158,7 @@ class VectorIndex(abc.ABC):
         )
 
     def _snapshot_arrays(self) -> Dict[str, np.ndarray]:
-        """The live numpy state, keyed for the snapshot's npz payload."""
+        """The live numpy state, keyed for the snapshot's array files."""
         raise NotImplementedError(
             f"{type(self).__name__} does not implement the snapshot protocol"
         )

@@ -88,7 +88,12 @@ class FlatIndex(VectorIndex):
         self._matrix: Optional[np.ndarray] = None  # (capacity, dim) unit rows
         self._norms: Optional[np.ndarray] = None  # (capacity,) original L2 norms
         self._ids: Optional[np.ndarray] = None  # (capacity,) int64 entry ids
-        self._id_to_row: Dict[int, int] = {}
+        # id -> row map, built lazily (None after an mmap-backed restore so a
+        # zero-copy warm start pays no O(n) python loop up front).
+        self._id_map: Optional[Dict[int, int]] = {}
+        # True while storage is an adopted read-only memmap from
+        # load_index(mmap=True); any mutation first materializes a copy.
+        self._mmap_backed = False
         # Reused query-preparation buffers: repeat lookups against the same
         # index never re-allocate the normalized query matrices.
         self._scratch = ScratchBuffers()
@@ -96,6 +101,34 @@ class FlatIndex(VectorIndex):
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+    @property
+    def _id_to_row(self) -> Dict[int, int]:
+        """The id -> storage-row map, built on first id-keyed access."""
+        if self._id_map is None:
+            ids = self._ids[: self._size] if self._ids is not None else ()
+            self._id_map = {int(i): r for r, i in enumerate(np.asarray(ids).tolist())}
+        return self._id_map
+
+    @property
+    def mmap_backed(self) -> bool:
+        """True while storage is a read-only memory map (zero-copy restore)."""
+        return self._mmap_backed
+
+    def _materialize(self) -> None:
+        """Replace mmap-backed storage with a private in-memory copy.
+
+        Called before any mutation: the mapped arrays from
+        ``load_index(mmap=True)`` are read-only (and shared with the
+        snapshot file), so the first add/remove pays one copy and every
+        later mutation is the usual in-place path.
+        """
+        if not self._mmap_backed:
+            return
+        self._matrix = np.array(self._matrix)
+        self._norms = np.array(self._norms)
+        self._ids = np.array(self._ids)
+        self._mmap_backed = False
+
     def __len__(self) -> int:
         return self._size
 
@@ -249,6 +282,7 @@ class FlatIndex(VectorIndex):
         if id in self._id_to_row:
             raise ValueError(f"id {id} is already in the index")
         self._next_id = max(self._next_id, id + 1)
+        self._materialize()
         self._ensure_capacity(1)
         unit, norms = self._normalize(vector)
         row = self._size
@@ -277,6 +311,7 @@ class FlatIndex(VectorIndex):
             for i in ids:
                 if i in self._id_to_row:
                     raise ValueError(f"id {i} is already in the index")
+        self._materialize()
         self._ensure_capacity(n)
         unit, norms = self._normalize(V)
         start = self._size
@@ -292,9 +327,10 @@ class FlatIndex(VectorIndex):
 
     def remove(self, id: int) -> None:
         id = int(id)
-        row = self._id_to_row.pop(id, None)
-        if row is None:
+        if id not in self._id_to_row:
             raise KeyError(f"no vector with id {id}")
+        self._materialize()
+        row = self._id_to_row.pop(id)
         last = self._size - 1
         moved_id: Optional[int] = None
         if row != last:
@@ -333,7 +369,8 @@ class FlatIndex(VectorIndex):
         self._matrix = None
         self._norms = None
         self._ids = None
-        self._id_to_row.clear()
+        self._id_map = {}
+        self._mmap_backed = False
         self._scratch.clear()
         # A data-driven dim unpins so the next add may re-fix it (e.g. the
         # cache is cleared and re-populated after a PCA head changed the
@@ -414,13 +451,29 @@ class FlatIndex(VectorIndex):
         if state["dim"] is not None:
             self._dim = int(state["dim"])
         if n:
-            self._ensure_capacity(n)
-            # Snapshots store the storage dtype, so these copies are
-            # bit-exact round-trips.
-            self._matrix[:n] = np.asarray(arrays["matrix"], dtype=self._dtype)
-            self._norms[:n] = np.asarray(arrays["norms"], dtype=self._dtype)
-            self._ids[:n] = ids
-            self._id_to_row = {int(i): r for r, i in enumerate(ids.tolist())}
+            matrix = arrays["matrix"]
+            norms = arrays["norms"]
+            if (
+                isinstance(matrix, np.memmap)
+                and matrix.dtype == self._dtype
+                and np.asarray(norms).dtype == self._dtype
+            ):
+                # Zero-copy warm start: adopt the mapped snapshot arrays as
+                # the storage (capacity == size; the id map builds lazily and
+                # the first mutation materializes a private copy).
+                self._matrix = matrix
+                self._norms = np.asarray(norms)
+                self._ids = ids
+                self._id_map = None
+                self._mmap_backed = True
+            else:
+                self._ensure_capacity(n)
+                # Snapshots store the storage dtype, so these copies are
+                # bit-exact round-trips.
+                self._matrix[:n] = np.asarray(matrix, dtype=self._dtype)
+                self._norms[:n] = np.asarray(norms, dtype=self._dtype)
+                self._ids[:n] = ids
+                self._id_map = {int(i): r for r, i in enumerate(ids.tolist())}
             self._size = n
         self._next_id = int(state["next_id"])
         self._post_restore()

@@ -519,7 +519,12 @@ class QuantizedIndex(VectorIndex):
         self._codes: Optional[np.ndarray] = None  # (capacity, code_width) uint8
         self._norms: Optional[np.ndarray] = None  # (capacity,) f32 original norms
         self._ids: Optional[np.ndarray] = None  # (capacity,) int64
-        self._id_to_row: Dict[int, int] = {}
+        # id -> row map, built lazily (None after an mmap-backed restore so a
+        # zero-copy warm start pays no O(n) python loop up front).
+        self._id_map: Optional[Dict[int, int]] = {}
+        # True while the code/staging matrix is an adopted read-only memmap
+        # from load_index(mmap=True); mutations materialize a copy first.
+        self._mmap_backed = False
         self._row_of = RowMap()
         self._centroids: Optional[np.ndarray] = None  # (nlist, d) f32 unit rows
         self._lists: List[Postings] = []
@@ -551,6 +556,36 @@ class QuantizedIndex(VectorIndex):
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+    @property
+    def _id_to_row(self) -> Dict[int, int]:
+        """The id -> storage-row map, built on first id-keyed access."""
+        if self._id_map is None:
+            ids = self._ids[: self._size] if self._ids is not None else ()
+            self._id_map = {int(i): r for r, i in enumerate(np.asarray(ids).tolist())}
+        return self._id_map
+
+    @property
+    def mmap_backed(self) -> bool:
+        """True while storage is a read-only memory map (zero-copy restore)."""
+        return self._mmap_backed
+
+    def _materialize(self) -> None:
+        """Replace mmap-backed storage with a private in-memory copy.
+
+        The mapped arrays from ``load_index(mmap=True)`` are read-only and
+        shared with the snapshot file; the first mutation pays one copy and
+        every later mutation is the usual in-place path.
+        """
+        if not self._mmap_backed:
+            return
+        if self._codes is not None:
+            self._codes = np.array(self._codes)
+        if self._staging is not None:
+            self._staging = np.array(self._staging)
+        self._norms = np.array(self._norms)
+        self._ids = np.array(self._ids)
+        self._mmap_backed = False
+
     def __len__(self) -> int:
         return self._size
 
@@ -941,6 +976,7 @@ class QuantizedIndex(VectorIndex):
         identical — only the BLAS summation order (and thus float ulps)
         shifts, which the final-ranking float64 rescore absorbs.
         """
+        self._materialize()
         n = self._size
         ids_new = np.empty(n, dtype=np.int64)
         pos = 0
@@ -957,7 +993,7 @@ class QuantizedIndex(VectorIndex):
         self._ids[:n] = ids_new
         if self._pair_mirror is not None:
             self._pair_mirror[:, :n] = self._pair_mirror[:, :n].take(order, axis=1)
-        self._id_to_row = dict(zip(ids_new.tolist(), range(n)))
+        self._id_map = dict(zip(ids_new.tolist(), range(n)))
         self._row_of.remap_block(ids_new, 0)
         self._layout_clustered = True
 
@@ -1009,6 +1045,7 @@ class QuantizedIndex(VectorIndex):
         if id in self._id_to_row:
             raise ValueError(f"id {id} is already in the index")
         self._next_id = max(self._next_id, id + 1)
+        self._materialize()
         self._ensure_capacity(1)
         unit, norms = _normalize_rows(vector)
         row = self._size
@@ -1042,6 +1079,7 @@ class QuantizedIndex(VectorIndex):
             for i in ids:
                 if i in self._id_to_row:
                     raise ValueError(f"id {i} is already in the index")
+        self._materialize()
         self._ensure_capacity(n)
         unit, norms = _normalize_rows(V)
         start = self._size
@@ -1093,9 +1131,10 @@ class QuantizedIndex(VectorIndex):
 
     def remove(self, id: int) -> None:
         id = int(id)
-        row = self._id_to_row.pop(id, None)
-        if row is None:
+        if int(id) not in self._id_to_row:
             raise KeyError(f"no vector with id {id}")
+        self._materialize()
+        row = self._id_to_row.pop(id)
         payload = self._codes if self._codes is not None else self._staging
         last = self._size - 1
         moved_id: Optional[int] = None
@@ -1145,7 +1184,8 @@ class QuantizedIndex(VectorIndex):
         self._codes = None
         self._norms = None
         self._ids = None
-        self._id_to_row.clear()
+        self._id_map = {}
+        self._mmap_backed = False
         self._quantizer.reset()
         self._row_of.clear()
         self._centroids = None
@@ -1684,13 +1724,34 @@ class QuantizedIndex(VectorIndex):
         if bool(state["trained"]):
             self._quantizer.restore_arrays(arrays)
         if n:
-            self._ensure_capacity(n)
-            payload = self._codes if self._codes is not None else self._staging
-            source = arrays["codes"] if self._codes is not None else arrays["staging"]
-            payload[:n] = np.asarray(source, dtype=payload.dtype)
-            self._norms[:n] = norms
-            self._ids[:n] = ids
-            self._id_to_row = {int(i): r for r, i in enumerate(ids.tolist())}
+            trained = self._quantizer.is_trained
+            source = arrays["codes"] if trained else arrays["staging"]
+            want_dtype = np.uint8 if trained else np.float32
+            if (
+                not self._routed
+                and isinstance(source, np.memmap)
+                and source.dtype == want_dtype
+                and np.asarray(norms).dtype == np.float32
+            ):
+                # Zero-copy warm start: adopt the mapped code (or staging)
+                # matrix as storage; the id map builds lazily and the first
+                # mutation materializes a private copy.  The routed variants
+                # rebuild inverted lists anyway, so they take the copy path.
+                if trained:
+                    self._codes = source
+                else:
+                    self._staging = source
+                self._norms = np.asarray(norms)
+                self._ids = ids
+                self._id_map = None
+                self._mmap_backed = True
+            else:
+                self._ensure_capacity(n)
+                payload = self._codes if self._codes is not None else self._staging
+                payload[:n] = np.asarray(source, dtype=payload.dtype)
+                self._norms[:n] = norms
+                self._ids[:n] = ids
+                self._id_map = {int(i): r for r, i in enumerate(ids.tolist())}
             self._size = n
             if self._routed:
                 self._row_of.set_block(ids, 0)

@@ -1,13 +1,33 @@
-"""Versioned snapshot persistence for indexes (and the caches above them).
+"""Versioned, crash-safe snapshot persistence for indexes (and caches).
 
-A snapshot is a directory holding exactly two artefacts:
+A snapshot is a directory holding:
 
 * ``manifest.json`` — a versioned JSON document carrying the format tag, the
   backend's registry name, the constructor parameters needed to rebuild an
-  empty instance, and the small scalar state (next id, training counters,
-  RNG state);
-* ``arrays.npz`` — every numpy array of the live state (the storage matrix
-  or code matrix, norms, ids, centroids, …).
+  empty instance, the small scalar state (next id, training counters, RNG
+  state) and the names of the arrays the snapshot must contain;
+* ``arrays/<name>.npy`` — every numpy array of the live state (the storage
+  matrix or code matrix, norms, ids, centroids, …) as a raw ``.npy`` file, so
+  :func:`load_index` can memory-map them (``mmap=True``) without copying;
+* optionally ``deltas.jsonl`` + ``deltas/<seq>.npy`` — an append-only delta
+  log of mutations applied since the full snapshot (see :func:`append_delta`),
+  folded back into a full snapshot by :func:`compact_snapshot`.
+
+Version 1 snapshots (a single ``arrays.npz``) are still readable; new
+snapshots are always written in the version-2 per-array layout.
+
+Crash-safety contract
+---------------------
+Every snapshot write stages the complete directory under a ``tmp-`` sibling,
+fsyncs it, and publishes it with ``os.replace`` (:func:`atomic_snapshot_dir`).
+The manifest is written *last* inside the stage, so a torn stage (crash
+mid-write) never contains a complete manifest+arrays pair and is rejected by
+:func:`read_manifest` / :func:`read_arrays`; the previous generation at the
+target path survives byte-for-byte. Publishing replaces the *whole*
+directory, so files a smaller new generation does not write (stale deltas,
+larger prior arrays) cannot leak into it. Delta appends commit on the
+``deltas.jsonl`` line: the per-delta ``.npy`` is written and fsynced first,
+and a torn trailing line (or an orphan ``.npy``) is ignored by readers.
 
 Loading validates the manifest *before* touching any array: a missing file,
 undecodable JSON, a foreign ``format`` tag or an unsupported ``version``
@@ -15,32 +35,122 @@ raise :class:`SnapshotError` with a message naming the offending field, so a
 corrupted or future-format checkpoint is rejected instead of half-restored.
 
 The cache-level snapshots (``MeanCache.save`` / ``GPTCache.save``) reuse the
-same manifest discipline with their own format tags and nest an index
-snapshot in an ``index/`` subdirectory, so one recursive copy of the
-directory is a complete warm-start image.
+same manifest/array/atomic-commit discipline with their own format tags and
+nest an index snapshot in an ``index/`` subdirectory, so one recursive copy
+of the directory is a complete warm-start image.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import re
+import shutil
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 INDEX_FORMAT = "repro-index"
-INDEX_VERSION = 1
+#: Version 2 stores per-array raw ``.npy`` files (mmap-able); version 1
+#: stored a single ``arrays.npz`` and is still readable.
+INDEX_VERSION = 2
 
 MANIFEST_NAME = "manifest.json"
-ARRAYS_NAME = "arrays.npz"
+ARRAYS_NAME = "arrays.npz"  # legacy v1 payload
+ARRAYS_DIR = "arrays"  # v2 payload: one raw .npy per array
+DELTAS_NAME = "deltas.jsonl"
+DELTAS_DIR = "deltas"
+
+_ARRAY_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.+-]*$")
 
 
 class SnapshotError(ValueError):
     """A snapshot is missing, corrupted, foreign or version-incompatible."""
 
 
+# --------------------------------------------------------------------------- #
+# Durability helpers
+# --------------------------------------------------------------------------- #
+def _fsync_file(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(path: Path) -> None:
+    # Windows cannot open directories for fsync; directory-entry durability
+    # is a POSIX concept anyway, so silently skip there.
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_tree(root: Path) -> None:
+    """fsync every file and directory under ``root`` (bottom-up)."""
+    for dirpath, _dirnames, filenames in os.walk(root, topdown=False):
+        for name in filenames:
+            _fsync_file(Path(dirpath) / name)
+        _fsync_dir(Path(dirpath))
+
+
+@contextmanager
+def atomic_snapshot_dir(path: "str | Path") -> Iterator[Path]:
+    """Stage a snapshot directory and atomically publish it at ``path``.
+
+    Yields a fresh ``tmp-``-prefixed sibling directory to write into. On
+    clean exit the stage is fsynced and renamed over ``path`` (the previous
+    generation, if any, is moved aside first and removed after the publish),
+    so readers only ever observe a complete old or a complete new snapshot —
+    never a mix. On an exception the stage is deleted and the target is left
+    untouched; a hard crash can at worst leave a ``tmp-`` sibling behind,
+    which no loader accepts as a snapshot path and which the next successful
+    publish does not depend on.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    stage = Path(tempfile.mkdtemp(prefix=f"tmp-{target.name}-", dir=target.parent))
+    try:
+        yield stage
+    except BaseException:
+        shutil.rmtree(stage, ignore_errors=True)
+        raise
+    _fsync_tree(stage)
+    doomed: Optional[Path] = None
+    if target.exists():
+        doomed = (
+            Path(
+                tempfile.mkdtemp(prefix=f"tmp-{target.name}-old-", dir=target.parent)
+            )
+            / "previous"
+        )
+        os.replace(target, doomed)
+    os.replace(stage, target)
+    _fsync_dir(target.parent)
+    if doomed is not None:
+        shutil.rmtree(doomed.parent, ignore_errors=True)
+
+
+# --------------------------------------------------------------------------- #
+# Manifest + array payload
+# --------------------------------------------------------------------------- #
 def write_manifest(path: Path, manifest: Mapping[str, object]) -> None:
-    """Serialize ``manifest`` as the snapshot directory's manifest.json."""
+    """Serialize ``manifest`` as the snapshot directory's manifest.json.
+
+    Callers write the manifest *last* (after every array): under the atomic
+    staging of :func:`atomic_snapshot_dir` its presence marks a complete
+    stage, so a torn ``tmp-`` directory is never loadable.
+    """
     path.mkdir(parents=True, exist_ok=True)
     (path / MANIFEST_NAME).write_text(
         json.dumps(manifest, indent=1) + "\n", encoding="utf-8"
@@ -81,21 +191,64 @@ def read_manifest(
 
 
 def write_arrays(path: Path, arrays: Mapping[str, np.ndarray]) -> None:
-    """Write the snapshot's numpy payload next to its manifest."""
-    path.mkdir(parents=True, exist_ok=True)
-    np.savez(path / ARRAYS_NAME, **{k: np.asarray(v) for k, v in arrays.items()})
+    """Write the snapshot's numpy payload as raw per-array ``.npy`` files.
+
+    One file per array under ``arrays/`` keeps every matrix individually
+    memory-mappable on load (an npz member cannot be mmapped through the zip
+    container).
+    """
+    arrays_dir = Path(path) / ARRAYS_DIR
+    arrays_dir.mkdir(parents=True, exist_ok=True)
+    for name, value in arrays.items():
+        if not _ARRAY_NAME_RE.match(name):
+            raise SnapshotError(f"array name {name!r} is not snapshot-safe")
+        np.save(arrays_dir / f"{name}.npy", np.asarray(value))
 
 
-def read_arrays(path: Path) -> Dict[str, np.ndarray]:
-    """Load the snapshot's numpy payload; raises :class:`SnapshotError`."""
-    arrays_path = Path(path) / ARRAYS_NAME
-    if not arrays_path.is_file():
-        raise SnapshotError(f"no snapshot arrays at {arrays_path}")
-    try:
-        with np.load(arrays_path) as data:
-            return {name: data[name] for name in data.files}
-    except (OSError, ValueError) as exc:
-        raise SnapshotError(f"corrupted snapshot arrays {arrays_path}: {exc}") from exc
+def read_arrays(
+    path: Path,
+    mmap: bool = False,
+    expected: Optional[Sequence[str]] = None,
+) -> Dict[str, np.ndarray]:
+    """Load the snapshot's numpy payload; raises :class:`SnapshotError`.
+
+    ``mmap=True`` returns read-only ``np.memmap`` views of the version-2
+    per-array files — no bytes are copied until a consumer touches the pages.
+    Version-1 ``arrays.npz`` payloads are still readable (always copied; the
+    zip container cannot be mmapped). ``expected`` names arrays that must be
+    present — a stage torn before all arrays landed is rejected instead of
+    half-restored.
+    """
+    path = Path(path)
+    arrays_dir = path / ARRAYS_DIR
+    out: Dict[str, np.ndarray] = {}
+    if arrays_dir.is_dir():
+        for file in sorted(arrays_dir.glob("*.npy")):
+            try:
+                out[file.stem] = np.load(
+                    file,
+                    mmap_mode="r" if mmap else None,
+                    allow_pickle=False,
+                )
+            except (OSError, ValueError) as exc:
+                raise SnapshotError(f"corrupted snapshot array {file}: {exc}") from exc
+    elif (path / ARRAYS_NAME).is_file():
+        try:
+            with np.load(path / ARRAYS_NAME, allow_pickle=False) as data:
+                out = {name: data[name] for name in data.files}
+        except (OSError, ValueError) as exc:
+            raise SnapshotError(
+                f"corrupted snapshot arrays {path / ARRAYS_NAME}: {exc}"
+            ) from exc
+    else:
+        raise SnapshotError(f"no snapshot arrays at {arrays_dir}")
+    if expected is not None:
+        missing = sorted(set(expected) - set(out))
+        if missing:
+            raise SnapshotError(
+                f"snapshot at {path} is missing arrays {missing} (torn write?)"
+            )
+    return out
 
 
 # --------------------------------------------------------------------------- #
@@ -106,7 +259,10 @@ def save_index(index, path: "str | Path") -> Path:
 
     The manifest records the backend's registry name and constructor
     parameters, so :func:`load_index` can rebuild it without the caller
-    knowing the concrete class.
+    knowing the concrete class. The write is atomic (see
+    :func:`atomic_snapshot_dir`): the previous snapshot at ``path`` —
+    including any delta log accumulated on top of it — is replaced wholesale
+    only once the new generation is completely on disk.
     """
     backend = getattr(index, "snapshot_backend", None)
     if backend is None:
@@ -115,24 +271,40 @@ def save_index(index, path: "str | Path") -> Path:
             "(no snapshot_backend name)"
         )
     path = Path(path)
+    arrays = index._snapshot_arrays()
     manifest = {
         "format": INDEX_FORMAT,
         "version": INDEX_VERSION,
         "backend": backend,
         "params": index._snapshot_params(),
         "state": index._snapshot_state(),
+        "arrays": sorted(arrays),
     }
-    write_arrays(path, index._snapshot_arrays())
-    write_manifest(path, manifest)
+    with atomic_snapshot_dir(path) as stage:
+        write_arrays(stage, arrays)
+        write_manifest(stage, manifest)
     return path
 
 
-def load_index(path: "str | Path"):
+def load_index(path: "str | Path", mmap: bool = False, replay_deltas: bool = True):
     """Rebuild an index from a :func:`save_index` snapshot.
 
     Returns a fresh instance of the saved backend with identical live state
     (rows, ids, routing structures, codec tables, RNG), so searches on the
     loaded index reproduce the saved index's results bit-for-bit.
+
+    ``mmap=True`` hands the backend read-only memory-mapped arrays instead
+    of in-memory copies; the flat and non-routed quantized backends adopt
+    the mapped storage/code matrices directly (zero-copy warm start — bytes
+    are paged in on first search, and the first mutation transparently
+    materializes a private copy). Backends with derived routing structures
+    (IVF, LSH) still rebuild those structures and gain only the smaller
+    read.
+
+    ``replay_deltas`` applies the snapshot's append-only delta log (if any)
+    on top of the restored base — see :func:`append_delta`. Replaying
+    mutations materializes mmap-adopted storage; a compacted snapshot
+    (:func:`compact_snapshot`) keeps the warm start zero-copy.
     """
     from repro.index.registry import make_index, validate_backend
 
@@ -151,7 +323,10 @@ def load_index(path: "str | Path"):
     state = manifest.get("state")
     if not isinstance(state, dict):
         raise SnapshotError(f"snapshot at {path} has a corrupted state block")
-    arrays = read_arrays(path)
+    expected = manifest.get("arrays")
+    if expected is not None and not isinstance(expected, list):
+        raise SnapshotError(f"snapshot at {path} has a corrupted arrays block")
+    arrays = read_arrays(path, mmap=mmap, expected=expected)
     try:
         index = make_index(backend, **params)
     except (TypeError, ValueError) as exc:
@@ -159,4 +334,168 @@ def load_index(path: "str | Path"):
             f"snapshot at {path} has params the {backend!r} backend rejects: {exc}"
         ) from exc
     index._restore(state, arrays)
+    if replay_deltas:
+        for record in read_deltas(path):
+            record.apply(index)
+    return index
+
+
+# --------------------------------------------------------------------------- #
+# Append-only delta log
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class DeltaRecord:
+    """One committed entry of a snapshot's append-only delta log."""
+
+    seq: int
+    ids: Tuple[int, ...]
+    removed: Tuple[int, ...]
+    #: vectors added by this delta, aligned with ``ids`` (None for pure
+    #: removals); dtype preserved from the append call.
+    vectors: Optional[np.ndarray]
+    #: opaque JSON payload the caller attached (e.g. the tier's entry texts)
+    meta: Optional[object] = None
+
+    def apply(self, index) -> None:
+        """Replay this delta against a restored index."""
+        if self.vectors is not None and len(self.ids):
+            index.add_batch(self.vectors, ids=list(self.ids))
+        for removed_id in self.removed:
+            index.remove(int(removed_id))
+
+
+def _delta_lines(path: Path) -> List[Dict[str, object]]:
+    """Parsed ``deltas.jsonl`` lines, tolerating a torn trailing line.
+
+    A line that fails to decode is the uncommitted tail of a crashed append
+    when (and only when) it is the last non-empty line — anything earlier is
+    real corruption and raises :class:`SnapshotError`.
+    """
+    log = path / DELTAS_NAME
+    if not log.is_file():
+        return []
+    raw_lines = [
+        line for line in log.read_text(encoding="utf-8").splitlines() if line.strip()
+    ]
+    records: List[Dict[str, object]] = []
+    for i, line in enumerate(raw_lines):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if i == len(raw_lines) - 1:
+                break  # torn trailing append; the log is valid up to here
+            raise SnapshotError(f"corrupted delta log {log}: line {i + 1}: {exc}") from exc
+        if not isinstance(record, dict):
+            raise SnapshotError(f"corrupted delta log {log}: line {i + 1} is not an object")
+        records.append(record)
+    return records
+
+
+def read_deltas(path: "str | Path") -> List[DeltaRecord]:
+    """The snapshot's committed delta records, in append order.
+
+    A trailing record whose per-delta ``.npy`` never landed (crash between
+    the array write and the log append is impossible — the array is written
+    first — but the converse orphan is) is dropped; a missing array earlier
+    in the log raises :class:`SnapshotError`.
+    """
+    path = Path(path)
+    lines = _delta_lines(path)
+    records: List[DeltaRecord] = []
+    for i, line in enumerate(lines):
+        file_name = line.get("file")
+        vectors: Optional[np.ndarray] = None
+        if file_name is not None:
+            delta_file = path / str(file_name)
+            if not delta_file.is_file():
+                if i == len(lines) - 1:
+                    break  # torn trailing append
+                raise SnapshotError(
+                    f"delta log at {path} references missing array {file_name!r}"
+                )
+            try:
+                vectors = np.load(delta_file, allow_pickle=False)
+            except (OSError, ValueError) as exc:
+                raise SnapshotError(
+                    f"corrupted delta array {delta_file}: {exc}"
+                ) from exc
+        records.append(
+            DeltaRecord(
+                seq=int(line.get("seq", i + 1)),
+                ids=tuple(int(x) for x in line.get("ids", ())),
+                removed=tuple(int(x) for x in line.get("removed", ())),
+                vectors=vectors,
+                meta=line.get("meta"),
+            )
+        )
+    return records
+
+
+def append_delta(
+    path: "str | Path",
+    vectors: Optional[np.ndarray] = None,
+    ids: Optional[Sequence[int]] = None,
+    removed: Sequence[int] = (),
+    meta: Optional[object] = None,
+) -> int:
+    """Append one mutation record to the snapshot's delta log; returns its seq.
+
+    Cost is proportional to the delta, not the snapshot: the added vectors
+    land in their own ``deltas/<seq>.npy`` (fsynced before the log line
+    commits them) and one JSON line is appended to ``deltas.jsonl`` — the
+    full arrays are never rewritten. The log is folded back into a full
+    snapshot by :func:`compact_snapshot` (or implicitly by the next
+    :func:`save_index`, whose atomic directory replace discards it).
+    """
+    path = Path(path)
+    if not (path / MANIFEST_NAME).is_file():
+        raise SnapshotError(f"no snapshot at {path} to append a delta to")
+    if vectors is not None:
+        vectors = np.atleast_2d(np.asarray(vectors))
+        if ids is None or len(ids) != vectors.shape[0]:
+            raise ValueError("ids must align with vectors")
+    elif ids:
+        raise ValueError("ids given without vectors")
+    seq = len(_delta_lines(path)) + 1
+    record: Dict[str, object] = {
+        "seq": seq,
+        "ids": [int(i) for i in (ids or ())],
+        "removed": [int(i) for i in removed],
+        "file": None,
+    }
+    if meta is not None:
+        record["meta"] = meta
+    if vectors is not None:
+        deltas_dir = path / DELTAS_DIR
+        deltas_dir.mkdir(exist_ok=True)
+        file_name = f"{DELTAS_DIR}/delta-{seq:08d}.npy"
+        np.save(path / file_name, vectors)
+        _fsync_file(path / file_name)
+        _fsync_dir(deltas_dir)
+        record["file"] = file_name
+    # The log line is the commit point: a crash before this append leaves an
+    # ignored orphan .npy, a crash mid-append leaves a torn trailing line
+    # that readers skip.
+    with open(path / DELTAS_NAME, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    return seq
+
+
+def delta_log_size(path: "str | Path") -> Tuple[int, int]:
+    """(number of committed delta records, total rows they add)."""
+    lines = _delta_lines(Path(path))
+    return len(lines), sum(len(line.get("ids", ())) for line in lines)
+
+
+def compact_snapshot(path: "str | Path", mmap: bool = False):
+    """Fold the delta log into a new full snapshot; returns the loaded index.
+
+    Loads the base snapshot plus deltas, then atomically republishes the
+    result as a fresh full snapshot (dropping the log). Runs off the query
+    path — cache tiers hook it into their ``maintenance()`` cadence.
+    """
+    index = load_index(path, mmap=mmap, replay_deltas=True)
+    save_index(index, path)
     return index

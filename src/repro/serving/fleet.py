@@ -46,13 +46,19 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.index.snapshot import SnapshotError, read_manifest, write_manifest
+from repro.index.snapshot import (
+    SnapshotError,
+    atomic_snapshot_dir,
+    read_manifest,
+    write_manifest,
+)
 from repro.llm.service import SimulatedLLMService
 from repro.serving.scheduling import (
     BatchExecutor,
     CacheAdapter,
     LookupOutcome,
     VirtualClockScheduler,
+    storage_report,
 )
 from repro.serving.workload import Trace
 
@@ -313,27 +319,33 @@ class FleetSimulator:
         ``save(path)`` method, and the manifest maps user ids to snapshot
         subdirectories.  Caches without a ``save`` method (e.g. the keyword
         baseline) raise :class:`~repro.index.SnapshotError`.
+
+        The whole checkpoint directory is staged and published atomically
+        (one ``os.replace``): a crash mid-checkpoint over a previous
+        checkpoint leaves the old generation intact, and snapshots for
+        users the new fleet no longer serves cannot leak into the new one.
         """
         path = Path(path)
-        path.mkdir(parents=True, exist_ok=True)
-        key_of_cache: Dict[int, str] = {}
-        users: Dict[str, str] = {}
-        for user_id, adapter in self.caches.items():
-            key = key_of_cache.get(id(adapter.cache))
-            if key is None:
-                key = f"cache_{len(key_of_cache)}"
-                saver = getattr(adapter.cache, "save", None)
-                if saver is None:
-                    raise SnapshotError(
-                        f"cache for user {user_id!r} "
-                        f"({type(adapter.cache).__name__}) has no save() method"
-                    )
-                saver(path / key)
-                key_of_cache[id(adapter.cache)] = key
-            users[user_id] = key
-        write_manifest(
-            path, {"format": FLEET_FORMAT, "version": FLEET_VERSION, "users": users}
-        )
+        with atomic_snapshot_dir(path) as stage:
+            key_of_cache: Dict[int, str] = {}
+            users: Dict[str, str] = {}
+            for user_id, adapter in self.caches.items():
+                key = key_of_cache.get(id(adapter.cache))
+                if key is None:
+                    key = f"cache_{len(key_of_cache)}"
+                    saver = getattr(adapter.cache, "save", None)
+                    if saver is None:
+                        raise SnapshotError(
+                            f"cache for user {user_id!r} "
+                            f"({type(adapter.cache).__name__}) has no save() method"
+                        )
+                    saver(stage / key)
+                    key_of_cache[id(adapter.cache)] = key
+                users[user_id] = key
+            write_manifest(
+                stage,
+                {"format": FLEET_FORMAT, "version": FLEET_VERSION, "users": users},
+            )
         return path
 
     def restore(self, path: "str | Path", loader: Callable[[Path], object]) -> None:
@@ -353,6 +365,16 @@ class FleetSimulator:
         cache_of_key = {key: loader(path / key) for key in sorted(set(users.values()))}
         for user_id, key in users.items():
             self.executor.register(user_id, cache_of_key[key])
+
+    def storage_report(self) -> Dict[str, object]:
+        """Fleet-level bytes-vs-hit-rate accounting across every live cache.
+
+        Each distinct cache object is counted once (a shared central cache
+        or shared quantized tier does not multiply by its user count), and
+        tiered caches contribute a per-tier breakdown — see
+        :func:`repro.serving.scheduling.storage_report`.
+        """
+        return storage_report(adapter.cache for adapter in self.caches.values())
 
     def run(self, trace: Trace, collect_outcomes: bool = False) -> FleetResult:
         """Replay ``trace`` through the fleet and aggregate the results.

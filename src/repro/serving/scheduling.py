@@ -375,13 +375,20 @@ class BatchExecutor:
             self.adaptation.advance(now_s)
 
     def maintenance(self) -> None:
-        """Deferred index work for every cache the last batch touched.
+        """Deferred background work for every cache the last batch touched.
 
         IVF repartitioning (``auto_repartition=False``), probe-bound stat
-        refreshes and layout compaction run here, between batches — the
-        query path itself never pays for reorganization.
+        refreshes, layout compaction and snapshot delta-log folding run
+        here, between batches — the query path itself never pays for
+        reorganization.  A cache exposing its own ``maintenance()`` (the
+        tiered cache compacts its L2 delta log there) owns the whole hook;
+        otherwise the executor falls through to the cache's index.
         """
         for adapter in self._touched.values():
+            maintain = getattr(adapter.cache, "maintenance", None)
+            if maintain is not None:
+                maintain()
+                continue
             index = getattr(adapter.cache, "index", None)
             if index is not None and hasattr(index, "maintenance"):
                 index.maintenance()
@@ -390,6 +397,75 @@ class BatchExecutor:
 # --------------------------------------------------------------------------- #
 # Schedulers
 # --------------------------------------------------------------------------- #
+def storage_report(caches: Iterable[object]) -> Dict[str, object]:
+    """Fleet-level bytes-vs-hit-rate accounting over a set of cache objects.
+
+    Shared by :meth:`FleetSimulator.storage_report` and
+    :meth:`CacheServer.storage_report`.  Each distinct cache *object* is
+    counted once (pass duplicates freely — a shared central cache routed to
+    by many users does not multiply).  Tiered caches contribute a per-tier
+    breakdown, and a quantized tier shared by several tiered caches is
+    counted once on both the bytes and the hit-counter side.
+    """
+    seen: Dict[int, object] = {}
+    shared_tiers: Dict[int, object] = {}
+    total_bytes = 0
+    total_entries = 0
+    l1_bytes = l2_bytes = l1_entries = l2_entries = 0
+    lookups = hits = 0
+    for cache in caches:
+        if id(cache) in seen:
+            continue
+        seen[id(cache)] = cache
+        entries = len(cache) if hasattr(cache, "__len__") else 0
+        breakdown = getattr(cache, "storage_breakdown", None)
+        if breakdown is not None:
+            # A tiered cache: count its L1 per cache and its quantized tier
+            # once even when shared (a shared tier's hits would otherwise be
+            # re-added through every owner's combined stats).
+            tier = getattr(cache, "l2", None)
+            tier_is_new = tier is not None and id(tier) not in shared_tiers
+            tier_stats = cache.tier_stats()
+            lookups += int(tier_stats["l1"].lookups)
+            hits += int(tier_stats["l1"].hits)
+            if tier_is_new:
+                hits += int(tier_stats["l2"].hits)
+            parts = breakdown()
+            if tier is not None and not tier_is_new:
+                parts = dict(parts)
+                parts["l2_bytes"] = 0
+                parts["l2_entries"] = 0
+            elif tier is not None:
+                shared_tiers[id(tier)] = tier
+            l1_bytes += int(parts["l1_bytes"])
+            l2_bytes += int(parts["l2_bytes"])
+            l1_entries += int(parts["l1_entries"])
+            l2_entries += int(parts["l2_entries"])
+            cache_bytes = int(parts["l1_bytes"]) + int(parts["l2_bytes"])
+            entries = int(parts["l1_entries"]) + int(parts["l2_entries"])
+        else:
+            stats = getattr(cache, "stats", None)
+            if stats is not None:
+                lookups += int(getattr(stats, "lookups", 0))
+                hits += int(getattr(stats, "hits", 0))
+            embedding_bytes = getattr(cache, "embedding_storage_bytes", None)
+            cache_bytes = int(embedding_bytes()) if embedding_bytes else 0
+            cache_bytes += int(getattr(getattr(cache, "index", None), "nbytes", 0))
+        total_bytes += cache_bytes
+        total_entries += entries
+    return {
+        "n_caches": len(seen),
+        "total_entries": total_entries,
+        "total_bytes": total_bytes,
+        "bytes_per_entry": total_bytes / total_entries if total_entries else 0.0,
+        "hit_rate": hits / lookups if lookups else 0.0,
+        "l1_entries": l1_entries,
+        "l1_bytes": l1_bytes,
+        "l2_entries": l2_entries,
+        "l2_bytes": l2_bytes,
+    }
+
+
 def iter_windows(
     events: Iterable[WorkloadEvent], width: float
 ) -> Iterator[List[WorkloadEvent]]:

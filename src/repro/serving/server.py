@@ -59,6 +59,7 @@ from repro.serving.scheduling import (
     CacheAdapter,
     LookupOutcome,
     iter_windows,
+    storage_report,
 )
 from repro.serving.workload import Trace, WorkloadEvent
 
@@ -486,6 +487,23 @@ class CacheServer:
         """The (possibly shared) cache object serving ``user_id``."""
         shard = self.shard_of(user_id)
         return self._shards[shard].executor.adapters[user_id].cache
+
+    def storage_report(self) -> Dict[str, object]:
+        """Server-wide bytes-vs-hit-rate accounting over every live cache.
+
+        Covers all shard-local caches plus the optional shared L2 tier,
+        each distinct cache object counted once; tiered caches contribute
+        their per-tier breakdown — see
+        :func:`repro.serving.scheduling.storage_report`.
+        """
+        caches = [
+            adapter.cache
+            for shard in self._shards
+            for adapter in shard.executor.adapters.values()
+        ]
+        if self.shared is not None:
+            caches.append(self.shared.adapter.cache)
+        return storage_report(caches)
 
     # ------------------------------------------------------------------ #
     # Flush execution (shared by live + deterministic paths)

@@ -13,12 +13,20 @@ Covers the snapshot subsystem end to end:
   acceptance criterion of ISSUE 4);
 * ``FleetSimulator.checkpoint``/``restore`` warm-starts a fleet whose
   second-half run matches an uninterrupted fleet exactly, and deduplicates
-  a shared central cache.
+  a shared central cache;
+* crash safety: a save killed mid-write (after arrays, before the manifest)
+  leaves the previous snapshot loadable and the torn stage never loadable,
+  saves fully replace the target directory (no stale arrays/delta logs),
+  embeddings persist at the index's native dtype, the append-only delta log
+  replays/compacts correctly (torn trailing line included), and
+  ``load_index(mmap=True)`` restores without copying the row matrix
+  (tracemalloc ceiling).
 """
 
 from __future__ import annotations
 
 import json
+import shutil
 from pathlib import Path
 
 import numpy as np
@@ -199,7 +207,7 @@ def test_load_rejects_future_version(tmp_path):
 
 def test_load_rejects_missing_arrays(tmp_path):
     path = _saved_index(tmp_path)
-    (path / "arrays.npz").unlink()
+    shutil.rmtree(path / "arrays")
     with pytest.raises(SnapshotError, match="no snapshot arrays"):
         load_index(path)
 
@@ -489,3 +497,214 @@ def test_fleet_checkpoint_rejects_unsaveable_cache(tmp_path):
     sim.run(trace)
     with pytest.raises(SnapshotError, match="no save"):
         sim.checkpoint(tmp_path / "ckpt")
+
+
+# --------------------------------------------------------------------------- #
+# Crash safety: atomic saves, delta log, native dtype, zero-copy restore
+# --------------------------------------------------------------------------- #
+def _decision_signature(cache, probes):
+    return [
+        (d.hit, d.entry_id, float(d.similarity).hex())
+        for d in cache.lookup_batch(probes)
+    ]
+
+
+def test_kill_mid_save_preserves_previous_snapshot(tmp_path, monkeypatch):
+    """A save that dies after writing arrays must not touch the old snapshot.
+
+    The manifest is the commit point: it is written last inside the staged
+    ``tmp-`` sibling, so a crash before it leaves the published directory
+    byte-identical and the torn stage unloadable (and cleaned up).
+    """
+    import repro.core.cache as cache_module
+
+    encoder = make_tiny_encoder()
+    cache = _populated_meancache(encoder)
+    probes = [f"how do I configure widget {i}" for i in range(0, 45, 3)]
+    expected = _decision_signature(cache, probes)
+    target = tmp_path / "mc"
+    cache.save(target)
+
+    # Mutate the live cache, then kill the next save right before the
+    # manifest (arrays + entries already written into the stage).
+    cache.insert("a brand new question", "a brand new response")
+
+    def exploding_write_manifest(path, manifest):
+        raise OSError("simulated crash before manifest commit")
+
+    monkeypatch.setattr(cache_module, "write_manifest", exploding_write_manifest)
+    with pytest.raises(OSError, match="simulated crash"):
+        cache.save(target)
+    monkeypatch.undo()
+
+    # No torn stage left behind, and the published snapshot is the old one.
+    assert [p.name for p in tmp_path.iterdir()] == ["mc"]
+    loaded = MeanCache.load(target, encoder.clone())
+    assert len(loaded) == len(cache) - 1
+    assert _decision_signature(loaded, probes) == expected
+
+
+def test_kill_mid_save_stage_is_never_loadable(tmp_path, monkeypatch):
+    """If the stage *did* survive a crash, its missing manifest rejects it."""
+    import repro.index.snapshot as snapshot_module
+
+    index = make_index("flat", dim=DIM)
+    index.add_batch(np.random.default_rng(0).normal(size=(12, DIM)))
+
+    staged = []
+    real_write_arrays = snapshot_module.write_arrays
+
+    def capturing_write_arrays(path, arrays):
+        real_write_arrays(path, arrays)
+        staged.append(Path(path))
+        raise OSError("simulated crash after arrays")
+
+    monkeypatch.setattr(snapshot_module, "write_arrays", capturing_write_arrays)
+    with pytest.raises(OSError, match="simulated crash"):
+        index.save(tmp_path / "snap")
+    monkeypatch.undo()
+
+    # The stage was cleaned up on the failure path; even if a hard kill had
+    # left it on disk, loading it must fail (arrays but no manifest).
+    (stage,) = staged
+    assert not stage.exists()
+    shutil.rmtree(tmp_path / "snap", ignore_errors=True)
+    real_write_arrays(tmp_path / "snap", {"vectors": np.zeros((3, DIM))})
+    with pytest.raises(SnapshotError, match="no snapshot manifest"):
+        load_index(tmp_path / "snap")
+
+
+def test_save_replaces_whole_directory(tmp_path):
+    """Saving a small snapshot over a big one leaves no stale files behind.
+
+    Regression for in-place overwrites: the big snapshot's extra arrays and
+    its delta log must vanish, not linger to corrupt the next load.
+    """
+    from repro.index import append_delta, delta_log_size
+
+    big = make_index("flat", dim=DIM)
+    big.add_batch(np.random.default_rng(0).normal(size=(200, DIM)))
+    path = tmp_path / "snap"
+    big.save(path)
+    append_delta(path, vectors=np.zeros((2, DIM)), ids=[900, 901])
+    assert (path / "deltas.jsonl").exists()
+
+    small = make_index("flat", dim=DIM)
+    small.add_batch(np.random.default_rng(1).normal(size=(3, DIM)))
+    small.save(path)
+
+    assert not (path / "deltas.jsonl").exists()
+    assert not (path / "deltas").exists()
+    loaded = load_index(path)
+    assert loaded.ids == small.ids
+    assert len(loaded) == 3
+
+
+def test_meancache_persists_native_index_dtype(tmp_path):
+    """Embeddings round-trip at the index's dtype — no silent float64 blowup."""
+    encoder = make_tiny_encoder()
+    cache = _populated_meancache(encoder)
+    native = np.dtype(cache.index.dtype)
+    assert native == np.float32  # the flat index stores float32 rows
+    path = tmp_path / "mc"
+    cache.save(path)
+
+    on_disk = np.load(path / "arrays" / "embeddings.npy", allow_pickle=False)
+    assert on_disk.dtype == native
+
+    loaded = MeanCache.load(path, encoder.clone())
+    assert all(e.embedding.dtype == native for e in loaded.entries)
+    # Stability: a second save/load cycle changes nothing.
+    loaded.save(tmp_path / "mc2")
+    again = np.load(tmp_path / "mc2" / "arrays" / "embeddings.npy")
+    np.testing.assert_array_equal(again, on_disk)
+
+
+def test_delta_log_replays_and_compacts(tmp_path):
+    """append → load replays; torn trailing line is ignored; compact folds."""
+    from repro.index import append_delta, compact_snapshot, delta_log_size
+
+    rng = np.random.default_rng(4)
+    index = make_index("flat", dim=DIM)
+    index.add_batch(rng.normal(size=(20, DIM)))
+    path = tmp_path / "snap"
+    index.save(path)
+
+    extra = rng.normal(size=(3, DIM))
+    append_delta(path, vectors=extra, ids=[100, 101, 102])
+    append_delta(path, removed=[0, 101])
+    assert delta_log_size(path) == (2, 3)
+
+    # A torn trailing line (crash mid-append) must be skipped, not fatal.
+    with open(path / "deltas.jsonl", "a", encoding="utf-8") as fh:
+        fh.write('{"seq": 3, "ids": [99')
+
+    loaded = load_index(path)
+    assert set(loaded.ids) == (set(index.ids) | {100, 102}) - {0}
+    queries = rng.normal(size=(4, DIM))
+    expected = hit_signature(loaded.search(queries, top_k=5))
+
+    compact_snapshot(path)
+    assert delta_log_size(path) == (0, 0)
+    compacted = load_index(path)
+    assert compacted.ids == loaded.ids
+    assert hit_signature(compacted.search(queries, top_k=5)) == expected
+
+    # Skipping replay yields the base snapshot unchanged (now = compacted).
+    base_only = load_index(path, replay_deltas=False)
+    assert base_only.ids == compacted.ids
+
+
+def test_delta_log_rejects_mid_file_corruption(tmp_path):
+    """Only the *trailing* line may be torn; earlier corruption is fatal."""
+    from repro.index import append_delta
+
+    index = make_index("flat", dim=DIM)
+    index.add_batch(np.random.default_rng(5).normal(size=(8, DIM)))
+    path = tmp_path / "snap"
+    index.save(path)
+    append_delta(path, vectors=np.zeros((1, DIM)), ids=[50])
+    append_delta(path, removed=[50])
+    lines = (path / "deltas.jsonl").read_text(encoding="utf-8").splitlines()
+    lines[0] = lines[0][: len(lines[0]) // 2]
+    (path / "deltas.jsonl").write_text("\n".join(lines) + "\n", encoding="utf-8")
+    with pytest.raises(SnapshotError, match="corrupted delta log"):
+        load_index(path)
+
+
+def test_mmap_load_is_zero_copy(tmp_path):
+    """The mmap restore must not allocate the row matrix (tier-1 smoke).
+
+    numpy reports its buffer allocations to tracemalloc, so the full-copy
+    load's peak includes the whole storage matrix while the mmap load's
+    peak must stay far below it.
+    """
+    import tracemalloc
+
+    n, dim = 20_000, 64
+    matrix_bytes = n * dim * 4
+    index = make_index("flat", dim=dim)
+    index.add_batch(
+        np.random.default_rng(6).normal(size=(n, dim)).astype(np.float32)
+    )
+    path = tmp_path / "snap"
+    index.save(path)
+
+    tracemalloc.start()
+    full = load_index(path)
+    _, full_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    del full
+
+    tracemalloc.start()
+    mapped = load_index(path, mmap=True)
+    _, mmap_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    assert full_peak >= matrix_bytes  # the copying path really copies
+    assert mmap_peak < matrix_bytes / 10  # the mmap path really doesn't
+    assert mapped.mmap_backed
+    # First mutation materializes a private copy — correctness over laziness.
+    mapped.add(np.zeros(dim, dtype=np.float32))
+    assert not mapped.mmap_backed
+    assert len(mapped) == n + 1

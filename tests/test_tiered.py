@@ -1,0 +1,530 @@
+"""TieredCache hierarchy: promotion/demotion, parity, persistence, threads.
+
+Pins the tiered cache's contract (ISSUE 9):
+
+* **tier disjointness** — an entry lives in exactly one tier at any moment
+  (demotion removes from L1, promotion removes from L2), so no probe can
+  score the same entry twice across the hierarchy;
+* **decision parity** — on duplicate-heavy traffic the hierarchy produces
+  the same hit/miss stream as a single unbounded exact MeanCache, and
+  duplicate probes *within one batch* all hit (promotions are applied only
+  after every probe is matched);
+* **persistence** — Hypothesis-driven op sequences (insert / remove /
+  flush / compact / save) round-trip through save, mmap load and delta
+  replay with byte-identical match scores;
+* **concurrency** — many TieredCache instances sharing one QuantizedTier
+  keep the tier consistent under a thread hammer, both raw and behind
+  :class:`~repro.serving.server.CacheServer` shard locks.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_tiny_encoder
+
+from repro.core.cache import MeanCache, MeanCacheConfig
+from repro.core.tiered import QuantizedTier, TieredCache
+from repro.llm.service import LLMServiceConfig, SimulatedLLMService
+from repro.serving.server import CacheServer, ServerConfig
+
+# L2 stays in its exact float staging phase below min_train_size, which
+# makes tier scores identical to flat search — the parity tests rely on
+# that; the quantized regime is exercised by the trained-tier tests.
+UNTRAINED = {"min_train_size": 10_000}
+
+
+# Lexically diverse intents: under the tiny encoder their pairwise
+# similarity tops out well below the τ=0.85 used here, so only exact
+# re-asks hit and near-neighbour shadowing cannot blur tier attribution.
+TOPICS = [
+    "database sharding",
+    "oven temperature for sourdough",
+    "tax deductions",
+    "quantum entanglement",
+    "marathon training",
+    "guitar tuning",
+    "visa applications",
+    "composting",
+    "kubernetes ingress",
+    "sleep schedules",
+    "oil painting",
+    "telescope lenses",
+    "french grammar",
+    "bicycle repair",
+    "solar panels",
+    "chess openings",
+    "typescript generics",
+    "orchid care",
+    "espresso grind size",
+    "drywall anchors",
+]
+TAU = 0.85
+
+
+def _queries(n):
+    assert n <= len(TOPICS)
+    return [f"how do I handle {t}" for t in TOPICS[:n]]
+
+
+def _tiered(encoder, l1_entries=4, **kwargs):
+    kwargs.setdefault("l2_params", UNTRAINED)
+    return TieredCache(
+        encoder,
+        MeanCacheConfig(max_entries=l1_entries, similarity_threshold=TAU),
+        **kwargs,
+    )
+
+
+def _tier_queries(cache):
+    l1 = {e.query for e in cache.l1.entries}
+    l2 = {e.query for e in cache.l2.entries}
+    return l1, l2
+
+
+# --------------------------------------------------------------------------- #
+# Promotion / demotion invariants
+# --------------------------------------------------------------------------- #
+def test_l1_eviction_demotes_into_l2():
+    cache = _tiered(make_tiny_encoder(), l1_entries=4)
+    queries = _queries(10)
+    for q in queries:
+        cache.insert(q, f"response to {q}")
+    assert len(cache.l1) == 4
+    assert len(cache.l2) == 6
+    assert len(cache) == 10
+    # Demotion preserves the payload: the oldest inserts now live in L2.
+    l1, l2 = _tier_queries(cache)
+    assert l1 | l2 == set(queries)
+    assert not (l1 & l2), "an entry must live in exactly one tier"
+    # Demotions are movement, not data loss: nothing was evicted for real.
+    assert cache.stats.evictions == 0
+    assert cache.l2.stats.insertions == 6
+
+
+def test_l2_hit_promotes_back_into_l1():
+    encoder = make_tiny_encoder()
+    cache = _tiered(encoder, l1_entries=2)
+    queries = _queries(6)
+    for q in queries:
+        cache.insert(q, f"response to {q}")
+    victim = queries[0]  # FIFO-demoted long ago
+    assert victim in {e.query for e in cache.l2.entries}
+
+    decision = cache.lookup(victim)
+    assert decision.hit
+    assert decision.response == f"response to {victim}"
+    # The entry moved: now resident in L1, gone from L2.
+    l1, l2 = _tier_queries(cache)
+    assert victim in l1 and victim not in l2
+    assert not (l1 & l2)
+    assert cache.l2.stats.hits == 1
+    # Promotion re-used the tier's stored vector: probing the promoted
+    # entry again hits straight from L1 without touching L2.
+    l2_lookups = cache.l2.stats.lookups
+    assert cache.lookup(victim).hit
+    assert cache.l2.stats.lookups == l2_lookups
+
+
+def test_l1_hit_never_probes_l2():
+    cache = _tiered(make_tiny_encoder(), l1_entries=8)
+    for q in _queries(4):
+        cache.insert(q, "r")
+    assert len(cache.l2) == 0
+    for q in _queries(4):
+        assert cache.lookup(q).hit
+    assert cache.l2.stats.lookups == 0
+
+
+def test_entry_never_scored_twice_per_probe():
+    """Tiers stay disjoint throughout a churny trace, so the candidate
+    sets the two indexes can score never overlap for any single probe."""
+    cache = _tiered(make_tiny_encoder(), l1_entries=3)
+    rng = np.random.default_rng(0)
+    queries = _queries(12)
+    for step in range(60):
+        q = queries[int(rng.integers(len(queries)))]
+        decision = cache.lookup(q)
+        if not decision.hit:
+            cache.insert(q, f"response to {q}")
+        l1, l2 = _tier_queries(cache)
+        assert not (l1 & l2), f"tiers overlap at step {step}: {l1 & l2}"
+        assert len(cache) == len(l1) + len(l2)
+
+
+def test_promote_on_hit_false_leaves_entry_in_l2():
+    cache = _tiered(make_tiny_encoder(), l1_entries=2, promote_on_hit=False)
+    queries = _queries(6)
+    for q in queries:
+        cache.insert(q, f"response to {q}")
+    victim = queries[0]
+    decision = cache.lookup(victim)
+    assert decision.hit and decision.response == f"response to {victim}"
+    assert victim in {e.query for e in cache.l2.entries}
+
+
+def test_l2_capacity_evicts_fifo_for_real():
+    cache = _tiered(make_tiny_encoder(), l1_entries=2, l2_max_entries=3)
+    queries = _queries(10)
+    for q in queries:
+        cache.insert(q, "r")
+    assert len(cache.l1) == 2 and len(cache.l2) == 3
+    assert cache.stats.evictions == 5  # truly dropped, not demoted
+    assert cache.lookup(queries[0]).hit is False  # oldest are gone
+
+
+# --------------------------------------------------------------------------- #
+# Decision parity with a single unbounded exact cache
+# --------------------------------------------------------------------------- #
+def _duplicate_heavy_trace(n_intents=14, n_probes=80, seed=3):
+    rng = np.random.default_rng(seed)
+    intents = _queries(n_intents)
+    return [intents[int(rng.integers(n_intents))] for _ in range(n_probes)]
+
+
+def test_hit_stream_parity_with_unbounded_exact_cache():
+    """L1 ∪ L2 must decide hit/miss exactly like one big exact cache.
+
+    The tiered cache holds the same entry set split across tiers; with the
+    L2 in its exact staging phase every tier score equals the flat score,
+    so the fall-through scan reproduces the single cache's decisions.
+    Responses must match too on this trace: probes are exact duplicates,
+    so both caches return the enrolled response for every hit.
+    """
+    encoder = make_tiny_encoder()
+    tiered = _tiered(encoder, l1_entries=3)
+    exact = MeanCache(
+        encoder, MeanCacheConfig(max_entries=100_000, similarity_threshold=TAU)
+    )
+
+    stream = []
+    for q in _duplicate_heavy_trace():
+        d_t = tiered.lookup(q)
+        d_e = exact.lookup(q)
+        assert d_t.hit == d_e.hit, f"hit-bit divergence on {q!r}"
+        if d_t.hit:
+            assert d_t.response == d_e.response
+        else:
+            tiered.insert(q, f"response to {q}")
+            exact.insert(q, f"response to {q}")
+        stream.append(d_t.hit)
+    assert any(stream), "trace produced no hits — not duplicate-heavy"
+    assert tiered.l2.stats.lookups > 0, "L2 was never probed — L1 too large"
+    assert tiered.stats.hits == exact.stats.hits
+    assert tiered.stats.lookups == exact.stats.lookups
+
+
+def test_duplicate_probes_in_one_batch_all_hit():
+    """Promotion is deferred past matching, so in-batch duplicates of a
+    demoted entry must all hit even though the first match moves it."""
+    encoder = make_tiny_encoder()
+    cache = _tiered(encoder, l1_entries=2)
+    queries = _queries(6)
+    for q in queries:
+        cache.insert(q, f"response to {q}")
+    victim = queries[0]
+    assert victim in {e.query for e in cache.l2.entries}
+
+    batch = [victim, queries[-1], victim, victim]
+    decisions = cache.lookup_batch(batch)
+    assert [d.hit for d in decisions] == [True, True, True, True]
+    assert {d.response for d in decisions[::2]} == {f"response to {victim}"}
+    # All duplicates resolved to the same (promoted) entry, scored once
+    # per probe in the tier that held it at batch start.
+    assert len({d.entry_id for d in decisions[::2] if d.entry_id is not None}) <= 2
+    l1, l2 = _tier_queries(cache)
+    assert not (l1 & l2)
+
+
+def test_context_verification_applies_in_l2():
+    """A demoted contextual entry must still be context-gated on the
+    fall-through path, exactly like the L1 pipeline's ContextVerify."""
+    encoder = make_tiny_encoder()
+    cache = _tiered(encoder, l1_entries=1)
+    cache.insert(
+        "how do I reset the flux capacitor",
+        "contextual answer",
+        context=["talking about time machines"],
+    )
+    # Push it out of L1 into L2.
+    cache.insert("an entirely different question", "other")
+    assert len(cache.l2) == 1
+
+    wrong_ctx = cache.lookup(
+        "how do I reset the flux capacitor",
+        context=["discussing sourdough starters and baking bread today"],
+    )
+    right_ctx = cache.lookup(
+        "how do I reset the flux capacitor",
+        context=["talking about time machines"],
+    )
+    assert not wrong_ctx.hit
+    assert right_ctx.hit and right_ctx.response == "contextual answer"
+    assert right_ctx.context_verified
+
+
+def test_combined_stats_view():
+    cache = _tiered(make_tiny_encoder(), l1_entries=2)
+    queries = _queries(5)
+    for q in queries:
+        cache.insert(q, "r")
+    assert cache.lookup(queries[0]).hit  # L2 hit
+    assert cache.lookup("utterly unrelated brand new text").hit is False
+    stats = cache.stats
+    assert stats.lookups == 2
+    assert stats.hits == 1
+    assert stats.misses == 1
+    assert stats.insertions == 5
+    tiers = cache.tier_stats()
+    assert tiers["l1"].lookups == 2
+    assert tiers["l2"].hits == 1
+    breakdown = cache.storage_breakdown()
+    assert breakdown["l1_entries"] == len(cache.l1)
+    assert breakdown["l2_entries"] == len(cache.l2)
+    assert breakdown["l1_bytes"] > 0 and breakdown["l2_bytes"] > 0
+
+
+# --------------------------------------------------------------------------- #
+# Persistence round-trips (Hypothesis op sequences)
+# --------------------------------------------------------------------------- #
+DIM = 16
+
+
+def _probe_signature(tier, probes):
+    """Byte-exact signature of the tier's match decisions for ``probes``."""
+    out = []
+    for p in probes:
+        found = tier.match(p, top_k=5, threshold=-2.0, verify_context=False)
+        out.append(
+            (found[0], float(found[1]).hex()) if found is not None else None
+        )
+    return out
+
+
+def _tier_state(tier):
+    return sorted(
+        (e.entry_id, e.query, e.response, tuple(e.context.texts))
+        for e in tier.entries
+    )
+
+
+@st.composite
+def op_sequences(draw):
+    """insert / remove / flush / maintenance / save op streams."""
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("insert"), st.integers(0, 2**31 - 1)),
+                st.tuples(st.just("remove"), st.integers(0, 200)),
+                st.tuples(st.just("flush"), st.just(0)),
+                st.tuples(st.just("maintenance"), st.just(0)),
+                st.tuples(st.just("save"), st.just(0)),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    # Lead with an insert so there is always something to persist.
+    return [("insert", draw(st.integers(0, 2**31 - 1)))] + ops
+
+
+@settings(max_examples=20, deadline=None, derandomize=True)
+@given(ops=op_sequences(), data=st.data())
+def test_tier_op_sequences_round_trip_through_snapshots(ops, data, tmp_path_factory):
+    """Any op sequence → flush → load (copy and mmap) restores the exact
+    tier: same entries, same ids, byte-identical match scores, and the
+    loaded tier keeps accepting mutations with monotonic ids."""
+    tmp_path = tmp_path_factory.mktemp("tier")
+    tier = QuantizedTier(
+        dim=DIM,
+        backend="sq8",
+        params={"min_train_size": 24, "seed": 0},
+        snapshot_dir=tmp_path / "snap",
+        compact_every=4,
+    )
+    for step, (op, arg) in enumerate(ops):
+        if op == "insert":
+            rng = np.random.default_rng(arg)
+            tier.insert(
+                f"query {step} seeded {arg}",
+                f"response {step}",
+                embedding=rng.normal(size=DIM),
+            )
+        elif op == "remove" and len(tier):
+            victim = tier.entries[arg % len(tier)].entry_id
+            tier.pop(victim)
+        elif op == "flush":
+            tier.flush()
+        elif op == "maintenance":
+            tier.maintenance()
+        elif op == "save":
+            tier.save(tmp_path / "snap")
+    tier.flush()
+
+    probes = np.random.default_rng(99).normal(size=(6, DIM))
+    expected_state = _tier_state(tier)
+    expected_sig = _probe_signature(tier, probes)
+    expected_next = tier._next_id
+
+    for mmap in (False, True):
+        loaded = QuantizedTier.load(tmp_path / "snap", mmap=mmap)
+        assert _tier_state(loaded) == expected_state
+        assert _probe_signature(loaded, probes) == expected_sig
+        assert loaded._next_id == expected_next
+    # The loaded tier stays live: new ids continue past the snapshot.
+    loaded.snapshot_dir = None
+    new_id = loaded.insert("post-restore query", "r", np.zeros(DIM))
+    assert new_id == expected_next
+
+
+def test_tier_maintenance_compacts_delta_log(tmp_path):
+    from repro.index import delta_log_size
+
+    tier = QuantizedTier(
+        dim=DIM, params=UNTRAINED, snapshot_dir=tmp_path / "snap", compact_every=3
+    )
+    rng = np.random.default_rng(1)
+    tier.insert("baseline", "r", rng.normal(size=DIM))
+    tier.flush()  # writes the full baseline snapshot
+    for i in range(3):
+        tier.insert(f"delta {i}", "r", rng.normal(size=DIM))
+        tier.flush()
+    assert delta_log_size(tmp_path / "snap")[0] == 3
+    tier.maintenance()  # 3 >= compact_every → fold into a full snapshot
+    assert delta_log_size(tmp_path / "snap")[0] == 0
+    loaded = QuantizedTier.load(tmp_path / "snap")
+    assert _tier_state(loaded) == _tier_state(tier)
+
+
+def test_tiered_cache_save_load_round_trip(tmp_path):
+    encoder = make_tiny_encoder()
+    cache = _tiered(encoder, l1_entries=3)
+    queries = _queries(9)
+    for q in queries:
+        cache.insert(q, f"response to {q}")
+    probes = queries[::2] + ["something never enrolled at all"]
+    before = [
+        (d.hit, d.response, float(d.similarity).hex())
+        for d in [cache.lookup(q) for q in probes]
+    ]
+    # Lookups promoted entries — capture the post-lookup layout.
+    layout = (_tier_queries(cache), len(cache.l1), len(cache.l2))
+
+    cache.save(tmp_path / "tc")
+    for mmap in (False, True):
+        loaded = TieredCache.load(tmp_path / "tc", encoder.clone(), mmap=mmap)
+        assert (_tier_queries(loaded), len(loaded.l1), len(loaded.l2)) == layout
+        after = [
+            (d.hit, d.response, float(d.similarity).hex())
+            for d in [loaded.lookup(q) for q in probes]
+        ]
+        assert after == before
+        # Demotion wiring survived the load: overflow still lands in L2.
+        grown = len(loaded.l2)
+        for i in range(4):
+            loaded.insert(f"fresh post-load query {i}", "r")
+        assert len(loaded.l2) > grown
+
+
+# --------------------------------------------------------------------------- #
+# Concurrency: a shared tier hammered through many owners
+# --------------------------------------------------------------------------- #
+N_THREADS = 6
+OPS_PER_THREAD = 40
+
+
+def test_shared_tier_thread_hammer_raw():
+    """N caches (one per thread) share one QuantizedTier; interleaved
+    insert/lookup churn must leave the tier internally consistent."""
+    encoder = make_tiny_encoder()
+    shared = QuantizedTier(params=dict(UNTRAINED))
+    caches = [
+        TieredCache(encoder, MeanCacheConfig(max_entries=3), l2=shared)
+        for _ in range(N_THREADS)
+    ]
+    errors = []
+
+    def worker(tid):
+        try:
+            cache = caches[tid]
+            for i in range(OPS_PER_THREAD):
+                q = f"thread {tid} question number {i % 10}"
+                if not cache.lookup(q).hit:
+                    cache.insert(q, f"answer {tid}/{i}")
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append((tid, exc))
+
+    threads = [
+        threading.Thread(target=worker, args=(tid,)) for tid in range(N_THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+
+    # Tier invariants: entries dict and quantized index agree exactly.
+    assert sorted(e.entry_id for e in shared.entries) == sorted(shared.index.ids)
+    assert len(shared) == len(shared.index)
+    counters = shared.stats
+    assert counters.insertions >= len(shared)
+    assert counters.lookups == counters.hits + counters.misses
+
+
+@pytest.mark.serving
+def test_tiered_cache_behind_server_shard_locks():
+    """TieredCache slots in as the shard-local cache with a shared L2;
+    a client-thread hammer through CacheServer must keep every tier
+    consistent and resolve every request."""
+    encoder = make_tiny_encoder()
+    shared = QuantizedTier(params=dict(UNTRAINED))
+    server = CacheServer(
+        cache_factory=lambda uid: TieredCache(
+            encoder, MeanCacheConfig(max_entries=3), l2=shared
+        ),
+        service=SimulatedLLMService(LLMServiceConfig(seed=0), thread_safe=True),
+        config=ServerConfig(n_shards=4, max_batch_size=8, max_batch_wait_s=0.002),
+    )
+    queries_of_thread = {
+        tid: [f"user {tid} asks question {i % 8}" for i in range(20)]
+        for tid in range(N_THREADS)
+    }
+    responses = {}
+    errors = []
+
+    def client(tid):
+        try:
+            for i, query in enumerate(queries_of_thread[tid]):
+                future = server.submit_threadsafe(f"user-{tid}", query)
+                responses[(tid, i)] = future.result(timeout=60)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append((tid, exc))
+
+    server.start()
+    try:
+        threads = [
+            threading.Thread(target=client, args=(tid,))
+            for tid in range(N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    finally:
+        server.stop()
+    assert not errors, errors
+    assert len(responses) == N_THREADS * 20
+
+    # Each user's repeated queries eventually hit (their own enrolments).
+    assert any(r.hit for r in responses.values())
+    # Shared tier stayed consistent across all shard owners.
+    assert sorted(e.entry_id for e in shared.entries) == sorted(shared.index.ids)
+    report = server.storage_report()
+    assert report["n_caches"] == N_THREADS
+    assert report["total_entries"] >= len(shared)
+    assert report["l2_bytes"] >= 0
