@@ -30,9 +30,9 @@ The package is organised as a set of substrates plus the core contribution:
     One module per paper table/figure regenerating the reported series.
 """
 
+from repro.baselines.gptcache import GPTCache, GPTCacheConfig
 from repro.core.cache import MeanCache, MeanCacheConfig, CacheDecision, CacheEntry
 from repro.core.client import MeanCacheClient
-from repro.baselines.gptcache import GPTCache, GPTCacheConfig
 from repro.embeddings.zoo import load_encoder, ENCODER_SPECS
 from repro.llm.service import SimulatedLLMService, LLMServiceConfig
 from repro.serving import FleetSimulator, Trace, WorkloadGenerator

@@ -20,12 +20,12 @@
 
 from repro.core.cache import MeanCache, MeanCacheConfig, CacheDecision, CacheEntry
 from repro.core.client import MeanCacheClient, ClientQueryResult
-from repro.core.tiered import QuantizedTier, TierEntry, TieredCache
+from repro.core.compression import compress_cache, CompressionReport
 from repro.core.context import ContextChain, context_matches
 from repro.core.pipeline import LookupPipeline, Probe, Selection
 from repro.core.policy import LRUPolicy, LFUPolicy, FIFOPolicy, make_policy
 from repro.core.storage import InMemoryStore, DiskStore
-from repro.core.compression import compress_cache, CompressionReport
+from repro.core.tiered import QuantizedTier, TierEntry, TieredCache
 
 __all__ = [
     "MeanCache",

@@ -25,6 +25,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.clock import Clock, WALL_CLOCK
 from repro.core.context import ContextChain
 from repro.core.pipeline import (
     CapacityEnroll,
@@ -207,8 +208,14 @@ class MeanCache:
         config: Optional[MeanCacheConfig] = None,
         store: Optional[BaseStore] = None,
         index: Optional[VectorIndex] = None,
+        clock: Clock = WALL_CLOCK,
     ) -> None:
         self.encoder = encoder
+        #: Time source for entry ``created_at``/``last_accessed`` stamps.
+        #: Production keeps wall time; the simulator injects a virtual
+        #: event clock (see repro.core.clock) so TTL/recency state is
+        #: independent of wall speed and processing order.
+        self.clock: Clock = clock
         self.config = config or MeanCacheConfig()
         if self.config.compressed and encoder.pca is None:
             raise ValueError(
@@ -256,6 +263,14 @@ class MeanCache:
                 insert=self.insert,
             ),
         )
+
+    def set_clock(self, clock: Clock) -> None:
+        """Swap the timestamp source (used by simulation wiring).
+
+        Existing entry stamps are left untouched; only future
+        ``created_at``/``last_accessed`` writes read the new clock.
+        """
+        self.clock = clock
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -417,8 +432,8 @@ class MeanCache:
                 else self._embed_context(context)
             ),
             entry_id=self._next_id,
-            created_at=time.time(),
-            last_accessed=time.time(),
+            created_at=self.clock(),
+            last_accessed=self.clock(),
         )
         self._next_id += 1
         self._entries[entry.entry_id] = entry
@@ -776,7 +791,7 @@ class _MeanCacheDecide(DecideStage):
             )
         entry = cache._entries[selection.best.id]
         entry.hit_count += 1
-        entry.last_accessed = time.time()
+        entry.last_accessed = cache.clock()
         cache._policy.record_access(entry.entry_id)
         cache.stats.hits += 1
         return CacheDecision(

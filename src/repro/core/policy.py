@@ -8,7 +8,7 @@ ids so the cache can map them to row indices however it likes.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional
+from typing import Dict
 
 
 class EvictionPolicy:

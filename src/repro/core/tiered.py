@@ -49,13 +49,13 @@ as a read-only memory map — the zero-copy warm start benchmarked in
 from __future__ import annotations
 
 import json
-import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.runtime import maybe_tracked_rlock
 from repro.core.cache import (
     CacheDecision,
     CacheEntry,
@@ -155,7 +155,7 @@ class QuantizedTier:
         self._next_id = 0
         self.max_entries = max_entries
         self.stats = CacheStats()
-        self.lock = threading.RLock()
+        self.lock = maybe_tracked_rlock("tier.l2")
         self.snapshot_dir: Optional[Path] = (
             Path(snapshot_dir) if snapshot_dir is not None else None
         )
@@ -475,7 +475,7 @@ class QuantizedTier:
         tier._next_id = next_id
         tier.max_entries = int(max_entries) if max_entries is not None else None
         tier.stats = stats
-        tier.lock = threading.RLock()
+        tier.lock = maybe_tracked_rlock("tier.l2")
         tier.snapshot_dir = path
         tier.compact_every = compact_every
         tier._pending_ids = []
@@ -791,6 +791,10 @@ class TieredCache:
     def set_threshold(self, threshold: float) -> None:
         """Update τ for both tiers (L2 reads the L1 config live)."""
         self.l1.set_threshold(threshold)
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Swap the L1 timestamp source (L2 entries carry no timestamps)."""
+        self.l1.set_clock(clock)
 
     def clear(self) -> None:
         """Drop all entries in both tiers."""

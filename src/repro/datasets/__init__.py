@@ -19,8 +19,15 @@ synthetic equivalents:
 * :mod:`repro.datasets.partition` — federated (per-client) partitioning.
 """
 
+from repro.datasets.contextual import (
+    ContextualTurn,
+    Conversation,
+    ContextualDataset,
+    generate_contextual_dataset,
+)
 from repro.datasets.corpus import Corpus, QueryIntent
 from repro.datasets.paraphrase import Paraphraser
+from repro.datasets.partition import partition_pairs, partition_iid, partition_by_topic
 from repro.datasets.semantic_pairs import (
     QueryPair,
     QueryPairDataset,
@@ -28,14 +35,7 @@ from repro.datasets.semantic_pairs import (
     generate_pair_dataset,
     generate_cache_workload,
 )
-from repro.datasets.contextual import (
-    ContextualTurn,
-    Conversation,
-    ContextualDataset,
-    generate_contextual_dataset,
-)
 from repro.datasets.userstudy import UserStudyParticipant, generate_user_study
-from repro.datasets.partition import partition_pairs, partition_iid, partition_by_topic
 
 __all__ = [
     "Corpus",

@@ -18,11 +18,11 @@ equivalent synthetic dataset with the same composition:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.datasets.corpus import Corpus, QueryIntent
+from repro.datasets.corpus import Corpus
 from repro.datasets.paraphrase import Paraphraser
 
 # followup key -> (templates, slot values)

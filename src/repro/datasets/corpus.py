@@ -16,7 +16,7 @@ The word banks themselves live in :mod:`repro.datasets.banks`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import numpy as np
 

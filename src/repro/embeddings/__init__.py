@@ -19,13 +19,13 @@ implementation:
   embedding compression.
 """
 
-from repro.embeddings.tokenizer import Tokenizer, TokenizerConfig
 from repro.embeddings.featurizer import HashedFeaturizer, FeaturizerConfig
-from repro.embeddings.model import SiameseEncoder, EncoderConfig
 from repro.embeddings.losses import contrastive_loss, multiple_negatives_ranking_loss
+from repro.embeddings.model import SiameseEncoder, EncoderConfig
 from repro.embeddings.optim import SGD, Adam
 from repro.embeddings.pca import PCA
 from repro.embeddings.similarity import cosine_similarity, semantic_search
+from repro.embeddings.tokenizer import Tokenizer, TokenizerConfig
 from repro.embeddings.zoo import load_encoder, ENCODER_SPECS, EncoderSpec
 
 __all__ = [

@@ -10,7 +10,7 @@ Figure 10(b) search-time experiment.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List
 
 import numpy as np
 

@@ -23,7 +23,6 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-import numpy as np
 
 from repro.datasets.corpus import Corpus
 from repro.datasets.semantic_pairs import QueryPairDataset, generate_pair_dataset

@@ -13,7 +13,7 @@ MeanCache's context-chain verification rejects them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 

@@ -10,7 +10,7 @@ the logs with an exact-duplicate-intent detector to confirm consistency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np

@@ -9,7 +9,7 @@ round.  Both encoders improve as training progresses; MPNet ends higher
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np

@@ -15,12 +15,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.datasets.corpus import Corpus
-from repro.embeddings.zoo import ENCODER_SPECS, load_encoder, spec_for
+from repro.embeddings.zoo import load_encoder, spec_for
 from repro.metrics.reporting import format_table
 
 

@@ -25,7 +25,7 @@ trajectory:
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.cache import MeanCache, MeanCacheConfig
 from repro.embeddings.model import SiameseEncoder

@@ -32,12 +32,12 @@ import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 
 from repro.core.cache import MeanCache, MeanCacheConfig
-from repro.core.tiered import QuantizedTier, TieredCache
+from repro.core.tiered import TieredCache
 from repro.embeddings.featurizer import FeaturizerConfig, HashedFeaturizer
 from repro.embeddings.model import EncoderConfig, SiameseEncoder
 from repro.embeddings.tokenizer import Tokenizer, TokenizerConfig

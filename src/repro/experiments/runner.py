@@ -56,7 +56,7 @@ class FullReport:
 def run_all(scale: "str | None" = None, seed: int = 0) -> FullReport:
     """Run every experiment at the given scale and collect formatted output."""
     resolved = resolve_scale(scale)
-    start = time.time()
+    start = time.perf_counter()
     bundle = cached_system_bundle(resolved, seed=seed, train_albert=True)
     report = FullReport(scale_name=resolved.name)
 
@@ -109,7 +109,7 @@ def run_all(scale: "str | None" = None, seed: int = 0) -> FullReport:
             seed=seed,
         ).format()
     )
-    report.elapsed_s = time.time() - start
+    report.elapsed_s = time.perf_counter() - start
     return report
 
 

@@ -37,7 +37,7 @@ from __future__ import annotations
 import os
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional
 
 from repro.core.cache import MeanCache, MeanCacheConfig
 from repro.embeddings.model import SiameseEncoder

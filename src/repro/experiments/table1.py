@@ -15,7 +15,7 @@ Metrics use Fβ with β = 0.5 (precision weighted over recall).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 

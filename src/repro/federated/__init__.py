@@ -26,14 +26,23 @@ Modules
   fleet's virtual clock, pushes personalized τ into live caches).
 """
 
-from repro.federated.messages import parameters_to_buffer, buffer_to_parameters, ParameterSpec
 from repro.federated.aggregation import (
     fedavg,
     fedprox_aggregate,
     aggregate_thresholds,
     weighted_metric_mean,
 )
+from repro.federated.client import FLClient, ClientConfig, ClientUpdate
+from repro.federated.messages import parameters_to_buffer, buffer_to_parameters, ParameterSpec
+from repro.federated.online import (
+    MinedPair,
+    OnlineAdaptationConfig,
+    OnlineRound,
+    OnlineThresholdAdapter,
+)
 from repro.federated.sampling import UniformSampler, RoundRobinSampler, ResourceAwareSampler
+from repro.federated.server import FLServer, ServerConfig, RoundResult
+from repro.federated.simulation import FLSimulation, SimulationConfig, SimulationResult
 from repro.federated.threshold import (
     find_optimal_threshold,
     threshold_sweep,
@@ -41,15 +50,6 @@ from repro.federated.threshold import (
     score_sweep,
     ThresholdSweepResult,
 )
-from repro.federated.online import (
-    MinedPair,
-    OnlineAdaptationConfig,
-    OnlineRound,
-    OnlineThresholdAdapter,
-)
-from repro.federated.client import FLClient, ClientConfig, ClientUpdate
-from repro.federated.server import FLServer, ServerConfig, RoundResult
-from repro.federated.simulation import FLSimulation, SimulationConfig, SimulationResult
 
 __all__ = [
     "parameters_to_buffer",

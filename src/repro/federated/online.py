@@ -52,8 +52,8 @@ always receive the plain global τ.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
 
 import numpy as np
 

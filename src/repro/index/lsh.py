@@ -249,6 +249,8 @@ class LSHIndex(FlatIndex):
         # An id can appear in several tables' buckets; the duplicates are
         # NOT removed here — topk_hits dedupes the few winners instead,
         # which is far cheaper than a per-query np.unique over the union.
+        # Per-probe, bounded by tables*(1+multiprobe) small bucket views —
+        # not a per-entry O(n) rebuild.  # repro: ignore[RPL003]
         return np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
 
     def search(
@@ -287,6 +289,8 @@ class LSHIndex(FlatIndex):
                 :, :, :mp
             ]
             deltas = self._powers[flip_bits]  # (q, n_tables, mp)
+            # One (q, n_tables, 1+mp) key tensor per *batch*, sized by the
+            # multiprobe budget, not the index.  # repro: ignore[RPL003]
             probe_keys = np.concatenate(
                 [exact_keys[:, :, None], exact_keys[:, :, None] ^ deltas], axis=2
             )

@@ -254,7 +254,7 @@ def read_arrays(
 # --------------------------------------------------------------------------- #
 # Index snapshots
 # --------------------------------------------------------------------------- #
-def save_index(index, path: "str | Path") -> Path:
+def save_index(index: object, path: "str | Path") -> Path:
     """Snapshot any backend implementing the snapshot protocol to ``path``.
 
     The manifest records the backend's registry name and constructor
@@ -286,7 +286,9 @@ def save_index(index, path: "str | Path") -> Path:
     return path
 
 
-def load_index(path: "str | Path", mmap: bool = False, replay_deltas: bool = True):
+def load_index(
+    path: "str | Path", mmap: bool = False, replay_deltas: bool = True
+) -> object:
     """Rebuild an index from a :func:`save_index` snapshot.
 
     Returns a fresh instance of the saved backend with identical live state
@@ -489,7 +491,7 @@ def delta_log_size(path: "str | Path") -> Tuple[int, int]:
     return len(lines), sum(len(line.get("ids", ())) for line in lines)
 
 
-def compact_snapshot(path: "str | Path", mmap: bool = False):
+def compact_snapshot(path: "str | Path", mmap: bool = False) -> object:
     """Fold the delta log into a new full snapshot; returns the loaded index.
 
     Loads the base snapshot plus deltas, then atomically republishes the

@@ -9,8 +9,8 @@ from repro.metrics.classification import (
     precision,
     recall,
 )
-from repro.metrics.timing import LatencyHistogram, Timer, SimulatedClock
 from repro.metrics.reporting import format_table, format_confusion_matrix
+from repro.metrics.timing import LatencyHistogram, Timer, SimulatedClock
 
 __all__ = [
     "ConfusionMatrix",

@@ -131,22 +131,35 @@ def confusion_matrix(
     return ConfusionMatrix(true_hits=tp, false_hits=fp, true_misses=tn, false_misses=fn)
 
 
-def precision(true_labels, predicted_labels) -> float:
+def precision(
+    true_labels: Sequence[bool] | np.ndarray,
+    predicted_labels: Sequence[bool] | np.ndarray,
+) -> float:
     """Precision of hit decisions."""
     return confusion_matrix(true_labels, predicted_labels).precision()
 
 
-def recall(true_labels, predicted_labels) -> float:
+def recall(
+    true_labels: Sequence[bool] | np.ndarray,
+    predicted_labels: Sequence[bool] | np.ndarray,
+) -> float:
     """Recall of hit decisions."""
     return confusion_matrix(true_labels, predicted_labels).recall()
 
 
-def accuracy(true_labels, predicted_labels) -> float:
+def accuracy(
+    true_labels: Sequence[bool] | np.ndarray,
+    predicted_labels: Sequence[bool] | np.ndarray,
+) -> float:
     """Accuracy of hit/miss decisions."""
     return confusion_matrix(true_labels, predicted_labels).accuracy()
 
 
-def fbeta_score(true_labels, predicted_labels, beta: float = 0.5) -> float:
+def fbeta_score(
+    true_labels: Sequence[bool] | np.ndarray,
+    predicted_labels: Sequence[bool] | np.ndarray,
+    beta: float = 0.5,
+) -> float:
     """Fβ of hit decisions (β = 0.5 by default, as in the paper)."""
     return confusion_matrix(true_labels, predicted_labels).fbeta(beta)
 

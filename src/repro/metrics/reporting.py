@@ -6,7 +6,7 @@ them as aligned ASCII tables so benchmark logs are readable without plotting.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import List, Mapping, Sequence
 
 from repro.metrics.classification import ConfusionMatrix
 

@@ -110,14 +110,17 @@ class LatencyHistogram:
 
     @property
     def p50(self) -> float:
+        """Median latency."""
         return self.percentile(50.0)
 
     @property
     def p95(self) -> float:
+        """95th-percentile latency."""
         return self.percentile(95.0)
 
     @property
     def p99(self) -> float:
+        """99th-percentile latency (the SLO gate's metric)."""
         return self.percentile(99.0)
 
     @property

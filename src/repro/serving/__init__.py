@@ -35,21 +35,6 @@ from repro.serving.fleet import (
     LookupOutcome,
     UserStats,
 )
-from repro.serving.scheduling import (
-    BatchExecutor,
-    CacheAdapter,
-    Scheduler,
-    VirtualClockScheduler,
-    iter_windows,
-)
-from repro.serving.server import (
-    BackpressureError,
-    CacheServer,
-    MicroBatcher,
-    ServerConfig,
-    ServerMetrics,
-    ServerResponse,
-)
 from repro.serving.scenarios import (
     CohortSpec,
     FloodingConfig,
@@ -67,6 +52,21 @@ from repro.serving.scenarios import (
     relabel_users,
     trace_from_logs,
     trace_to_logs,
+)
+from repro.serving.scheduling import (
+    BatchExecutor,
+    CacheAdapter,
+    Scheduler,
+    VirtualClockScheduler,
+    iter_windows,
+)
+from repro.serving.server import (
+    BackpressureError,
+    CacheServer,
+    MicroBatcher,
+    ServerConfig,
+    ServerMetrics,
+    ServerResponse,
 )
 from repro.serving.workload import (
     ArrivalSchedule,

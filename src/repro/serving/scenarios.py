@@ -46,7 +46,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.datasets.corpus import Corpus, QueryIntent
+from repro.datasets.corpus import Corpus
 from repro.serving.workload import (
     ArrivalSchedule,
     Trace,

@@ -44,6 +44,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence,
 
 import numpy as np
 
+from repro.core.clock import VirtualClock
 from repro.serving.workload import Trace, WorkloadEvent
 
 
@@ -222,6 +223,14 @@ class BatchExecutor:
         self.adaptation = adaptation
         self.stamp_event_time = stamp_event_time
         self.miss_fallback = miss_fallback
+        #: Simulation runs (``stamp_event_time=True``) drive every cache's
+        #: entry timestamps from this virtual clock, advanced to each
+        #: window's max event time before lookups run — entry TTL/recency
+        #: state then depends only on the trace, not on wall speed or
+        #: processing order.  The live server keeps caches on wall time.
+        self.virtual_clock: Optional[VirtualClock] = (
+            VirtualClock() if stamp_event_time else None
+        )
         self.adapters: Dict[str, CacheAdapter] = {}
         #: per underlying cache object: enrolled query text -> intent key,
         #: the oracle used to verify hits (user feedback stand-in)
@@ -241,6 +250,10 @@ class BatchExecutor:
             adapter = CacheAdapter(cache)
             self.adapters[user_id] = adapter
             self._intent_maps.setdefault(id(cache), {})
+            if self.virtual_clock is not None:
+                set_clock = getattr(cache, "set_clock", None)
+                if callable(set_clock):
+                    set_clock(self.virtual_clock)
             if self.adaptation is not None:
                 self.adaptation.register_user(user_id, cache)
         return adapter
@@ -275,6 +288,12 @@ class BatchExecutor:
         enrolled by a later-arriving event, even on a shared cache, and
         results are independent of grouping order.
         """
+        if self.virtual_clock is not None and len(events):
+            # Window-level stamping: every entry enrolled by this batch is
+            # stamped with the window's max arrival time, so stamps are
+            # independent of intra-window processing order (pinned in
+            # tests/test_clock.py).
+            self.virtual_clock.advance_to(max(e.time_s for e in events))
         by_cache: Dict[int, Tuple[CacheAdapter, List[int]]] = {}
         for i, event in enumerate(events):
             adapter = self.adapter(event.user_id)

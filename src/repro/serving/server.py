@@ -51,6 +51,7 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.runtime import guard_cache, maybe_tracked_lock
 from repro.llm.service import SimulatedLLMService
 from repro.metrics.timing import LatencyHistogram
 from repro.serving.fleet import FleetResult, UserStats
@@ -338,8 +339,8 @@ class MicroBatcher:
 class _Shard:
     """One shard: a lock plus the executor owning its users' caches."""
 
-    def __init__(self, executor: BatchExecutor) -> None:
-        self.lock = threading.Lock()
+    def __init__(self, executor: BatchExecutor, name: str = "shard") -> None:
+        self.lock = maybe_tracked_lock(name)
         self.executor = executor
 
 
@@ -353,8 +354,8 @@ class _SharedL2:
     """
 
     def __init__(self, cache) -> None:
-        self.adapter = CacheAdapter(cache)
-        self.lock = threading.Lock()
+        self.lock = maybe_tracked_lock("shared.l2")
+        self.adapter = CacheAdapter(guard_cache(cache, self.lock, "shared_l2"))
 
     def lookup(
         self, event: WorkloadEvent, embedding: Optional[np.ndarray]
@@ -432,11 +433,12 @@ class CacheServer:
                     adaptation=adaptation,
                     stamp_event_time=self.config.deterministic,
                     miss_fallback=self.shared,
-                )
+                ),
+                name=f"shard[{i}]",
             )
-            for _ in range(self.config.n_shards)
+            for i in range(self.config.n_shards)
         ]
-        self._registry_lock = threading.Lock()
+        self._registry_lock = maybe_tracked_lock("server.registry")
         self._user_shard: Dict[str, int] = {}
         self._cache_shard: Dict[int, int] = {}
         self._batcher = MicroBatcher(
@@ -476,6 +478,9 @@ class CacheServer:
                 self._cache_shard[id(cache)] = owner
             self._user_shard[user_id] = owner
             self._shards[owner].executor.register(user_id, cache)
+            # Under REPRO_DEBUG_CONCURRENCY=1 the cache's index raises if
+            # mutated without this shard's lock held (no-op otherwise).
+            guard_cache(cache, self._shards[owner].lock, f"shard[{owner}].cache")
             return owner
 
     @property

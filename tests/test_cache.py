@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from conftest import make_tiny_encoder
 from repro.baselines.gptcache import GPTCache, GPTCacheConfig
 from repro.baselines.keyword_cache import KeywordCache, KeywordCacheConfig
 from repro.core.cache import CacheDecision, MeanCache, MeanCacheConfig
@@ -10,8 +11,6 @@ from repro.core.client import MeanCacheClient
 from repro.core.compression import compress_cache
 from repro.core.storage import InMemoryStore
 from repro.llm.service import SimulatedLLMService
-
-from conftest import make_tiny_encoder
 
 
 @pytest.fixture()

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from conftest import make_tiny_encoder
 from repro.datasets.semantic_pairs import QueryPairDataset, generate_pair_dataset
 from repro.federated.aggregation import (
     aggregate_thresholds,
@@ -26,8 +27,6 @@ from repro.federated.threshold import (
     score_sweep,
     threshold_sweep,
 )
-
-from conftest import make_tiny_encoder
 
 
 # --------------------------------------------------------------------------- #

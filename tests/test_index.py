@@ -9,11 +9,10 @@ up to the float32 storage tolerance.
 import numpy as np
 import pytest
 
+from conftest import make_tiny_encoder
 from repro.core.cache import MeanCache, MeanCacheConfig
 from repro.embeddings.similarity import semantic_search
 from repro.index import FlatIndex, IndexHit, VectorIndex
-
-from conftest import make_tiny_encoder
 
 SCORE_ATOL = 1e-5  # float32 storage vs float64 reference
 

@@ -15,6 +15,7 @@ Three layers:
 import numpy as np
 import pytest
 
+from conftest import make_tiny_encoder
 from repro.baselines.gptcache import GPTCache, GPTCacheConfig
 from repro.core.cache import MeanCache, MeanCacheConfig
 from repro.experiments.index_bench import make_ann_workload
@@ -28,8 +29,6 @@ from repro.index import (
     register_index,
 )
 from repro.index.registry import _FACTORIES
-
-from conftest import make_tiny_encoder
 
 BACKENDS = ["flat", "ivf", "lsh"]
 

@@ -3,11 +3,10 @@
 import numpy as np
 import pytest
 
+from conftest import make_tiny_encoder
 from repro.embeddings.model import EncoderConfig, SiameseEncoder
 from repro.embeddings.pca import PCA
 from repro.embeddings.similarity import cosine_similarity
-
-from conftest import make_tiny_encoder
 
 
 class TestConfigValidation:

@@ -249,6 +249,55 @@ class TestThreadedHammer:
         assert ProbedCache.overlaps == 0
 
 
+class TestHammerUnderRuntimeChecker:
+    """The miss-then-hit hammer re-run with the lock tracker active.
+
+    ``REPRO_DEBUG_CONCURRENCY=1`` turns the shard/registry locks into
+    :class:`~repro.analysis.runtime.TrackedLock` instances (lock-order
+    cycle detection) and instruments every registered cache's index with
+    ownership guards — a mutation outside the owning shard lock raises
+    instead of corrupting state.  CI re-runs the whole serving suite under
+    the flag; this test pins the instrumented path into tier-1 regardless
+    of environment.
+    """
+
+    def test_miss_then_hit_rounds_with_tracker(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEBUG_CONCURRENCY", "1")
+        from repro.analysis.runtime import TrackedLock, reset_registry
+
+        reset_registry()
+        try:
+            encoder = make_tiny_encoder()
+            caches = {}
+
+            def factory(user_id):
+                return caches.setdefault(
+                    user_id,
+                    MeanCache(encoder, MeanCacheConfig(similarity_threshold=0.999)),
+                )
+
+            queries_of_thread = {
+                tid: [f"tracked thread {tid} question number {i}" for i in range(8)]
+                for tid in range(4)
+            }
+            server = _server(factory)
+            assert isinstance(server._shards[0].lock, TrackedLock)
+            server.start()
+            try:
+                first, errors = _hammer(server, queries_of_thread)
+                assert not errors, errors
+                second, errors = _hammer(server, queries_of_thread)
+                assert not errors, errors
+            finally:
+                server.stop()
+            assert all(not r.hit for r in first.values())
+            assert all(r.hit for r in second.values())
+            for cache in caches.values():
+                assert_cache_invariants(cache)
+        finally:
+            reset_registry()
+
+
 @pytest.mark.slow
 class TestSlowHammer:
     """Heavier wall-clock hammers, excluded from tier-1 (run via ``-m slow``)."""

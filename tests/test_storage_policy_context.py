@@ -3,11 +3,10 @@
 import numpy as np
 import pytest
 
+from conftest import make_tiny_encoder
 from repro.core.context import ContextChain, context_matches
 from repro.core.policy import FIFOPolicy, LFUPolicy, LRUPolicy, make_policy
 from repro.core.storage import DiskStore, InMemoryStore, object_nbytes
-
-from conftest import make_tiny_encoder
 
 
 class TestObjectNbytes:

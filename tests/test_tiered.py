@@ -476,6 +476,51 @@ def test_shared_tier_thread_hammer_raw():
     assert counters.lookups == counters.hits + counters.misses
 
 
+def test_shared_tier_hammer_with_runtime_checker(monkeypatch):
+    """The raw shared-tier hammer with the tier's lock tracked.
+
+    Under ``REPRO_DEBUG_CONCURRENCY=1`` the QuantizedTier's internal RLock
+    becomes a :class:`~repro.analysis.runtime.TrackedLock`, so this churn
+    additionally exercises the lock-order cycle detector across the
+    per-thread interleavings; CI re-runs the whole suite under the flag.
+    """
+    monkeypatch.setenv("REPRO_DEBUG_CONCURRENCY", "1")
+    from repro.analysis.runtime import TrackedLock, reset_registry
+
+    reset_registry()
+    try:
+        encoder = make_tiny_encoder()
+        shared = QuantizedTier(params=dict(UNTRAINED))
+        assert isinstance(shared.lock, TrackedLock)
+        caches = [
+            TieredCache(encoder, MeanCacheConfig(max_entries=3), l2=shared)
+            for _ in range(N_THREADS)
+        ]
+        errors = []
+
+        def worker(tid):
+            try:
+                cache = caches[tid]
+                for i in range(OPS_PER_THREAD // 2):
+                    q = f"tracked thread {tid} question number {i % 10}"
+                    if not cache.lookup(q).hit:
+                        cache.insert(q, f"answer {tid}/{i}")
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append((tid, exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(tid,)) for tid in range(N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        assert sorted(e.entry_id for e in shared.entries) == sorted(shared.index.ids)
+    finally:
+        reset_registry()
+
+
 @pytest.mark.serving
 def test_tiered_cache_behind_server_shard_locks():
     """TieredCache slots in as the shard-local cache with a shared L2;
